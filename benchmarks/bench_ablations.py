@@ -1,0 +1,184 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* transitive vs. one-level downward propagation (nested common data),
+* footnote-3 BLU grouping vs. per-attribute BLUs,
+* optimizer threshold sensitivity (fraction / escalation count),
+* reference-transparent access (propagate=False) as a semantic ablation.
+"""
+
+import pytest
+
+import repro
+from benchmarks._common import print_table
+from repro.catalog import Statistics
+from repro.graphs.object_graph import build_object_graph
+from repro.graphs.units import object_resource
+from repro.locking.modes import S, X
+from repro.nf2 import parse_path
+from repro.protocol import AccessIntent, LockRequestOptimizer
+from repro.workloads import build_partlib_database, build_cells_database
+
+
+def partlib_stack(transitive):
+    database, catalog = build_partlib_database(
+        n_assemblies=4, positions_per_assembly=4, n_parts=8, n_materials=4, seed=9
+    )
+    return repro.make_stack(database, catalog, transitive_propagation=transitive)
+
+
+def assembly_lock_count(transitive):
+    stack = partlib_stack(transitive)
+    txn = stack.txns.begin()
+    assembly = object_resource(stack.catalog, "assemblies", "a1")
+    stack.protocol.request(txn, assembly, S)
+    locks = stack.manager.locks_of(txn)
+    materials = sum(1 for r in locks if len(r) >= 3 and r[2] == "materials")
+    return stack.protocol.locks_requested, materials
+
+
+def test_ablation_transitive_propagation(benchmark):
+    full_locks, full_materials = assembly_lock_count(True)
+    one_locks, one_materials = assembly_lock_count(False)
+    print_table(
+        "Ablation: transitive vs. one-level downward propagation "
+        "(S on one assembly)",
+        ("variant", "explicit locks", "material locks"),
+        [("transitive (default)", full_locks, full_materials),
+         ("one level only", one_locks, one_materials)],
+    )
+    # one-level is cheaper but leaves the materials unprotected — the
+    # from-the-side problem one level deeper.
+    assert one_locks < full_locks
+    assert one_materials == 0
+    assert full_materials > 0
+    benchmark.extra_info["transitive_locks"] = full_locks
+    benchmark.extra_info["one_level_locks"] = one_locks
+    benchmark.pedantic(assembly_lock_count, args=(True,), rounds=20)
+
+
+def test_ablation_blu_grouping(benchmark):
+    """Footnote 3: grouping sibling atomics into one BLU shrinks graphs."""
+    database, catalog = build_cells_database(figure7=True)
+    fine = build_object_graph(catalog, "cells", group_atomic_blus=False)
+    grouped = build_object_graph(catalog, "cells", group_atomic_blus=True)
+    print_table(
+        "Ablation: per-attribute BLUs vs. footnote-3 grouping",
+        ("variant", "lockable units in 'cells' graph"),
+        [("per attribute (Figure 5)", fine.lockable_unit_count()),
+         ("grouped (footnote 3)", grouped.lockable_unit_count())],
+    )
+    assert grouped.lockable_unit_count() < fine.lockable_unit_count()
+    benchmark.extra_info["fine_units"] = fine.lockable_unit_count()
+    benchmark.extra_info["grouped_units"] = grouped.lockable_unit_count()
+    benchmark.pedantic(
+        build_object_graph, args=(catalog, "cells"),
+        kwargs={"group_atomic_blus": True}, rounds=100,
+    )
+
+
+def test_ablation_optimizer_thresholds(benchmark):
+    """Granule choice flips from fine to coarse as thresholds tighten."""
+    database, _ = build_cells_database(
+        n_cells=10, n_objects=20, n_robots=4, n_effectors=6
+    )
+    statistics = Statistics(database).refresh()
+    intent = AccessIntent(
+        "cells",
+        parse_path("c_objects[*]"),
+        object_selectivity=0.1,
+        selectivities=[0.5],
+    )
+    rows = []
+    for threshold in (100, 10, 2):
+        optimizer = LockRequestOptimizer(statistics, escalation_threshold=threshold)
+        [graph] = optimizer.plan_query([intent]).values()
+        [annotation] = graph.annotations
+        granule = "per element" if annotation.is_per_element() else "collection"
+        rows.append((threshold, granule, annotation.reason or "-"))
+    print_table(
+        "Ablation: escalation threshold vs. chosen granule (50% of 20 elements)",
+        ("threshold", "granule", "reason"),
+        rows,
+    )
+    assert rows[0][1] == "per element"
+    assert rows[-1][1] == "collection"
+    benchmark.extra_info["flip"] = "%s -> %s" % (rows[0][1], rows[-1][1])
+
+    optimizer = LockRequestOptimizer(statistics)
+    benchmark.pedantic(optimizer.plan_query, args=([intent],), rounds=100)
+
+
+def test_ablation_reference_transparent_access(benchmark):
+    """propagate=False (section 4.5 semantics) vs. full propagation."""
+    def locks(propagate):
+        database, catalog = build_cells_database(figure7=True)
+        stack = repro.make_stack(database, catalog)
+        stack.authorization.grant_modify("eng", "cells")
+        txn = stack.txns.begin(principal="eng")
+        cell = object_resource(catalog, "cells", "c1")
+        plan = stack.protocol.plan_request(
+            txn, cell + ("robots", "r1"), X, propagate=propagate
+        )
+        return len(plan)
+
+    with_prop = locks(True)
+    without = locks(False)
+    print_table(
+        "Ablation: X on robot r1 with/without reference semantics",
+        ("variant", "explicit locks"),
+        [("dereferencing access (default)", with_prop),
+         ("reference-transparent (4.5)", without)],
+    )
+    assert without < with_prop
+    benchmark.extra_info["with_propagation"] = with_prop
+    benchmark.extra_info["without"] = without
+    benchmark.pedantic(locks, args=(True,), rounds=50)
+
+
+def test_ablation_queue_fairness(benchmark):
+    """FIFO vs. reader-bypass queueing in the simulator.
+
+    Bypass admits compatible latecomers past queued writers: under this
+    mixed workload it raises throughput (readers pile through), at the
+    cost of unbounded writer waiting in adversarial read streams — the
+    starvation case is pinned down deterministically in
+    tests/locking/test_lock_table.py::TestReaderBypassAblation."""
+    import repro
+    from repro.locking.manager import LockManager
+    from repro.protocol import HerrmannProtocol
+    from repro.sim import Simulator, WorkloadSpec, submit_workload
+
+    def run(reader_bypass):
+        database, catalog = build_cells_database(
+            n_cells=2, n_objects=6, n_robots=3, n_effectors=4, seed=5
+        )
+        stack = repro.make_stack(database, catalog)
+        stack.manager.table.reader_bypass = reader_bypass
+        simulator = Simulator(stack.protocol, lock_cost=0.02)
+        submit_workload(
+            simulator, catalog,
+            WorkloadSpec(
+                n_transactions=40, update_fraction=0.3,
+                whole_object_fraction=0.3, work_time=1.5,
+                mean_interarrival=0.25, seed=19,
+            ),
+            authorization=stack.authorization,
+        )
+        return simulator.run()
+
+    fifo = run(False)
+    bypass = run(True)
+    print_table(
+        "Ablation: FIFO vs. reader-bypass queue policy",
+        ("policy", "throughput", "p95 response", "total wait"),
+        [("FIFO (default)", round(fifo.throughput, 3),
+          round(fifo.report()["p95_response_time"], 2),
+          round(fifo.total_wait_time, 1)),
+         ("reader bypass", round(bypass.throughput, 3),
+          round(bypass.report()["p95_response_time"], 2),
+          round(bypass.total_wait_time, 1))],
+    )
+    assert fifo.committed == bypass.committed == 40
+    benchmark.extra_info["fifo_p95"] = round(fifo.report()["p95_response_time"], 2)
+    benchmark.extra_info["bypass_p95"] = round(bypass.report()["p95_response_time"], 2)
+    benchmark.pedantic(run, args=(False,), rounds=3)

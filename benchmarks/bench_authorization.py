@@ -1,0 +1,62 @@
+"""E4 — the authorization-oriented problem (section 3.2.3, rule 4 vs. 4').
+
+Simulated workload of robot-updating engineers without library modify
+rights: under plain rule 4 every robot X propagates X onto the shared
+effectors (serializing the engineers and producing deadlocks); rule 4'
+propagates S and the engineers run concurrently — the Figure 7 effect at
+workload scale.
+"""
+
+import pytest
+
+import repro
+from benchmarks._common import print_table, run_simulation
+from repro.protocol import HerrmannProtocol
+from repro.sim import Simulator, WorkloadSpec, submit_workload
+from repro.workloads import build_cells_database
+
+
+def run_with_rule(rule4prime: bool):
+    database, catalog = build_cells_database(
+        n_cells=2, n_objects=5, n_robots=4, n_effectors=3, refs_per_robot=2, seed=8
+    )
+    stack = repro.make_stack(database, catalog, rule4prime=rule4prime)
+    spec = WorkloadSpec(
+        n_transactions=40,
+        update_fraction=1.0,           # all robot updaters
+        whole_object_fraction=0.0,
+        library_update_fraction=0.0,
+        work_time=2.0,
+        mean_interarrival=0.3,
+        seed=12,
+    )
+    simulator = Simulator(stack.protocol, lock_cost=0.02)
+    if rule4prime:
+        submit_workload(simulator, catalog, spec, authorization=stack.authorization)
+    else:
+        submit_workload(simulator, catalog, spec)
+    return simulator.run()
+
+
+def test_rule4_vs_rule4prime(benchmark):
+    plain = run_with_rule(False)
+    primed = run_with_rule(True)
+    rows = [
+        ("rule 4 (no authz)", round(plain.throughput, 3), plain.deadlocks,
+         round(plain.total_wait_time, 1), plain.committed),
+        ("rule 4' (authz)", round(primed.throughput, 3), primed.deadlocks,
+         round(primed.total_wait_time, 1), primed.committed),
+    ]
+    print_table(
+        "E4: robot-updater workload, X vs. S propagation onto shared effectors",
+        ("variant", "throughput", "deadlocks", "total wait", "committed"),
+        rows,
+    )
+    assert primed.throughput > plain.throughput
+    assert primed.deadlocks <= plain.deadlocks
+    assert primed.committed == plain.committed == 40
+
+    benchmark.extra_info["throughput_rule4"] = round(plain.throughput, 3)
+    benchmark.extra_info["throughput_rule4prime"] = round(primed.throughput, 3)
+    benchmark.extra_info["speedup"] = round(primed.throughput / plain.throughput, 2)
+    benchmark.pedantic(run_with_rule, args=(True,), rounds=3)

@@ -1,0 +1,97 @@
+"""E10 — workstation check-out/check-in and long-lock crash survival.
+
+Times the check-out cycle (lock + snapshot), check-in (write-back +
+release), and the crash/restart path that persists and restores long
+locks (section 3.1: "long locks must survive system shutdowns and system
+crashes").
+"""
+
+import pytest
+
+import repro
+from benchmarks._common import print_table
+from repro.locking.modes import S, X
+from repro.txn import Workstation
+from repro.workloads import build_cells_database
+
+
+def fresh_stack():
+    database, catalog = build_cells_database(
+        n_cells=4, n_objects=10, n_robots=4, n_effectors=6, seed=6
+    )
+    stack = repro.make_stack(database, catalog)
+    stack.authorization.grant_modify("engineer", "cells")
+    stack.authorization.grant_read("engineer", "effectors")
+    return stack
+
+
+def test_checkout_checkin_cycle(benchmark):
+    def setup():
+        return (fresh_stack(),), {}
+
+    def cycle(stack):
+        ws = Workstation("ws1", principal="engineer")
+        local = stack.checkout.check_out(ws, "cells", "c1")
+        local.root["robots"][0]["trajectory"] = "edited"
+        stack.checkout.check_in(ws, "cells", "c1")
+        return stack.database.get("cells", "c1").root["robots"][0]["trajectory"]
+
+    result = benchmark.pedantic(cycle, setup=setup, rounds=100)
+    assert result == "edited"
+
+
+def test_crash_restart_restores_long_locks(benchmark):
+    def setup():
+        stack = fresh_stack()
+        ws = Workstation("ws1", principal="engineer")
+        stack.checkout.check_out(ws, "cells", "c1")
+        stack.checkout.check_out(ws, "cells", "c2")
+        return (stack,), {}
+
+    def crash(stack):
+        return stack.checkout.simulate_crash_and_restart()
+
+    restored = benchmark.pedantic(crash, setup=setup, rounds=50)
+    assert restored > 0
+    benchmark.extra_info["long_locks_restored"] = restored
+
+
+def test_component_checkout_concurrency(benchmark):
+    """Granules within objects pay off for check-out too: four users per
+    cell instead of one."""
+
+    def concurrent_checkouts():
+        stack = fresh_stack()
+        count = 0
+        for robot in range(1, 5):
+            ws = Workstation("ws%d" % robot, principal="engineer")
+            stack.checkout.check_out(
+                ws, "cells", "c1", component="robots[r1_%d]" % robot
+            )
+            count += 1
+        return count
+
+    def whole_object_checkouts():
+        stack = fresh_stack()
+        count = 0
+        for robot in range(1, 5):
+            ws = Workstation("ws%d" % robot, principal="engineer")
+            try:
+                stack.checkout.check_out(ws, "cells", "c1")
+                count += 1
+            except Exception:
+                pass
+        return count
+
+    fine = concurrent_checkouts()
+    coarse = whole_object_checkouts()
+    print_table(
+        "E10: concurrent check-outs of one cell",
+        ("granularity", "workstations served"),
+        [("robot component", fine), ("whole object", coarse)],
+    )
+    assert fine == 4
+    assert coarse == 1
+    benchmark.extra_info["component_grain"] = fine
+    benchmark.extra_info["object_grain"] = coarse
+    benchmark.pedantic(concurrent_checkouts, rounds=20)

@@ -1,0 +1,90 @@
+"""E9e — the depth axis of the section-5 claim, measured directly.
+
+Transactions update random deep components of nested container objects.
+Whole-object locking (XSQL) serializes every transaction touching the
+same object regardless of depth; the paper's protocol conflicts only when
+two transactions hit overlapping subtrees — rarer the deeper (and wider)
+the structure.  Expected shape: the throughput ratio grows with depth.
+"""
+
+import random
+
+import pytest
+
+import repro
+from benchmarks._common import print_table
+from repro.locking.modes import S, X
+from repro.protocol import HerrmannProtocol, XSQLProtocol
+from repro.sim import LockOp, Simulator, WorkOp
+from repro.workloads import build_deep_database, random_component
+
+FANOUT = 3
+N_TXNS = 30
+
+
+def run_depth(protocol_cls, depth):
+    database, catalog = build_deep_database(n_objects=2, depth=depth, fanout=FANOUT)
+    stack = repro.make_stack(database, catalog, protocol_cls=protocol_cls)
+    simulator = Simulator(stack.protocol, lock_cost=0.02)
+    rng = random.Random(100 + depth)
+    clock = 0.0
+    for index in range(N_TXNS):
+        clock += rng.expovariate(1.0 / 0.4)
+        target = random_component(catalog, depth, FANOUT, rng)
+        mode = X if rng.random() < 0.6 else S
+        simulator.submit(
+            [LockOp(target, mode), WorkOp(2.0)],
+            at=clock,
+            name="t%d" % index,
+        )
+    return simulator.run()
+
+
+def test_benefit_grows_with_depth(benchmark):
+    rows = []
+    ratios = []
+    for depth in (1, 3, 5):
+        ours = run_depth(HerrmannProtocol, depth)
+        xsql = run_depth(XSQLProtocol, depth)
+        ratio = ours.throughput / max(xsql.throughput, 1e-9)
+        ratios.append(ratio)
+        rows.append(
+            (depth, round(ours.throughput, 3), round(xsql.throughput, 3),
+             round(ratio, 2))
+        )
+    print_table(
+        "E9e: throughput vs. structure depth (random deep-component updates)",
+        ("depth", "herrmann", "xsql", "ratio"),
+        rows,
+    )
+    # at depth 1 component == object: protocols coincide (ratio ~ 1);
+    # deeper structure -> higher benefit
+    assert 0.8 <= ratios[0] <= 1.3
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] >= 1.5
+
+    for depth, ours_tput, xsql_tput, ratio in rows:
+        benchmark.extra_info["depth_%d" % depth] = ratio
+    benchmark.pedantic(run_depth, args=(HerrmannProtocol, 3), rounds=3)
+
+
+def test_herrmann_lock_count_linear_in_depth(benchmark):
+    """Cost side: the protocol pays one intention lock per level."""
+    rows = []
+    for depth in (1, 3, 5, 7):
+        database, catalog = build_deep_database(n_objects=1, depth=depth, fanout=2)
+        stack = repro.make_stack(database, catalog)
+        txn = stack.txns.begin()
+        rng = random.Random(7)
+        target = random_component(catalog, depth, 2, rng)
+        stack.protocol.request(txn, target, X)
+        rows.append((depth, stack.protocol.locks_requested))
+    print_table(
+        "E9e-cost: explicit locks for one deep-component X vs. depth",
+        ("depth", "locks"),
+        rows,
+    )
+    deltas = [b[1] - a[1] for a, b in zip(rows, rows[1:])]
+    assert all(delta <= 5 for delta in deltas)  # linear, small slope
+    benchmark.extra_info["locks_by_depth"] = {d: l for d, l in rows}
+    benchmark.pedantic(run_depth, args=(HerrmannProtocol, 5), rounds=2)

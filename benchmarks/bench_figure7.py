@@ -1,0 +1,88 @@
+"""F7 — Figure 7: the locks held by Q2 and Q3.
+
+Benchmarks the full plan-and-execute cycle of Q2's X demand on robot r1
+(10 explicit locks including upward/downward propagation) and prints the
+reproduced lock placement next to the paper's figure.
+"""
+
+import pytest
+
+from benchmarks._common import make_cells_stack, print_table
+from repro.graphs.units import component_resource, object_resource
+from repro.locking.modes import X
+from repro.nf2 import parse_path
+
+#: the lock set Figure 7 shows for Q2, as (resource suffix, mode) pairs
+FIGURE7_Q2 = {
+    ("db1",): "IX",
+    ("db1", "seg1"): "IX",
+    ("db1", "seg1", "cells"): "IX",
+    ("db1", "seg1", "cells", "c1"): "IX",
+    ("db1", "seg1", "cells", "c1", "robots"): "IX",
+    ("db1", "seg1", "cells", "c1", "robots", "r1"): "X",
+    ("db1", "seg2"): "IS",
+    ("db1", "seg2", "effectors"): "IS",
+    ("db1", "seg2", "effectors", "e1"): "S",
+    ("db1", "seg2", "effectors", "e2"): "S",
+}
+
+
+def q2_demand(stack):
+    txn = stack.txns.begin(principal="engineer")
+    cell = object_resource(stack.catalog, "cells", "c1")
+    target = component_resource(cell, parse_path("robots[r1]"))
+    stack.protocol.request(txn, target, X)
+    return txn
+
+
+def test_figure7_lock_placement(benchmark):
+    def setup():
+        stack = make_cells_stack(figure7=True)
+        stack.authorization.grant_modify("engineer", "cells")
+        return (stack,), {}
+
+    def demand(stack):
+        txn = q2_demand(stack)
+        locks = stack.manager.locks_of(txn)
+        stack.txns.commit(txn)
+        return locks
+
+    locks = benchmark.pedantic(demand, setup=setup, rounds=200)
+    measured = {res: mode.value for res, mode in locks.items()}
+    assert measured == FIGURE7_Q2
+
+    rows = [
+        ("/".join(res), FIGURE7_Q2[res], measured.get(res, "-"))
+        for res in sorted(FIGURE7_Q2, key=repr)
+    ]
+    print_table(
+        "F7: locks held by Q2 (paper Figure 7 vs. measured)",
+        ("resource", "paper", "measured"),
+        rows,
+    )
+    benchmark.extra_info["explicit_locks"] = len(measured)
+    benchmark.extra_info["matches_figure7"] = measured == FIGURE7_Q2
+
+
+def test_figure7_q2_q3_concurrent(benchmark):
+    def setup():
+        stack = make_cells_stack(figure7=True)
+        stack.authorization.grant_modify("e2", "cells")
+        stack.authorization.grant_modify("e3", "cells")
+        return (stack,), {}
+
+    def both(stack):
+        cell = object_resource(stack.catalog, "cells", "c1")
+        t2 = stack.txns.begin(principal="e2")
+        t3 = stack.txns.begin(principal="e3")
+        g2 = stack.protocol.request(
+            t2, component_resource(cell, parse_path("robots[r1]")), X
+        )
+        g3 = stack.protocol.request(
+            t3, component_resource(cell, parse_path("robots[r2]")), X
+        )
+        return all(r.granted for r in g2 + g3)
+
+    concurrent = benchmark.pedantic(both, setup=setup, rounds=200)
+    assert concurrent
+    benchmark.extra_info["q2_q3_concurrent"] = concurrent

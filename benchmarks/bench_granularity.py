@@ -1,0 +1,88 @@
+"""E1 — the granule-oriented problem (section 3.2.1).
+
+Q1 (read all c_objects of cell c1) vs. Q2 (update one robot of c1) under
+each protocol, sweeping the number of c_objects per cell: XSQL serializes
+the pair regardless of size; tuple locking stays concurrent but its lock
+count grows linearly; the paper's protocol is concurrent at O(depth)
+locks.
+"""
+
+import pytest
+
+from benchmarks._common import make_cells_stack, print_table
+from repro.errors import LockConflictError
+from repro.graphs.units import component_resource, object_resource
+from repro.locking.modes import S, X
+from repro.nf2 import parse_path
+from repro.protocol import (
+    HerrmannProtocol,
+    SystemRTupleProtocol,
+    XSQLProtocol,
+)
+
+PROTOCOLS = (HerrmannProtocol, SystemRTupleProtocol, XSQLProtocol)
+SIZES = (5, 50, 200)
+
+
+def q1_q2_conflict(protocol_cls, n_objects):
+    stack = make_cells_stack(
+        protocol_cls, figure7=False, n_cells=1, n_objects=n_objects, n_robots=2
+    )
+    cell = object_resource(stack.catalog, "cells", "c1")
+    reader = stack.txns.begin(name="Q1")
+    writer = stack.txns.begin(name="Q2")
+    stack.protocol.request(reader, cell + ("c_objects",), S)
+    try:
+        stack.protocol.request(
+            writer, cell + ("robots", "r1_1"), X, wait=False
+        )
+        concurrent = True
+    except LockConflictError:
+        concurrent = False
+    return concurrent, stack.protocol.locks_requested
+
+
+def test_granularity_sweep(benchmark):
+    rows = []
+    for n_objects in SIZES:
+        for protocol_cls in PROTOCOLS:
+            concurrent, locks = q1_q2_conflict(protocol_cls, n_objects)
+            rows.append((n_objects, protocol_cls.name, "yes" if concurrent else "NO", locks))
+    print_table(
+        "E1: Q1 || Q2 concurrency and lock counts vs. object size",
+        ("c_objects", "protocol", "concurrent", "locks"),
+        rows,
+    )
+    by_key = {(size, name): (conc, locks) for size, name, conc, locks in rows}
+    # expected shape: XSQL serializes at every size
+    assert all(by_key[(s, "xsql")][0] == "NO" for s in SIZES)
+    # herrmann and tuple-locking stay concurrent
+    assert all(by_key[(s, "herrmann")][0] == "yes" for s in SIZES)
+    assert all(by_key[(s, "system_r_tuple")][0] == "yes" for s in SIZES)
+    # tuple lock count grows ~linearly; herrmann stays flat
+    assert by_key[(200, "system_r_tuple")][1] > 40 * by_key[(200, "herrmann")][1] / 10
+    assert by_key[(200, "herrmann")][1] == by_key[(5, "herrmann")][1]
+
+    for size, name, conc, locks in rows:
+        benchmark.extra_info["%s_n%d" % (name, size)] = "%s/%d" % (conc, locks)
+    benchmark.pedantic(
+        q1_q2_conflict, args=(HerrmannProtocol, 50), rounds=50
+    )
+
+
+def test_herrmann_locks_independent_of_size(benchmark):
+    def demand(n_objects):
+        stack = make_cells_stack(
+            HerrmannProtocol, figure7=False, n_cells=1, n_objects=n_objects
+        )
+        cell = object_resource(stack.catalog, "cells", "c1")
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, cell + ("c_objects",), S)
+        return stack.protocol.locks_requested
+
+    small = demand(5)
+    large = demand(500)
+    assert small == large  # O(depth), not O(size)
+    benchmark.extra_info["locks_small"] = small
+    benchmark.extra_info["locks_large"] = large
+    benchmark.pedantic(demand, args=(50,), rounds=20)

@@ -1,0 +1,88 @@
+"""E7 — the paper's disadvantage 1: graph-construction overhead.
+
+"Some additional but small overhead to determine (only once) the object-
+and query-specific lock graph before the execution of a query."  Measures
+object-specific graph construction against schema depth, the catalog's
+amortizing cache, and query-specific graph planning.
+"""
+
+import pytest
+
+from benchmarks._common import print_table
+from repro.catalog import Catalog, Statistics
+from repro.graphs.object_graph import build_object_graph
+from repro.nf2 import (
+    AtomicType,
+    Database,
+    RelationSchema,
+    SetType,
+    TupleType,
+    parse_path,
+)
+from repro.protocol import AccessIntent, LockRequestOptimizer
+from repro.workloads import build_cells_database
+
+
+def deep_schema(depth):
+    """A relation whose type tree nests `depth` set-of-tuple levels."""
+    inner = TupleType(
+        [("leaf_id", AtomicType("int")), ("value", AtomicType("str"))]
+    )
+    for level in range(depth):
+        inner = TupleType(
+            [
+                ("n%d_id" % level, AtomicType("int")),
+                ("children", SetType(inner)),
+            ]
+        )
+    return RelationSchema("deep", TupleType(
+        [("deep_id", AtomicType("str")), ("tree", SetType(inner))]
+    ))
+
+
+def build_graph_for_depth(depth):
+    database = Database("db1")
+    catalog = Catalog(database)
+    database.create_relation(deep_schema(depth))
+    return build_object_graph(catalog, "deep")
+
+
+def test_object_graph_construction_scales(benchmark):
+    rows = []
+    for depth in (2, 8, 32):
+        graph = build_graph_for_depth(depth)
+        rows.append((depth, graph.lockable_unit_count(), graph.depth()))
+    print_table(
+        "E7: object-specific lock graph size vs. schema depth",
+        ("schema depth", "lockable units", "graph depth"),
+        rows,
+    )
+    # linear, not exponential, in depth
+    assert rows[-1][1] < 40 * rows[0][1]
+    benchmark.extra_info["units_at_depth_32"] = rows[-1][1]
+    benchmark.pedantic(build_graph_for_depth, args=(8,), rounds=100)
+
+
+def test_catalog_cache_amortizes(benchmark):
+    database, catalog = build_cells_database(figure7=True)
+    catalog.object_graph("cells")  # warm
+
+    result = benchmark(catalog.object_graph, "cells")
+    assert result is catalog.object_graph("cells")
+
+
+def test_query_specific_graph_planning(benchmark):
+    database, _ = build_cells_database(
+        n_cells=5, n_objects=10, n_robots=4, n_effectors=5
+    )
+    statistics = Statistics(database).refresh()
+    optimizer = LockRequestOptimizer(statistics)
+    intent = AccessIntent(
+        "cells",
+        parse_path("robots[*]"),
+        write=True,
+        object_selectivity=0.2,
+        selectivities=[0.25],
+    )
+    graphs = benchmark(optimizer.plan_query, [intent])
+    assert "cells" in graphs

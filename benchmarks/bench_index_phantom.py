@@ -1,0 +1,134 @@
+"""E15 — index integration and equality-phantom protection (§5 extensions).
+
+Two future-work items of the paper, implemented and measured:
+
+* index lookups as lockable units (Figure 2's "Indexes" box): cost of the
+  extra index-entry lock per equality predicate;
+* the equality phantom: with an index, a negative lookup S-locks the
+  entry and the phantom insert blocks; without one, the phantom appears.
+"""
+
+import pytest
+
+import repro
+from benchmarks._common import print_table
+from repro.graphs.units import index_entry_resource
+from repro.locking.modes import S, X
+from repro.nf2 import make_list, make_set, make_tuple
+from repro.workloads import build_cells_database
+
+
+def stack_with_index(indexed=True):
+    database, catalog = build_cells_database(
+        n_cells=6, n_objects=5, n_robots=3, n_effectors=5, seed=3
+    )
+    stack = repro.make_stack(database, catalog)
+    stack.authorization.grant_modify("engineer", "cells")
+    if indexed:
+        database.create_index("cells", "cell_id", unique=True)
+    return stack
+
+
+def phantom_attempt(indexed):
+    """Returns True when the phantom insert succeeded mid-transaction."""
+    stack = stack_with_index(indexed)
+    reader = stack.txns.begin(name="reader")
+    first = stack.executor.execute(
+        reader, "SELECT c FROM c IN cells WHERE c.cell_id = 'c99' FOR READ"
+    )
+    assert first == []
+    inserter = stack.txns.begin(principal="engineer", name="inserter")
+    try:
+        stack.txns.insert_object(
+            inserter,
+            "cells",
+            make_tuple(cell_id="c99", c_objects=make_set(), robots=make_list()),
+        )
+        stack.txns.commit(inserter)
+        appeared = True
+    except Exception:
+        appeared = False
+    again = stack.executor.execute(
+        reader, "SELECT c FROM c IN cells WHERE c.cell_id = 'c99' FOR READ"
+    )
+    return appeared and len(again) == 1
+
+
+def test_phantom_protection(benchmark):
+    with_index = phantom_attempt(indexed=True)
+    without_index = phantom_attempt(indexed=False)
+    print_table(
+        "E15: equality phantom on repeated negative lookup",
+        ("configuration", "phantom appeared"),
+        [("index on cell_id (entry locks)", "no" if not with_index else "YES"),
+         ("no index (paper's open problem)", "YES" if without_index else "no")],
+    )
+    assert not with_index      # entry lock blocks the inserter
+    assert without_index       # the deferred problem, demonstrated
+    benchmark.extra_info["protected"] = not with_index
+    benchmark.pedantic(phantom_attempt, args=(True,), rounds=10)
+
+
+def test_index_lock_overhead(benchmark):
+    """Cost of the protection: two extra locks per equality predicate
+    (intention on the index unit + S on the entry)."""
+
+    def locks_for_lookup(indexed):
+        stack = stack_with_index(indexed)
+        txn = stack.txns.begin()
+        stack.executor.execute(
+            txn, "SELECT c FROM c IN cells WHERE c.cell_id = 'c3' FOR READ"
+        )
+        return stack.protocol.locks_requested
+
+    with_index = locks_for_lookup(True)
+    without = locks_for_lookup(False)
+    print_table(
+        "E15b: explicit locks per key lookup",
+        ("configuration", "locks"),
+        [("indexed", with_index), ("unindexed", without)],
+    )
+    # +2: intention lock on the index unit itself + the S entry lock
+    assert with_index == without + 2
+    benchmark.extra_info["extra_locks"] = with_index - without
+    benchmark.pedantic(locks_for_lookup, args=(True,), rounds=20)
+
+
+def test_index_maintenance_cost(benchmark):
+    """Insert throughput with 0/1/2 indexes on the relation."""
+    rows = []
+    for n_indexes in (0, 1, 2):
+        stack = stack_with_index(indexed=False)
+        if n_indexes >= 1:
+            stack.database.create_index("cells", "cell_id", unique=True)
+        if n_indexes >= 2:
+            stack.database.create_index("effectors", "tool")
+        txn = stack.txns.begin(principal="engineer")
+        before = stack.protocol.locks_requested
+        stack.txns.insert_object(
+            txn,
+            "cells",
+            make_tuple(cell_id="c77", c_objects=make_set(), robots=make_list()),
+        )
+        rows.append((n_indexes, stack.protocol.locks_requested - before))
+    print_table(
+        "E15c: explicit locks per insert vs. number of indexes on 'cells'",
+        ("indexes", "locks per insert"),
+        rows,
+    )
+    # +2 for the cells index (IX on the index unit + X on the entry);
+    # the effectors index adds nothing to a cells insert
+    assert rows[1][1] == rows[0][1] + 2
+    assert rows[2][1] == rows[1][1]
+
+    def insert_once():
+        stack = stack_with_index(indexed=True)
+        txn = stack.txns.begin(principal="engineer")
+        stack.txns.insert_object(
+            txn,
+            "cells",
+            make_tuple(cell_id="c88", c_objects=make_set(), robots=make_list()),
+        )
+        stack.txns.commit(txn)
+
+    benchmark(insert_once)

@@ -1,0 +1,111 @@
+"""E11 — lock-manager microbenchmarks.
+
+Raw cost of the bookkeeping everything else sits on: grant, re-grant,
+conversion, release, queue processing, waits-for-edge extraction, and
+deadlock detection on a populated table.
+"""
+
+import pytest
+
+from repro.locking import LockManager, LockTable
+from repro.locking.modes import IS, IX, S, X
+
+
+def test_acquire_release_cycle(benchmark):
+    manager = LockManager()
+    resource = ("db", "seg", "rel", "obj")
+
+    def cycle():
+        manager.acquire("t1", resource, X)
+        manager.release("t1", resource)
+
+    benchmark(cycle)
+
+
+def test_hierarchical_chain_acquire(benchmark):
+    manager = LockManager()
+    chain = [("db",), ("db", "seg"), ("db", "seg", "rel"), ("db", "seg", "rel", "o")]
+
+    def cycle():
+        for resource in chain[:-1]:
+            manager.acquire("t1", resource, IX)
+        manager.acquire("t1", chain[-1], X)
+        manager.release_all("t1")
+
+    benchmark(cycle)
+
+
+def test_regrant_of_held_mode(benchmark):
+    manager = LockManager()
+    resource = ("r",)
+    manager.acquire("t1", resource, S)
+
+    def regrant():
+        manager.acquire("t1", resource, S)
+        manager.release("t1", resource)
+
+    benchmark(regrant)
+
+
+def test_conversion(benchmark):
+    manager = LockManager()
+    resource = ("r",)
+
+    def convert():
+        manager.acquire("t1", resource, IS)
+        manager.acquire("t1", resource, X)
+        manager.release_all("t1")
+
+    benchmark(convert)
+
+
+def test_contended_queue_processing(benchmark):
+    def contended():
+        table = LockTable()
+        table.request("w", ("r",), X)
+        pending = [table.request("t%d" % i, ("r",), S) for i in range(20)]
+        woken = table.release("w", ("r",))
+        for request in pending:
+            assert request.granted
+        for i in range(20):
+            table.release_all("t%d" % i)
+        return len(woken)
+
+    woken = benchmark(contended)
+    assert woken == 20
+
+
+def test_waits_for_edges_extraction(benchmark):
+    table = LockTable()
+    for i in range(10):
+        table.request("holder%d" % i, ("r%d" % i,), X)
+        table.request("waiter%d" % i, ("r%d" % i,), X)
+
+    edges = benchmark(table.waits_for_edges)
+    assert len(edges) == 10
+
+
+def test_deadlock_detection_on_populated_table(benchmark):
+    manager = LockManager()
+    # 50 independent waits, no cycle
+    for i in range(50):
+        manager.acquire("h%d" % i, ("r%d" % i,), X)
+        manager.acquire("w%d" % i, ("r%d" % i,), S)
+
+    cycle = benchmark(manager.detect_deadlock)
+    assert cycle is None
+
+
+def test_long_lock_dump_restore(benchmark):
+    table = LockTable()
+    for i in range(100):
+        table.request("ws", ("r%d" % i,), X, long=True)
+
+    def dump_restore():
+        dump = table.dump_long_locks()
+        fresh = LockTable()
+        fresh.restore_long_locks(dump)
+        return fresh.lock_count()
+
+    count = benchmark(dump_restore)
+    assert count == 100

@@ -1,0 +1,72 @@
+"""E12 — throughput vs. multiprogramming level (closed system).
+
+The paper grounds its granularity trade-off in Ries/Stonebraker's classic
+study ("The throughput of database systems is heavily influenced by the
+size of the available lock granules", section 3.1).  This bench
+reproduces that curve's *shape* on the cells workload: with one terminal
+all protocols coincide; as the multiprogramming level grows, fine
+granules keep scaling while whole-object locking saturates.
+"""
+
+import pytest
+
+import repro
+from benchmarks._common import print_table
+from repro.protocol import HerrmannProtocol, SystemRRelationProtocol, XSQLProtocol
+from repro.sim import Simulator, WorkloadSpec, run_closed_system
+from repro.workloads import build_cells_database
+
+MPLS = (1, 4, 12)
+
+
+def closed_run(protocol_cls, mpl):
+    database, catalog = build_cells_database(
+        n_cells=2, n_objects=6, n_robots=4, n_effectors=4, seed=2
+    )
+    stack = repro.make_stack(database, catalog, protocol_cls=protocol_cls)
+    simulator = Simulator(stack.protocol, lock_cost=0.02)
+    run_closed_system(
+        simulator,
+        catalog,
+        WorkloadSpec(
+            update_fraction=0.6,
+            whole_object_fraction=0.1,
+            work_time=1.0,
+            think_time=0.5,
+            seed=11,
+        ),
+        terminals=mpl,
+        jobs_per_terminal=4,
+        authorization=stack.authorization,
+    )
+    return simulator.run()
+
+
+def test_throughput_vs_mpl(benchmark):
+    rows = []
+    curves = {}
+    for protocol_cls in (HerrmannProtocol, XSQLProtocol, SystemRRelationProtocol):
+        curve = []
+        for mpl in MPLS:
+            metrics = closed_run(protocol_cls, mpl)
+            curve.append(round(metrics.throughput, 3))
+        curves[protocol_cls.name] = curve
+        rows.append((protocol_cls.name,) + tuple(curve))
+    print_table(
+        "E12: closed-system throughput vs. multiprogramming level",
+        ("protocol",) + tuple("MPL %d" % mpl for mpl in MPLS),
+        rows,
+    )
+    # shape: equal at MPL 1 (within 10%), divergence at high MPL
+    ours = curves["herrmann"]
+    xsql = curves["xsql"]
+    assert abs(ours[0] - xsql[0]) / max(xsql[0], 1e-9) < 0.15
+    assert ours[-1] > 2.0 * xsql[-1]
+    # herrmann keeps scaling with MPL
+    assert ours[-1] > ours[0] * 2.5
+    # whole-object locking saturates: gains little beyond MPL 4
+    assert xsql[-1] < xsql[1] * 1.5
+
+    for name, curve in curves.items():
+        benchmark.extra_info[name] = curve
+    benchmark.pedantic(closed_run, args=(HerrmannProtocol, 4), rounds=3)

@@ -1,0 +1,100 @@
+"""E13 — nested common data at workload scale (part library).
+
+Assemblies → shared parts → shared materials: builders update assemblies
+(S-propagating two levels into the libraries under rule 4'), part
+librarians occasionally update standard parts.  Compares the paper's
+protocol with XSQL on the two-level sharing chain — the configuration the
+paper's introduction motivates with "part libraries with component parts
+or with standard parts like bolts and nuts or ICs".
+"""
+
+import random
+
+import pytest
+
+import repro
+from benchmarks._common import print_table
+from repro.graphs.units import object_resource
+from repro.locking.modes import S, X
+from repro.protocol import HerrmannProtocol, XSQLProtocol
+from repro.sim import LockOp, Simulator, WorkOp
+from repro.workloads import build_partlib_database
+
+
+def partlib_programs(catalog, n_transactions, librarian_fraction, seed):
+    database = catalog.database
+    rng = random.Random(seed)
+    assemblies = sorted(obj.key for obj in database.relation("assemblies"))
+    parts = sorted(obj.key for obj in database.relation("parts"))
+    programs = []
+    clock = 0.0
+    for index in range(n_transactions):
+        clock += rng.expovariate(1.0 / 0.4)
+        if rng.random() < librarian_fraction:
+            target = object_resource(catalog, "parts", rng.choice(parts))
+            ops = [LockOp(target, X), WorkOp(2.0)]
+            name, principal = "part-update-%d" % index, "part-librarian"
+        else:
+            target = object_resource(catalog, "assemblies", rng.choice(assemblies))
+            mode = X if rng.random() < 0.6 else S
+            ops = [LockOp(target, mode), WorkOp(2.0)]
+            name, principal = "assembly-%d" % index, "builder"
+        programs.append((clock, ops, name, principal))
+    return programs
+
+
+def run_partlib(protocol_cls, librarian_fraction=0.1, seed=14):
+    database, catalog = build_partlib_database(
+        n_assemblies=6, positions_per_assembly=4, n_parts=8, n_materials=4, seed=9
+    )
+    stack = repro.make_stack(database, catalog, protocol_cls=protocol_cls)
+    stack.authorization.grant_modify("builder", "assemblies")
+    stack.authorization.grant_read("builder", "parts")
+    stack.authorization.grant_read("builder", "materials")
+    stack.authorization.grant_modify("part-librarian", "parts")
+    stack.authorization.grant_read("part-librarian", "materials")
+    simulator = Simulator(stack.protocol, lock_cost=0.02)
+    for arrival, ops, name, principal in partlib_programs(
+        catalog, 40, librarian_fraction, seed
+    ):
+        simulator.submit(ops, at=arrival, name=name, principal=principal)
+    return simulator.run()
+
+
+def test_partlib_throughput(benchmark):
+    ours = run_partlib(HerrmannProtocol)
+    xsql = run_partlib(XSQLProtocol)
+    print_table(
+        "E13: part-library workload (two-level sharing), 40 transactions",
+        ("protocol", "throughput", "mean resp", "deadlocks", "locks"),
+        [("herrmann", round(ours.throughput, 3),
+          round(ours.mean_response_time, 2), ours.deadlocks,
+          ours.locks_requested),
+         ("xsql", round(xsql.throughput, 3),
+          round(xsql.mean_response_time, 2), xsql.deadlocks,
+          xsql.locks_requested)],
+    )
+    assert ours.committed == xsql.committed == 40
+    assert ours.throughput > xsql.throughput
+    benchmark.extra_info["herrmann"] = round(ours.throughput, 3)
+    benchmark.extra_info["xsql"] = round(xsql.throughput, 3)
+    benchmark.pedantic(run_partlib, args=(HerrmannProtocol,), rounds=3)
+
+
+def test_partlib_benefit_grows_with_library_contention(benchmark):
+    rows = []
+    ratios = []
+    for librarian_fraction in (0.0, 0.15, 0.3):
+        ours = run_partlib(HerrmannProtocol, librarian_fraction)
+        xsql = run_partlib(XSQLProtocol, librarian_fraction)
+        ratio = ours.throughput / max(xsql.throughput, 1e-9)
+        ratios.append(ratio)
+        rows.append((librarian_fraction, round(ratio, 2)))
+    print_table(
+        "E13b: throughput ratio vs. librarian (shared-library writer) share",
+        ("librarian fraction", "herrmann/xsql"),
+        rows,
+    )
+    assert all(ratio >= 1.0 for ratio in ratios)
+    benchmark.extra_info["ratios"] = [round(r, 2) for r in ratios]
+    benchmark.pedantic(run_partlib, args=(HerrmannProtocol, 0.15), rounds=3)

@@ -1,0 +1,72 @@
+"""Query-pipeline benchmark: parse → analyze → optimize → lock → bind.
+
+The phase separation of section 4.1 end to end, measured per stage on
+Figure 3's Q2 and on a larger synthetic instance.
+"""
+
+import pytest
+
+import repro
+from repro.catalog import Statistics
+from repro.protocol import LockRequestOptimizer
+from repro.query import QueryAnalyzer, parse_query
+from repro.workloads import Q2, build_cells_database
+
+
+@pytest.fixture(scope="module")
+def big_stack():
+    database, catalog = build_cells_database(
+        n_cells=20, n_objects=30, n_robots=6, n_effectors=10, seed=4
+    )
+    return repro.make_stack(database, catalog)
+
+
+def test_parse(benchmark):
+    query = benchmark(parse_query, Q2)
+    assert query.select_var == "r"
+
+
+def test_analyze(benchmark, big_stack):
+    query = parse_query(
+        "SELECT r FROM c IN cells, r IN c.robots "
+        "WHERE c.cell_id = 'c7' AND r.robot_id = 'r7_3' FOR UPDATE"
+    )
+    analyzer = QueryAnalyzer(big_stack.catalog, big_stack.statistics)
+    intents = benchmark(analyzer.analyze, query)
+    assert len(intents) == 1
+
+
+def test_optimize(benchmark, big_stack):
+    query = parse_query(
+        "SELECT r FROM c IN cells, r IN c.robots "
+        "WHERE c.cell_id = 'c7' AND r.robot_id = 'r7_3' FOR UPDATE"
+    )
+    analyzer = QueryAnalyzer(big_stack.catalog, big_stack.statistics)
+    intents = analyzer.analyze(query)
+    graphs = benchmark(big_stack.optimizer.plan_query, intents)
+    assert "cells" in graphs
+
+
+def test_full_pipeline_with_locks(benchmark, big_stack):
+    stack = big_stack
+    stack.authorization.grant_modify("engineer", "cells")
+    stack.authorization.grant_read("engineer", "effectors")
+
+    def pipeline():
+        txn = stack.txns.begin(principal="engineer")
+        rows = stack.executor.execute(
+            txn,
+            "SELECT r FROM c IN cells, r IN c.robots "
+            "WHERE c.cell_id = 'c7' AND r.robot_id = 'r7_3' FOR UPDATE",
+        )
+        stack.txns.commit(txn)
+        return rows
+
+    rows = benchmark(pipeline)
+    assert len(rows) == 1
+
+
+def test_statistics_refresh(benchmark, big_stack):
+    statistics = Statistics(big_stack.database)
+    benchmark(statistics.refresh)
+    assert statistics.object_count("cells") == 20

@@ -1,0 +1,94 @@
+"""E9 — the closing claim of section 5.
+
+"The deeper complex objects are structured and/or the more abundant
+common data exist and/or the longer the transactions last and/or the more
+restrictive the required lock modes become, hence, the higher the benefit
+of the proposed technique promises to be."
+
+Four one-dimensional sweeps, each reporting the simulated-throughput
+ratio herrmann/xsql.  The claim holds when the ratio is >= 1 everywhere
+and does not decrease along each axis (weak monotonicity, tolerance 10%).
+"""
+
+import pytest
+
+import repro
+from benchmarks._common import print_table
+from repro.protocol import HerrmannProtocol, XSQLProtocol
+from repro.sim import Simulator, WorkloadSpec, submit_workload
+from repro.workloads import build_cells_database
+
+
+def ratio(spec: WorkloadSpec, db_kwargs) -> float:
+    out = {}
+    for protocol_cls in (HerrmannProtocol, XSQLProtocol):
+        database, catalog = build_cells_database(**db_kwargs)
+        stack = repro.make_stack(database, catalog, protocol_cls=protocol_cls)
+        simulator = Simulator(stack.protocol, lock_cost=0.02, scan_item_cost=0.01)
+        submit_workload(simulator, catalog, spec, authorization=stack.authorization)
+        out[protocol_cls.name] = simulator.run().throughput
+    return out["herrmann"] / max(out["xsql"], 1e-9)
+
+
+BASE_DB = dict(n_cells=2, n_objects=8, n_robots=4, n_effectors=4, seed=2)
+BASE_SPEC = dict(
+    n_transactions=40,
+    update_fraction=0.6,
+    whole_object_fraction=0.1,
+    work_time=2.0,
+    mean_interarrival=0.4,
+    seed=33,
+)
+
+
+def check_axis(title, labels, ratios, benchmark):
+    print_table(title, ("setting", "herrmann/xsql"), list(zip(labels, [round(r, 2) for r in ratios])))
+    assert all(r >= 1.0 for r in ratios), ratios
+    for earlier, later in zip(ratios, ratios[1:]):
+        assert later >= 0.85 * earlier, ratios  # no collapse along the axis
+    for label, value in zip(labels, ratios):
+        benchmark.extra_info[str(label)] = round(value, 2)
+
+
+def test_benefit_vs_transaction_length(benchmark):
+    ratios = []
+    labels = (0.5, 2.0, 8.0)
+    for work_time in labels:
+        spec = WorkloadSpec(**{**BASE_SPEC, "work_time": work_time})
+        ratios.append(ratio(spec, BASE_DB))
+    check_axis("E9a: benefit vs. transaction length", labels, ratios, benchmark)
+    assert ratios[-1] > ratios[0]  # longer transactions -> higher benefit
+    benchmark.pedantic(ratio, args=(WorkloadSpec(**BASE_SPEC), BASE_DB), rounds=2)
+
+
+def test_benefit_vs_sharing_degree(benchmark):
+    ratios = []
+    labels = (0, 2, 4)
+    for refs in labels:
+        db = dict(BASE_DB, refs_per_robot=refs)
+        ratios.append(ratio(WorkloadSpec(**BASE_SPEC), db))
+    check_axis("E9b: benefit vs. references per robot", labels, ratios, benchmark)
+    assert max(ratios[1:]) > ratios[0]  # sharing increases the benefit
+    benchmark.pedantic(ratio, args=(WorkloadSpec(**BASE_SPEC), BASE_DB), rounds=2)
+
+
+def test_benefit_vs_object_size(benchmark):
+    """Deeper/larger structure -> more unnecessary blocking under XSQL."""
+    ratios = []
+    labels = (2, 8, 24)
+    for n_objects in labels:
+        db = dict(BASE_DB, n_objects=n_objects)
+        ratios.append(ratio(WorkloadSpec(**BASE_SPEC), db))
+    check_axis("E9c: benefit vs. object size (c_objects per cell)", labels, ratios, benchmark)
+    benchmark.pedantic(ratio, args=(WorkloadSpec(**BASE_SPEC), BASE_DB), rounds=2)
+
+
+def test_benefit_vs_mode_restrictiveness(benchmark):
+    ratios = []
+    labels = (0.2, 0.6, 1.0)  # fraction of updates (X demands)
+    for update_fraction in labels:
+        spec = WorkloadSpec(**{**BASE_SPEC, "update_fraction": update_fraction})
+        ratios.append(ratio(spec, BASE_DB))
+    check_axis("E9d: benefit vs. update fraction (mode restrictiveness)", labels, ratios, benchmark)
+    assert ratios[-1] > ratios[0]
+    benchmark.pedantic(ratio, args=(WorkloadSpec(**BASE_SPEC), BASE_DB), rounds=2)

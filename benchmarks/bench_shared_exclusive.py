@@ -1,0 +1,70 @@
+"""E2 — exclusively locking common data (section 3.2.2).
+
+X on one shared effector, sweeping the number of referencing robots:
+the naive DAG protocol must reverse-scan the database and lock every
+referencing chain (cost grows linearly with sharing), while the paper's
+protocol locks the entry point plus its superunit path (constant).
+"""
+
+import pytest
+
+from benchmarks._common import make_cells_stack, print_table
+from repro.graphs.units import object_resource
+from repro.locking.modes import X
+from repro.protocol import HerrmannProtocol, NaiveDAGProtocol
+
+SHARING = (4, 16, 64)  # robots referencing the two effectors
+
+
+def x_on_shared(protocol_cls, n_robots_total):
+    n_cells = max(1, n_robots_total // 4)
+    stack = make_cells_stack(
+        protocol_cls,
+        figure7=False,
+        n_cells=n_cells,
+        n_robots=4,
+        n_effectors=2,
+        refs_per_robot=2,
+        seed=5,
+    )
+    if protocol_cls is HerrmannProtocol:
+        stack.authorization.grant_modify("librarian", "effectors")
+        txn = stack.txns.begin(principal="librarian")
+    else:
+        txn = stack.txns.begin()
+    stack.database.reset_scan_cost()
+    e1 = object_resource(stack.catalog, "effectors", "e1")
+    stack.protocol.request(txn, e1, X)
+    return stack.protocol.locks_requested, stack.database.scan_cost
+
+
+def test_shared_exclusive_sweep(benchmark):
+    rows = []
+    for robots in SHARING:
+        naive_locks, naive_scan = x_on_shared(NaiveDAGProtocol, robots)
+        our_locks, our_scan = x_on_shared(HerrmannProtocol, robots)
+        rows.append((robots, naive_locks, naive_scan, our_locks, our_scan))
+    print_table(
+        "E2: X-lock one shared effector vs. number of referencing robots",
+        ("robots", "naive locks", "naive scanned", "herrmann locks", "herrmann scanned"),
+        rows,
+    )
+    # shape: naive grows with sharing, herrmann constant and scan-free
+    assert rows[-1][1] > rows[0][1]
+    assert rows[-1][2] > rows[0][2]
+    assert rows[0][3] == rows[-1][3]
+    assert all(row[4] == 0 for row in rows)
+
+    for robots, nl, ns, hl, hs in rows:
+        benchmark.extra_info["r%d" % robots] = "naive=%d+%d herrmann=%d" % (nl, ns, hl)
+    benchmark.pedantic(x_on_shared, args=(HerrmannProtocol, 16), rounds=30)
+
+
+def test_naive_scan_is_the_bottleneck(benchmark):
+    result = benchmark.pedantic(
+        x_on_shared, args=(NaiveDAGProtocol, 64), rounds=10
+    )
+    locks, scanned = result
+    assert scanned >= 16  # every object visited
+    benchmark.extra_info["locks"] = locks
+    benchmark.extra_info["scanned"] = scanned

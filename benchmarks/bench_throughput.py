@@ -1,0 +1,104 @@
+"""E6 — simulated throughput under all protocols (advantages 1-4 combined).
+
+The efficiency simulation the paper defers to future work: one seeded
+mixed workload (part readers, robot updaters, whole-cell transactions,
+library maintainers) over the same database under every comparable
+protocol.  Expected shape: herrmann ≥ all baselines; tuple locking pays
+lock-count overhead; XSQL and relation locking pay serialization.
+"""
+
+import pytest
+
+from benchmarks._common import print_table, run_simulation
+from repro.protocol import (
+    HerrmannProtocol,
+    SystemRRelationProtocol,
+    SystemRTupleProtocol,
+    XSQLProtocol,
+)
+from repro.sim import WorkloadSpec
+
+PROTOCOLS = (
+    HerrmannProtocol,
+    SystemRTupleProtocol,
+    SystemRRelationProtocol,
+    XSQLProtocol,
+)
+
+SPEC = WorkloadSpec(
+    n_transactions=60,
+    update_fraction=0.5,
+    whole_object_fraction=0.15,
+    library_update_fraction=0.05,
+    work_time=2.0,
+    mean_interarrival=0.4,
+    seed=21,
+)
+DB = dict(n_cells=3, n_objects=8, n_robots=4, n_effectors=5, seed=2)
+
+
+def test_throughput_comparison(benchmark):
+    results = {}
+    rows = []
+    for protocol_cls in PROTOCOLS:
+        metrics = run_simulation(protocol_cls, SPEC, **DB)
+        results[protocol_cls.name] = metrics
+        rows.append(
+            (
+                protocol_cls.name,
+                round(metrics.throughput, 3),
+                round(metrics.mean_response_time, 2),
+                round(metrics.total_wait_time, 1),
+                metrics.deadlocks,
+                metrics.locks_requested,
+                metrics.conflict_tests,
+            )
+        )
+    print_table(
+        "E6: simulated throughput, 60 mixed transactions, 3 cells",
+        ("protocol", "tput", "resp", "wait", "dlocks", "locks", "conflicts"),
+        rows,
+    )
+    ours = results["herrmann"]
+    # who wins: the paper's protocol, on throughput AND response time
+    for name, metrics in results.items():
+        if name != "herrmann":
+            assert ours.throughput >= metrics.throughput, name
+            assert ours.mean_response_time <= metrics.mean_response_time, name
+    # by roughly what factor: at least 1.5x over whole-object locking
+    assert ours.throughput > 1.5 * results["xsql"].throughput
+    # tuple locking pays lock administration
+    assert results["system_r_tuple"].locks_requested > ours.locks_requested
+
+    for name, metrics in results.items():
+        benchmark.extra_info[name] = round(metrics.throughput, 3)
+    benchmark.pedantic(run_simulation, args=(HerrmannProtocol, SPEC), kwargs=DB, rounds=3)
+
+
+def test_long_transaction_amplification(benchmark):
+    """Long (conversational) transactions amplify the gap (section 1)."""
+    long_spec = WorkloadSpec(
+        n_transactions=30,
+        update_fraction=0.5,
+        whole_object_fraction=0.15,
+        work_time=2.0,
+        think_time=20.0,   # locks held through think time
+        mean_interarrival=0.4,
+        seed=29,
+    )
+    ours = run_simulation(HerrmannProtocol, long_spec, **DB)
+    xsql = run_simulation(XSQLProtocol, long_spec, **DB)
+    short_ours = run_simulation(HerrmannProtocol, SPEC, **DB)
+    short_xsql = run_simulation(XSQLProtocol, SPEC, **DB)
+    gap_long = ours.throughput / max(xsql.throughput, 1e-9)
+    gap_short = short_ours.throughput / max(short_xsql.throughput, 1e-9)
+    print_table(
+        "E6b: throughput ratio herrmann/xsql, short vs. long transactions",
+        ("workload", "ratio"),
+        [("short (work 2.0)", round(gap_short, 2)),
+         ("long (think 20.0)", round(gap_long, 2))],
+    )
+    assert gap_long >= gap_short * 0.9  # the gap does not shrink
+    benchmark.extra_info["ratio_short"] = round(gap_short, 2)
+    benchmark.extra_info["ratio_long"] = round(gap_long, 2)
+    benchmark.pedantic(run_simulation, args=(HerrmannProtocol, long_spec), kwargs=DB, rounds=3)

@@ -1,0 +1,115 @@
+"""Concurrency simulation: the efficiency study the paper left as future work.
+
+Runs the same seeded workload over the manufacturing-cells database under
+four lock protocols in the discrete-event simulator and prints a
+comparison table (simulated time, not wall-clock — see DESIGN.md on the
+GIL), then sweeps the paper's closing claim: "The deeper complex objects
+are structured and/or the more abundant common data exist and/or the
+longer the transactions last ... the higher the benefit of the proposed
+technique promises to be."
+
+Run:  python examples/design_simulation.py
+"""
+
+from repro import make_stack
+from repro.protocol import (
+    HerrmannProtocol,
+    SystemRRelationProtocol,
+    SystemRTupleProtocol,
+    XSQLProtocol,
+)
+from repro.sim import Simulator, WorkloadSpec, submit_workload
+from repro.workloads import build_cells_database
+
+PROTOCOLS = (
+    HerrmannProtocol,
+    SystemRTupleProtocol,
+    SystemRRelationProtocol,
+    XSQLProtocol,
+)
+
+
+def run_once(protocol_cls, spec, db_kwargs):
+    database, catalog = build_cells_database(**db_kwargs)
+    stack = make_stack(database, catalog, protocol_cls=protocol_cls)
+    simulator = Simulator(stack.protocol, lock_cost=0.02, scan_item_cost=0.01)
+    submit_workload(simulator, catalog, spec, authorization=stack.authorization)
+    return simulator.run()
+
+
+def comparison_table():
+    print("=== Protocol comparison: 60 mixed transactions, 3 cells ===")
+    spec = WorkloadSpec(
+        n_transactions=60,
+        update_fraction=0.5,
+        whole_object_fraction=0.15,
+        library_update_fraction=0.05,
+        work_time=2.0,
+        mean_interarrival=0.4,
+        seed=21,
+    )
+    db_kwargs = dict(n_cells=3, n_objects=8, n_robots=4, n_effectors=5, seed=2)
+    header = "%-18s %10s %10s %8s %8s %10s %9s" % (
+        "protocol", "throughput", "mean resp", "waits", "dlocks", "locks", "conflict",
+    )
+    print(header)
+    print("-" * len(header))
+    for protocol_cls in PROTOCOLS:
+        metrics = run_once(protocol_cls, spec, db_kwargs)
+        print(
+            "%-18s %10.3f %10.2f %8.1f %8d %10d %9d"
+            % (
+                protocol_cls.name,
+                metrics.throughput,
+                metrics.mean_response_time,
+                metrics.total_wait_time,
+                metrics.deadlocks,
+                metrics.locks_requested,
+                metrics.conflict_tests,
+            )
+        )
+    print()
+
+
+def scaling_claim():
+    print("=== Section 5 scaling claim: benefit vs. transaction length ===")
+    print("(throughput ratio herrmann / xsql; > 1 means the paper wins)")
+    print("%-22s %-10s" % ("work time per txn", "ratio"))
+    for work_time in (0.5, 2.0, 8.0):
+        spec = WorkloadSpec(
+            n_transactions=40,
+            update_fraction=0.6,
+            whole_object_fraction=0.1,
+            work_time=work_time,
+            mean_interarrival=0.4,
+            seed=33,
+        )
+        db_kwargs = dict(n_cells=2, n_objects=8, n_robots=4, n_effectors=4, seed=2)
+        ours = run_once(HerrmannProtocol, spec, db_kwargs)
+        xsql = run_once(XSQLProtocol, spec, db_kwargs)
+        print("%-22s %-10.2f" % (work_time, ours.throughput / xsql.throughput))
+    print()
+
+    print("=== ... and vs. degree of sharing ===")
+    print("%-22s %-10s" % ("refs per robot", "ratio"))
+    for refs in (0, 2, 4):
+        spec = WorkloadSpec(
+            n_transactions=40,
+            update_fraction=0.6,
+            whole_object_fraction=0.1,
+            work_time=2.0,
+            mean_interarrival=0.4,
+            seed=33,
+        )
+        db_kwargs = dict(
+            n_cells=2, n_objects=8, n_robots=4, n_effectors=4,
+            refs_per_robot=refs, seed=2,
+        )
+        ours = run_once(HerrmannProtocol, spec, db_kwargs)
+        xsql = run_once(XSQLProtocol, spec, db_kwargs)
+        print("%-22s %-10.2f" % (refs, ours.throughput / xsql.throughput))
+
+
+if __name__ == "__main__":
+    comparison_table()
+    scaling_claim()

@@ -1,0 +1,85 @@
+"""Indexes as lockable units and the equality phantom.
+
+Section 5 of the paper lists "the integration of indexes into the
+proposed technique" and "a solution of the phantom problem" as future
+work.  This example shows both extensions live:
+
+1. an index on ``cells.cell_id`` becomes a lockable unit
+   (``cells#cell_id``) beside the relation, as in Figure 2's System R
+   graph;
+2. a query for a *non-existent* key S-locks the index entry, so an
+   insert of exactly that key blocks — the reader's repeated lookup can
+   never see a phantom;
+3. without the index, the phantom appears (the paper's open problem).
+
+Run:  python examples/index_phantoms.py
+"""
+
+from repro import make_stack
+from repro.errors import LockConflictError
+from repro.nf2 import make_list, make_set, make_tuple
+from repro.workloads import build_cells_database
+
+
+def with_index():
+    print("=== With an index on cells.cell_id ===")
+    database, catalog = build_cells_database(figure7=True)
+    database.create_index("cells", "cell_id", unique=True)
+    stack = make_stack(database, catalog)
+    stack.authorization.grant_modify("engineer", "cells")
+
+    reader = stack.txns.begin(name="reader")
+    rows = stack.executor.execute(
+        reader, "SELECT c FROM c IN cells WHERE c.cell_id = 'c9' FOR READ"
+    )
+    print("reader looks for cell c9:", "found" if rows else "not found")
+    print("reader's locks now include the index entry:")
+    for resource, mode in sorted(stack.manager.locks_of(reader).items(), key=repr):
+        if len(resource) > 2 and "#" in resource[2]:
+            print("   %-3s on %s" % (mode, "/".join(resource)))
+
+    inserter = stack.txns.begin(principal="engineer", name="inserter")
+    try:
+        stack.txns.insert_object(
+            inserter, "cells",
+            make_tuple(cell_id="c9", c_objects=make_set(), robots=make_list()),
+        )
+        print("inserter created c9 (unexpected!)")
+    except LockConflictError:
+        print("inserter of c9: BLOCKED by the reader's entry lock")
+
+    again = stack.executor.execute(
+        reader, "SELECT c FROM c IN cells WHERE c.cell_id = 'c9' FOR READ"
+    )
+    print("reader re-reads c9:", "found (PHANTOM!)" if again else "still not found")
+    stack.txns.commit(reader)
+    print("after the reader commits, the insert can proceed\n")
+
+
+def without_index():
+    print("=== Without an index (the paper's open problem) ===")
+    database, catalog = build_cells_database(figure7=True)
+    stack = make_stack(database, catalog)
+    stack.authorization.grant_modify("engineer", "cells")
+
+    reader = stack.txns.begin(name="reader")
+    rows = stack.executor.execute(
+        reader, "SELECT c FROM c IN cells WHERE c.cell_id = 'c9' FOR READ"
+    )
+    print("reader looks for cell c9:", "found" if rows else "not found")
+    inserter = stack.txns.begin(principal="engineer", name="inserter")
+    stack.txns.insert_object(
+        inserter, "cells",
+        make_tuple(cell_id="c9", c_objects=make_set(), robots=make_list()),
+    )
+    stack.txns.commit(inserter)
+    print("inserter created c9 while the reader is still running")
+    again = stack.executor.execute(
+        reader, "SELECT c FROM c IN cells WHERE c.cell_id = 'c9' FOR READ"
+    )
+    print("reader re-reads c9:", "found -- a PHANTOM" if again else "not found")
+
+
+if __name__ == "__main__":
+    with_index()
+    without_index()

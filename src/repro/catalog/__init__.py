@@ -1,0 +1,7 @@
+"""Catalog, statistics and authorization components."""
+
+from repro.catalog.authorization import AuthorizationManager, principal_of
+from repro.catalog.catalog import Catalog
+from repro.catalog.statistics import Statistics
+
+__all__ = ["AuthorizationManager", "Catalog", "Statistics", "principal_of"]

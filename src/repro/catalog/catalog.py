@@ -1,0 +1,94 @@
+"""The catalog: schema registry and lock-graph cache.
+
+Section 4.1 prescribes the phase separation the catalog enables: "When a
+relation is created, under use of the general lock graph the corresponding
+object-specific lock graph is constructed automatically."  The catalog
+listens for relation creation on a database, builds and caches the
+object-specific lock graph, and answers the structural questions the
+concurrency-control manager needs at lock time:
+
+* is this node the root of an outer unit / an entry point of an inner unit?
+* what are the immediate parents of an entry point ("the immediate parent
+  of each entry point is a relation node", section 4.4.2.1)?
+
+which it can do "by accessing catalog ... information" without touching
+the data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import SchemaError
+from repro.nf2.database import Database, Relation
+from repro.nf2.schema import RelationSchema
+
+
+class Catalog:
+    """Schema registry bound to one database.
+
+    Constructing a catalog for a database registers a creation hook so all
+    relations created afterwards are picked up automatically; relations
+    that already exist are registered immediately.
+    """
+
+    def __init__(self, database: Database):
+        self.database = database
+        self._schemas: Dict[str, RelationSchema] = {}
+        self._object_graphs: Dict[str, object] = {}
+        database.on_relation_created(self._register)
+        for relation in database.relations():
+            self._register(relation)
+
+    def _register(self, relation: Relation):
+        self._schemas[relation.name] = relation.schema
+        # Built lazily on first access so the graphs package can import the
+        # catalog without a cycle; section 4.1's "constructed automatically"
+        # is preserved because construction needs no data access.
+        self._object_graphs.pop(relation.name, None)
+
+    # -- schema lookups -----------------------------------------------------
+
+    def schema(self, relation_name: str) -> RelationSchema:
+        try:
+            return self._schemas[relation_name]
+        except KeyError:
+            raise SchemaError("catalog has no relation %r" % relation_name)
+
+    def relation_names(self) -> List[str]:
+        return sorted(self._schemas)
+
+    def segment_of(self, relation_name: str) -> str:
+        return self.schema(relation_name).segment
+
+    def is_common_data(self, relation_name: str) -> bool:
+        """Is ``relation_name`` referenced by any other relation?
+
+        Common-data relations host the inner units of the paper.  A
+        relation may be both a target of references and hold references
+        itself (common data "may again contain common data", section 2).
+        """
+        for schema in self._schemas.values():
+            if relation_name in schema.referenced_relations():
+                return True
+        return False
+
+    def referencing_relations(self, relation_name: str) -> List[str]:
+        """Names of relations whose schema references ``relation_name``."""
+        return sorted(
+            schema.name
+            for schema in self._schemas.values()
+            if relation_name in schema.referenced_relations()
+        )
+
+    # -- object-specific lock graphs (cached) --------------------------------
+
+    def object_graph(self, relation_name: str):
+        """The cached object-specific lock graph of a relation (Figure 5)."""
+        if relation_name not in self._object_graphs:
+            from repro.graphs.object_graph import build_object_graph
+
+            self._object_graphs[relation_name] = build_object_graph(
+                self, relation_name
+            )
+        return self._object_graphs[relation_name]

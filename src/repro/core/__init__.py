@@ -1,0 +1,55 @@
+"""The paper's primary contribution in one namespace.
+
+``repro.core`` re-exports the pieces that make up the lock technique of
+Herrmann/Dadam/Küspert/Roman/Schlageter — the general and object-specific
+lock graphs, the unit decomposition, the protocol with rules 1-5/4', and
+the query-time lock-request optimizer — so that a reader of the paper can
+find each concept under one roof.  Substrates (NF² model, lock manager,
+transactions, simulator) live in their own subpackages.
+"""
+
+from repro.catalog import AuthorizationManager, Catalog, Statistics
+from repro.graphs import (
+    BLU,
+    HELU,
+    HOLU,
+    LockAnnotation,
+    ObjectSpecificLockGraph,
+    QuerySpecificLockGraph,
+    UnitMap,
+    build_object_graph,
+    component_resource,
+    object_resource,
+)
+from repro.locking import IS, IX, S, SIX, X, LockManager, LockMode
+from repro.protocol import (
+    AccessIntent,
+    HerrmannProtocol,
+    LockRequestOptimizer,
+)
+
+__all__ = [
+    "AccessIntent",
+    "AuthorizationManager",
+    "BLU",
+    "Catalog",
+    "HELU",
+    "HOLU",
+    "HerrmannProtocol",
+    "IS",
+    "IX",
+    "LockAnnotation",
+    "LockManager",
+    "LockMode",
+    "LockRequestOptimizer",
+    "ObjectSpecificLockGraph",
+    "QuerySpecificLockGraph",
+    "S",
+    "SIX",
+    "Statistics",
+    "UnitMap",
+    "X",
+    "build_object_graph",
+    "component_resource",
+    "object_resource",
+]

@@ -1,0 +1,97 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while the
+concrete subclasses keep failure causes distinguishable (schema problems vs.
+lock conflicts vs. protocol violations, etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or violated.
+
+    Raised e.g. for duplicate attribute names, a reference to an unknown
+    relation, a recursive schema (out of scope per the paper), or a value
+    that does not match its declared attribute type.
+    """
+
+
+class IntegrityError(ReproError):
+    """A data-level integrity violation.
+
+    Raised for duplicate keys, dangling references to common data, or an
+    attempt to delete a shared object that is still referenced.
+    """
+
+
+class PathError(ReproError):
+    """A path expression does not resolve against a schema or an instance."""
+
+
+class QueryError(ReproError):
+    """A query is syntactically or semantically invalid."""
+
+
+class LockError(ReproError):
+    """Base class for locking failures."""
+
+
+class LockConflictError(LockError):
+    """A lock request could not be granted and waiting was not allowed."""
+
+    def __init__(self, message, resource=None, requested=None, holders=()):
+        super().__init__(message)
+        self.resource = resource
+        self.requested = requested
+        self.holders = tuple(holders)
+
+
+class LockTimeoutError(LockError):
+    """A blocking lock request exceeded its timeout."""
+
+
+class DeadlockError(LockError):
+    """The transaction was chosen as a deadlock victim.
+
+    ``cycle`` holds the transaction ids on the waits-for cycle that was
+    broken, in detection order.
+    """
+
+    def __init__(self, message, cycle=()):
+        super().__init__(message)
+        self.cycle = tuple(cycle)
+
+
+class ProtocolError(LockError):
+    """A lock request violates the rules of the active lock protocol.
+
+    For the paper's protocol this signals e.g. requesting an S lock on a
+    non-root node whose immediate parent is not intention-locked (rules 1-4
+    of section 4.4.2.1).
+    """
+
+
+class TransactionError(ReproError):
+    """Illegal transaction state transition (e.g. writing after commit)."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction has been aborted (deadlock victim or explicit)."""
+
+
+class AuthorizationError(ReproError):
+    """The transaction lacks the right required for the attempted operation."""
+
+
+class CheckoutError(ReproError):
+    """Check-out/check-in protocol violation in the workstation scenario."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""

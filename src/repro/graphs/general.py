@@ -1,0 +1,96 @@
+"""The general lock graph for disjoint and non-disjoint complex objects.
+
+Figure 4 of the paper defines three kinds of lockable units and the legal
+transitions between them:
+
+* **BLU** (*basic lockable unit*) — the smallest granule.  A BLU may be an
+  atomic attribute (Figure 5 reading) or one hierarchy level of sibling
+  atomic attributes (footnote 3 reading), and a BLU may be a *reference to
+  common data* (the dashed transition into an inner unit).
+* **HoLU** (*homogeneous lockable unit*) — data of one type: a set or a
+  list (and, at the top, "relations" as the set of complex objects).
+* **HeLU** (*heterogeneous lockable unit*) — composed of subobjects of
+  different types: a (complex) tuple; also "database" and "segment".
+
+Solid edges mean "may be composed of"; the dashed edge from a reference
+BLU leads to the entry point (HeLU) of common data.  The traditional
+System R graph is the special case: database = HeLU, segment = HeLU,
+relations = HoLU, tuples = BLUs (end of section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.errors import SchemaError
+
+#: The three lockable-unit kinds of Figure 4.
+BLU = "BLU"
+HOLU = "HoLU"
+HELU = "HeLU"
+
+UNIT_KINDS = (BLU, HOLU, HELU)
+
+#: Legal solid ("composed of") transitions of the general lock graph:
+#: composite units may contain any unit kind; BLUs are leaves.
+SOLID_TRANSITIONS: Dict[str, FrozenSet[str]] = {
+    HELU: frozenset((HELU, HOLU, BLU)),
+    HOLU: frozenset((HELU, HOLU, BLU)),
+    BLU: frozenset(),
+}
+
+#: The dashed ("reference to common data") transition: only a BLU holding
+#: references may cross into the HeLU entry point of a common-data object.
+DASHED_SOURCE = BLU
+DASHED_TARGET = HELU
+
+
+def kind_for_type(attr_type) -> str:
+    """Derivation rules of section 4.3 mapping attribute types to unit kinds.
+
+    1. list  -> HoLU
+    2. set   -> HoLU
+    3. (complex) tuple -> HeLU
+    4. atomic attribute (incl. references) -> BLU
+    """
+    kind = getattr(attr_type, "kind", None)
+    if kind in ("list", "set"):
+        return HOLU
+    if kind == "tuple":
+        return HELU
+    if kind in ("atomic", "ref"):
+        return BLU
+    raise SchemaError("no derivation rule for attribute type %r" % (attr_type,))
+
+
+def validate_transition(parent_kind: str, child_kind: str, dashed: bool = False):
+    """Check an edge against the general lock graph; raise on violation."""
+    if parent_kind not in UNIT_KINDS or child_kind not in UNIT_KINDS:
+        raise SchemaError(
+            "unknown unit kind in transition %r -> %r" % (parent_kind, child_kind)
+        )
+    if dashed:
+        if parent_kind != DASHED_SOURCE or child_kind != DASHED_TARGET:
+            raise SchemaError(
+                "dashed transitions run from a reference BLU to the HeLU "
+                "entry point of common data, not %r -> %r"
+                % (parent_kind, child_kind)
+            )
+        return
+    if child_kind not in SOLID_TRANSITIONS[parent_kind]:
+        raise SchemaError(
+            "general lock graph forbids solid transition %r -> %r"
+            % (parent_kind, child_kind)
+        )
+
+
+#: System R's lock graph expressed in the general graph's vocabulary
+#: (Figure 2 (a) interpreted by the last paragraph of section 4.2).  Indexes
+#: are out of the reproduction's scope (section 5 lists them as future
+#: work), so the tuple granule hangs off the relation granule only.
+SYSTEM_R_AS_GENERAL: Tuple[Tuple[str, str], ...] = (
+    ("database", HELU),
+    ("segment", HELU),
+    ("relation", HOLU),
+    ("tuple", BLU),
+)

@@ -1,0 +1,125 @@
+"""Query-specific lock graphs (section 4.5).
+
+After query analysis the optimizer stores its granule/mode decisions in a
+*query-specific lock graph*: the object-specific lock graph of the queried
+relation annotated with the locks to request.  "During query execution,
+the stored granule and mode information are obtained from the
+query-specific lock graphs, and locks are requested from a lock manager."
+
+An annotation names a *schema-level* granule; at execution time the
+executor instantiates it against the concrete objects/elements the query
+touches:
+
+* a path without trailing ``*`` is locked once per matching container
+  (coarse granule — e.g. the whole ``c_objects`` set of cell c1);
+* a path ending in ``*`` is locked once per *accessed element*
+  (fine granule — e.g. exactly ``robots[r1]``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.locking.modes import LockMode
+from repro.nf2.paths import STAR, format_path, schema_path
+
+
+class LockAnnotation:
+    """One granule/mode decision of the optimizer.
+
+    ``relation_level=True`` marks the coarsest decision — lock the whole
+    relation — in which case ``path`` is ignored (kept ``()``).  A path of
+    ``()`` with ``relation_level=False`` locks each selected complex
+    object; deeper paths lock components, with a trailing ``*`` meaning
+    one lock per accessed element.
+    """
+
+    __slots__ = ("path", "mode", "reason", "relation_level")
+
+    def __init__(self, path, mode: LockMode, reason: str = "", relation_level=False):
+        self.path = tuple(path)
+        self.mode = mode
+        #: human-readable justification recorded by the optimizer, e.g.
+        #: "anticipated escalation: expected 8/10 elements accessed"
+        self.reason = reason
+        self.relation_level = relation_level
+
+    def is_per_element(self) -> bool:
+        return bool(self.path) and self.path[-1] == STAR
+
+    def __repr__(self):
+        if self.relation_level:
+            return "LockAnnotation(<relation>, %s)" % self.mode
+        return "LockAnnotation(%r, %s%s)" % (
+            format_path(self.path),
+            self.mode,
+            ", %s" % self.reason if self.reason else "",
+        )
+
+
+class QuerySpecificLockGraph:
+    """The lock requests planned for one query against one relation."""
+
+    def __init__(self, relation_name: str, annotations: Iterable[LockAnnotation]):
+        self.relation_name = relation_name
+        self.annotations: List[LockAnnotation] = list(annotations)
+        seen = set()
+        for annotation in self.annotations:
+            key = (annotation.relation_level, annotation.path)
+            if key in seen:
+                raise QueryError(
+                    "duplicate lock annotation for path %r"
+                    % format_path(annotation.path)
+                )
+            seen.add(key)
+
+    def annotation_at(self, path) -> Optional[LockAnnotation]:
+        key = schema_path(tuple(path))
+        for annotation in self.annotations:
+            if annotation.path == key:
+                return annotation
+        return None
+
+    def modes_summary(self) -> List[Tuple[str, str]]:
+        """(path, mode) pairs for reporting (EXPERIMENTS.md tables)."""
+        return [
+            (format_path(annotation.path), annotation.mode.value)
+            for annotation in self.annotations
+        ]
+
+    def instantiate(self, object_steps_map) -> List[Tuple[Tuple, LockMode]]:
+        """Resolve annotations against accessed instances.
+
+        ``object_steps_map`` maps each annotation (by index) to the list of
+        concrete instance paths it covers; produced by the executor while
+        binding query variables.  Returns (instance_path, mode) pairs in
+        annotation order — root-to-leaf order is the protocol's job.
+        """
+        out: List[Tuple[Tuple, LockMode]] = []
+        for index, annotation in enumerate(self.annotations):
+            for steps in object_steps_map.get(index, ()):
+                out.append((tuple(steps), annotation.mode))
+        return out
+
+    def __repr__(self):
+        return "QuerySpecificLockGraph(%r, %r)" % (
+            self.relation_name,
+            self.annotations,
+        )
+
+
+def fine_to_coarse(annotation: LockAnnotation) -> LockAnnotation:
+    """The coarse alternative of a per-element annotation.
+
+    Dropping the trailing ``*`` locks the containing collection instead of
+    each element — exactly the trade a lock escalation would make at run
+    time; the optimizer applies it *in advance* when anticipation says so.
+    """
+    if not annotation.is_per_element():
+        raise QueryError("annotation %r is already coarse" % (annotation,))
+    return LockAnnotation(
+        annotation.path[:-1],
+        annotation.mode,
+        reason="anticipated escalation of %s" % format_path(annotation.path),
+    )

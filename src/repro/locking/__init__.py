@@ -1,0 +1,55 @@
+"""Lock modes, lock table, lock manager, deadlock detection and escalation."""
+
+from repro.locking.deadlock import DeadlockDetector, all_cycle_members, find_cycle
+from repro.locking.escalation import (
+    Escalator,
+    children_held,
+    descendants_held,
+    parent_resource,
+)
+from repro.locking.lock_table import LockRequest, LockTable, RequestStatus
+from repro.locking.manager import LockManager, ThreadedLockManager
+from repro.locking.trace import LockTrace, TraceEvent
+from repro.locking.modes import (
+    ALL_MODES,
+    IS,
+    IX,
+    PAPER_MODES,
+    S,
+    SIX,
+    X,
+    LockMode,
+    compatible,
+    covers,
+    intention_of,
+    supremum,
+)
+
+__all__ = [
+    "ALL_MODES",
+    "DeadlockDetector",
+    "Escalator",
+    "IS",
+    "IX",
+    "LockManager",
+    "LockMode",
+    "LockRequest",
+    "LockTable",
+    "LockTrace",
+    "PAPER_MODES",
+    "RequestStatus",
+    "S",
+    "SIX",
+    "ThreadedLockManager",
+    "TraceEvent",
+    "X",
+    "all_cycle_members",
+    "children_held",
+    "compatible",
+    "covers",
+    "descendants_held",
+    "find_cycle",
+    "intention_of",
+    "parent_resource",
+    "supremum",
+]

@@ -1,0 +1,153 @@
+"""Lock escalation and de-escalation.
+
+Escalation trades "many locks on small granules for one lock on a coarser
+granule" (Date, cited in section 4.5).  The paper's position is that
+escalations *at run time* are expensive and deadlock-prone, so the
+optimizer should *anticipate* them at query-analysis time; this module
+provides
+
+* the run-time escalation machinery itself (so the cost the paper warns
+  about can be measured — benchmark E5), and
+* **de-escalation**, listed under future work in section 5: replacing a
+  coarse lock by finer ones so that blocked siblings can proceed.
+
+Resources are hierarchical path tuples (see :mod:`repro.protocol.resources`);
+the parent of ``(db, seg, rel, obj, "robots", "r1")`` is the same tuple
+without its last component.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import LockError
+from repro.locking.manager import LockManager
+from repro.locking.modes import IS, IX, LockMode, S, X, intention_of, supremum
+
+
+def parent_resource(resource: Tuple) -> Optional[Tuple]:
+    """Parent path of a hierarchical resource id (None for the root)."""
+    if len(resource) <= 1:
+        return None
+    return resource[:-1]
+
+
+def children_held(manager: LockManager, txn, parent: Tuple) -> List[Tuple]:
+    """Resources ``txn`` holds that are direct children of ``parent``."""
+    depth = len(parent)
+    return [
+        resource
+        for resource in manager.table.resources_of(txn)
+        if len(resource) == depth + 1 and resource[:depth] == parent
+    ]
+
+
+def descendants_held(manager: LockManager, txn, parent: Tuple) -> List[Tuple]:
+    """All held resources strictly below ``parent``."""
+    depth = len(parent)
+    return [
+        resource
+        for resource in manager.table.resources_of(txn)
+        if len(resource) > depth and resource[:depth] == parent
+    ]
+
+
+class Escalator:
+    """Run-time lock escalation with a per-parent child-count threshold."""
+
+    def __init__(self, manager: LockManager, threshold: int = 10):
+        if threshold < 1:
+            raise LockError("escalation threshold must be >= 1")
+        self.manager = manager
+        self.threshold = threshold
+        self.escalations = 0
+        self.deescalations = 0
+
+    def should_escalate(self, txn, parent: Tuple) -> bool:
+        """Has ``txn`` accumulated enough child locks under ``parent``?"""
+        return len(children_held(self.manager, txn, parent)) >= self.threshold
+
+    def escalation_mode(self, txn, parent: Tuple) -> LockMode:
+        """Coarse mode that covers every child lock held under ``parent``.
+
+        The supremum of the held child modes, with intention modes mapped
+        to their non-intention counterpart (escalating IS children needs an
+        S parent, IX children an X parent): after escalation the children's
+        locks disappear, so their subtrees must be *implicitly* locked by
+        the parent lock, which intention modes do not do.
+        """
+        mode: Optional[LockMode] = None
+        for child in children_held(self.manager, txn, parent):
+            child_mode = self.manager.held_mode(txn, child)
+            if child_mode is IS:
+                child_mode = S
+            elif child_mode is IX or child_mode is LockMode.SIX:
+                child_mode = X
+            mode = child_mode if mode is None else supremum(mode, child_mode)
+        if mode is None:
+            raise LockError("no child locks to escalate under %r" % (parent,))
+        return mode
+
+    def escalate(self, txn, parent: Tuple, wait: bool = False):
+        """Escalate ``txn``'s child locks under ``parent`` into one lock.
+
+        Acquires the covering coarse mode on ``parent`` (a conversion — the
+        transaction holds at least an intention lock there under any
+        DAG-style protocol), then releases every descendant lock.  Returns
+        the granted request.  With ``wait=False`` a conflicting escalation
+        raises :class:`~repro.errors.LockConflictError`, which is exactly
+        the run-time hazard section 4.5 wants to avoid by anticipation.
+        """
+        mode = self.escalation_mode(txn, parent)
+        request = self.manager.acquire(txn, parent, mode, wait=wait)
+        if request.granted:
+            for resource in descendants_held(self.manager, txn, parent):
+                while self.manager.held_mode(txn, resource) is not None:
+                    self.manager.release(txn, resource)
+            self.escalations += 1
+        return request
+
+    def deescalate(
+        self,
+        txn,
+        parent: Tuple,
+        fine_grains: Sequence[Tuple[Tuple, LockMode]],
+        wait: bool = False,
+    ):
+        """Replace a coarse lock on ``parent`` by the given finer locks.
+
+        Future-work feature ("efficient release of locks (de-escalation)",
+        section 5): the transaction keeps ``fine_grains`` — pairs of
+        (resource, mode) below ``parent`` — and downgrades ``parent`` to
+        the corresponding intention mode so siblings become lockable by
+        others.  The coarse lock is dropped and re-acquired at intention
+        level, then the fine locks are taken; all under the table's
+        fairness rules.
+        """
+        held = self.manager.held_mode(txn, parent)
+        if held is None:
+            raise LockError("%r holds no lock on %r to de-escalate" % (txn, parent))
+        strongest = held
+        for resource, mode in fine_grains:
+            depth = len(parent)
+            if resource[:depth] != parent or len(resource) <= depth:
+                raise LockError(
+                    "fine grain %r is not below parent %r" % (resource, parent)
+                )
+            strongest = supremum(strongest, intention_of(mode))
+        # Downgrade: release all grants on parent, take intention mode, then
+        # take the fine locks.  Because the lock table is FIFO, doing this
+        # in one step sequence keeps other waiters from sneaking in between
+        # only if no queue exists; de-escalation is cooperative by design.
+        grants = []
+        while self.manager.held_mode(txn, parent) is not None:
+            self.manager.release(txn, parent)
+        if any(mode not in (IS, S) for _, mode in fine_grains):
+            intention = IX
+        else:
+            intention = IS
+        grants.append(self.manager.acquire(txn, parent, intention, wait=wait))
+        for resource, mode in fine_grains:
+            grants.append(self.manager.acquire(txn, resource, mode, wait=wait))
+        self.deescalations += 1
+        return grants

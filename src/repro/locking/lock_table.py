@@ -1,0 +1,444 @@
+"""The lock table: granted locks, wait queues and conversions.
+
+This is the pure state machine underneath the lock manager.  It knows
+nothing about lock *graphs* or protocols — it manages named resources
+(opaque hashable ids; the protocols use instance paths), grants and queues
+requests according to the compatibility matrix, performs lock conversions
+via the supremum lattice, and exposes the waits-for edges the deadlock
+detector consumes.
+
+Counting conventions (used by the benchmarks):
+
+* ``conflict_tests`` — every evaluation of the compatibility matrix;
+* ``requests`` / ``immediate_grants`` / ``waits`` — request outcomes;
+* ``max_entries`` — high-water mark of lock-table size (the paper's
+  "administration of locks" overhead).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import LockConflictError, LockError
+from repro.locking.modes import LockMode, compatible, covers, supremum
+
+
+class RequestStatus:
+    GRANTED = "granted"
+    WAITING = "waiting"
+    CANCELLED = "cancelled"
+
+
+class LockRequest:
+    """One lock request; the simulator holds these while waiting."""
+
+    __slots__ = (
+        "txn",
+        "resource",
+        "mode",
+        "target_mode",
+        "status",
+        "long",
+        "is_conversion",
+        "enqueued_at",
+    )
+
+    def __init__(self, txn, resource, mode, target_mode, long, is_conversion):
+        self.txn = txn
+        self.resource = resource
+        self.mode = mode
+        self.target_mode = target_mode
+        self.status = RequestStatus.WAITING
+        self.long = long
+        self.is_conversion = is_conversion
+        self.enqueued_at = None
+
+    @property
+    def granted(self) -> bool:
+        return self.status == RequestStatus.GRANTED
+
+    def __repr__(self):
+        return "LockRequest(txn=%r, resource=%r, mode=%s, status=%s)" % (
+            self.txn,
+            self.resource,
+            self.target_mode,
+            self.status,
+        )
+
+
+class _HeldLock:
+    """Locks one transaction holds on one resource.
+
+    ``modes`` is a stack of granted modes (re-requests push); the effective
+    mode is their supremum.  ``long`` marks persistent (check-out) locks.
+    """
+
+    __slots__ = ("modes", "long")
+
+    def __init__(self):
+        self.modes: List[LockMode] = []
+        self.long = False
+
+    @property
+    def mode(self) -> LockMode:
+        effective = self.modes[0]
+        for m in self.modes[1:]:
+            effective = supremum(effective, m)
+        return effective
+
+    def push(self, mode: LockMode, long: bool):
+        self.modes.append(mode)
+        self.long = self.long or long
+
+    def pop(self) -> bool:
+        """Drop the most recent grant; returns True when fully released."""
+        self.modes.pop()
+        return not self.modes
+
+
+class _ResourceEntry:
+    __slots__ = ("granted", "conversions", "queue")
+
+    def __init__(self):
+        # txn -> _HeldLock, in grant order (OrderedDict for determinism)
+        self.granted: "OrderedDict[object, _HeldLock]" = OrderedDict()
+        # conversion requests take priority over new requests
+        self.conversions: Deque[LockRequest] = deque()
+        self.queue: Deque[LockRequest] = deque()
+
+    def empty(self) -> bool:
+        return not (self.granted or self.conversions or self.queue)
+
+
+class LockTable:
+    """Resource-level lock bookkeeping with FIFO fairness.
+
+    Fairness rules (standard, Gray et al. style):
+
+    * a new request is granted only when no other request is queued ahead
+      of it and its mode is compatible with every lock held by *other*
+      transactions;
+    * conversion requests (the transaction already holds a lock on the
+      resource) bypass the normal queue but wait until every *other*
+      holder's mode is compatible with the conversion target.
+    """
+
+    def __init__(self, reader_bypass: bool = False):
+        self._entries: Dict[object, _ResourceEntry] = {}
+        self._txn_resources: Dict[object, Set[object]] = {}
+        self._clock = 0
+        #: ablation switch: when True, a new request compatible with every
+        #: *holder* is granted even while incompatible requests queue —
+        #: higher read concurrency, but writers can starve (the classic
+        #: fairness trade; benchmarked in bench_ablations).
+        self.reader_bypass = reader_bypass
+        # metrics
+        self.conflict_tests = 0
+        self.requests = 0
+        self.immediate_grants = 0
+        self.waits = 0
+        self.max_entries = 0
+
+    # -- inspection ---------------------------------------------------------
+
+    def holders(self, resource) -> Dict[object, LockMode]:
+        """Transactions currently holding ``resource`` and their modes."""
+        entry = self._entries.get(resource)
+        if entry is None:
+            return {}
+        return {txn: held.mode for txn, held in entry.granted.items()}
+
+    def held_mode(self, txn, resource) -> Optional[LockMode]:
+        """Mode ``txn`` holds on ``resource`` (None if not held)."""
+        entry = self._entries.get(resource)
+        if entry is None:
+            return None
+        held = entry.granted.get(txn)
+        return held.mode if held is not None else None
+
+    def holds_at_least(self, txn, resource, mode: LockMode) -> bool:
+        """Does ``txn`` hold ``resource`` in at least ``mode``?"""
+        held = self.held_mode(txn, resource)
+        return held is not None and covers(held, mode)
+
+    def resources_of(self, txn) -> Set[object]:
+        return set(self._txn_resources.get(txn, ()))
+
+    def locked_resources(self) -> List[object]:
+        return [r for r, e in self._entries.items() if e.granted]
+
+    def lock_count(self) -> int:
+        """Number of (txn, resource) grants currently in the table."""
+        return sum(len(e.granted) for e in self._entries.values())
+
+    def waiting_requests(self) -> List[LockRequest]:
+        out = []
+        for entry in self._entries.values():
+            out.extend(entry.conversions)
+            out.extend(entry.queue)
+        return out
+
+    # -- request / release ----------------------------------------------------
+
+    def request(
+        self, txn, resource, mode: LockMode, long: bool = False, wait: bool = True
+    ) -> LockRequest:
+        """Request ``mode`` on ``resource`` for ``txn``.
+
+        Returns a :class:`LockRequest` whose status is GRANTED or WAITING.
+        With ``wait=False`` an ungrantable request raises
+        :class:`LockConflictError` instead of queueing.
+        """
+        self.requests += 1
+        self._clock += 1
+        entry = self._entries.setdefault(resource, _ResourceEntry())
+        self.max_entries = max(self.max_entries, len(self._entries))
+        held = entry.granted.get(txn)
+
+        if held is not None:
+            target = supremum(held.mode, mode)
+            request = LockRequest(txn, resource, mode, target, long, True)
+            if target == held.mode:
+                # Re-request of an already covered mode: always grantable.
+                held.push(mode, long)
+                request.status = RequestStatus.GRANTED
+                self.immediate_grants += 1
+                return request
+            if self._conversion_grantable(entry, txn, target):
+                held.push(mode, long)
+                request.status = RequestStatus.GRANTED
+                self.immediate_grants += 1
+                return request
+            if not wait:
+                entry_holders = self.holders(resource)
+                raise LockConflictError(
+                    "conversion of %r on %r to %s conflicts with %r"
+                    % (txn, resource, target, entry_holders),
+                    resource=resource,
+                    requested=target,
+                    holders=entry_holders.items(),
+                )
+            request.enqueued_at = self._clock
+            entry.conversions.append(request)
+            self.waits += 1
+            return request
+
+        request = LockRequest(txn, resource, mode, mode, long, False)
+        if self._new_grantable(entry, txn, mode):
+            self._grant(entry, request)
+            self.immediate_grants += 1
+            return request
+        if not wait:
+            entry_holders = self.holders(resource)
+            raise LockConflictError(
+                "%s on %r for %r conflicts with %r"
+                % (mode, resource, txn, entry_holders),
+                resource=resource,
+                requested=mode,
+                holders=entry_holders.items(),
+            )
+        request.enqueued_at = self._clock
+        entry.queue.append(request)
+        self.waits += 1
+        return request
+
+    def release(self, txn, resource) -> List[LockRequest]:
+        """Release one grant of ``txn`` on ``resource``.
+
+        Grants are counted: a transaction that acquired a node twice must
+        release it twice (or use :meth:`release_all`).  Returns the list of
+        requests that became granted as a consequence.
+        """
+        entry = self._entries.get(resource)
+        if entry is None or txn not in entry.granted:
+            raise LockError("%r holds no lock on %r" % (txn, resource))
+        held = entry.granted[txn]
+        if held.pop():
+            del entry.granted[txn]
+            self._txn_resources.get(txn, set()).discard(resource)
+        woken = self._process_queue(entry)
+        self._drop_if_empty(resource, entry)
+        return woken
+
+    def release_all(self, txn, keep_long: bool = False) -> List[LockRequest]:
+        """Release every lock of ``txn`` (EOT release, rule 5).
+
+        With ``keep_long=True`` only short locks are dropped — used when a
+        workstation transaction hands over to a long check-out lock.
+        Cancels any waiting requests of ``txn`` as well.
+        """
+        woken: List[LockRequest] = []
+        resources = list(self._txn_resources.get(txn, ()))
+        for resource in resources:
+            entry = self._entries.get(resource)
+            if entry is None:
+                continue
+            held = entry.granted.get(txn)
+            if held is not None and not (keep_long and held.long):
+                del entry.granted[txn]
+                self._txn_resources[txn].discard(resource)
+            self._cancel_waiting(entry, txn)
+            woken.extend(self._process_queue(entry))
+            self._drop_if_empty(resource, entry)
+        if not keep_long:
+            self._txn_resources.pop(txn, None)
+        # Also cancel waits on resources the txn does not hold yet.
+        for resource, entry in list(self._entries.items()):
+            self._cancel_waiting(entry, txn)
+            woken.extend(self._process_queue(entry))
+            self._drop_if_empty(resource, entry)
+        return woken
+
+    def cancel(self, request: LockRequest) -> List[LockRequest]:
+        """Withdraw a waiting request (deadlock victim / timeout)."""
+        entry = self._entries.get(request.resource)
+        if entry is None:
+            return []
+        for queue in (entry.conversions, entry.queue):
+            try:
+                queue.remove(request)
+                request.status = RequestStatus.CANCELLED
+            except ValueError:
+                pass
+        woken = self._process_queue(entry)
+        self._drop_if_empty(request.resource, entry)
+        return woken
+
+    # -- persistence of long locks (workstation-server, section 3.1) --------
+
+    def dump_long_locks(self) -> List[Tuple[object, object, str]]:
+        """Serialize long locks as (txn, resource, mode) triples.
+
+        Long locks "must survive system shutdowns and system crashes"; the
+        checkout manager persists this dump and restores it after a
+        simulated restart.  Short locks and waiting requests are dropped by
+        a crash, matching the paper's model.
+        """
+        out = []
+        for resource, entry in self._entries.items():
+            for txn, held in entry.granted.items():
+                if held.long:
+                    out.append((txn, resource, held.mode.value))
+        return out
+
+    def restore_long_locks(self, dump: Iterable[Tuple[object, object, str]]):
+        """Re-install long locks from :meth:`dump_long_locks` output."""
+        for txn, resource, mode_name in dump:
+            request = self.request(
+                txn, resource, LockMode(mode_name), long=True, wait=False
+            )
+            if not request.granted:  # pragma: no cover - wait=False raises
+                raise LockError("could not restore long lock on %r" % (resource,))
+
+    # -- waits-for edges (deadlock detection input) --------------------------
+
+    def waits_for_edges(self) -> List[Tuple[object, object]]:
+        """Edges (waiter, blocker): waiter cannot proceed until blocker moves.
+
+        A conversion waiter waits for every *other* holder whose mode is
+        incompatible with the conversion target.  A queued waiter waits for
+        incompatible holders and for incompatible requests queued ahead of
+        it (FIFO fairness makes those real blockers too).
+        """
+        edges = []
+        for entry in self._entries.values():
+            for request in entry.conversions:
+                for txn, held in entry.granted.items():
+                    if txn is request.txn or txn == request.txn:
+                        continue
+                    if not compatible(held.mode, request.target_mode):
+                        edges.append((request.txn, txn))
+            ahead: List[LockRequest] = []
+            for request in entry.queue:
+                for txn, held in entry.granted.items():
+                    if not compatible(held.mode, request.target_mode):
+                        edges.append((request.txn, txn))
+                for conv in entry.conversions:
+                    if not compatible(conv.target_mode, request.target_mode):
+                        edges.append((request.txn, conv.txn))
+                for earlier in ahead:
+                    if not compatible(earlier.target_mode, request.target_mode):
+                        edges.append((request.txn, earlier.txn))
+                ahead.append(request)
+        return edges
+
+    # -- internals -------------------------------------------------------------
+
+    def _conversion_grantable(self, entry, txn, target: LockMode) -> bool:
+        for other, held in entry.granted.items():
+            if other == txn:
+                continue
+            self.conflict_tests += 1
+            if not compatible(held.mode, target):
+                return False
+        return True
+
+    def _new_grantable(self, entry, txn, mode: LockMode) -> bool:
+        if (entry.conversions or entry.queue) and not self.reader_bypass:
+            return False
+        for other, held in entry.granted.items():
+            self.conflict_tests += 1
+            if not compatible(held.mode, mode):
+                return False
+        return True
+
+    def _grant(self, entry, request: LockRequest):
+        held = entry.granted.get(request.txn)
+        if held is None:
+            held = _HeldLock()
+            entry.granted[request.txn] = held
+        held.push(request.mode, request.long)
+        request.status = RequestStatus.GRANTED
+        self._txn_resources.setdefault(request.txn, set()).add(request.resource)
+
+    def _process_queue(self, entry) -> List[LockRequest]:
+        """Grant now-compatible waiters; conversions first, then FIFO."""
+        woken: List[LockRequest] = []
+        progressed = True
+        while progressed:
+            progressed = False
+            for request in list(entry.conversions):
+                held = entry.granted.get(request.txn)
+                if held is None:
+                    # Holder aborted while waiting for conversion: treat as new.
+                    entry.conversions.remove(request)
+                    entry.queue.appendleft(request)
+                    progressed = True
+                    continue
+                target = supremum(held.mode, request.mode)
+                request.target_mode = target
+                if self._conversion_grantable(entry, request.txn, target):
+                    entry.conversions.remove(request)
+                    held.push(request.mode, request.long)
+                    request.status = RequestStatus.GRANTED
+                    woken.append(request)
+                    progressed = True
+            while entry.queue and not entry.conversions:
+                request = entry.queue[0]
+                grantable = True
+                for other, held in entry.granted.items():
+                    if other == request.txn:
+                        continue
+                    self.conflict_tests += 1
+                    if not compatible(held.mode, request.target_mode):
+                        grantable = False
+                        break
+                if not grantable:
+                    break
+                entry.queue.popleft()
+                self._grant(entry, request)
+                woken.append(request)
+                progressed = True
+        return woken
+
+    def _cancel_waiting(self, entry, txn):
+        for queue in (entry.conversions, entry.queue):
+            for request in list(queue):
+                if request.txn == txn:
+                    queue.remove(request)
+                    request.status = RequestStatus.CANCELLED
+
+    def _drop_if_empty(self, resource, entry):
+        if entry.empty():
+            self._entries.pop(resource, None)

@@ -1,0 +1,200 @@
+"""The lock manager facade.
+
+Section 4.1: "locks are requested from a lock manager.  The lock manager
+tests whether a certain lock request can be granted or not by observing
+certain rules."  This module provides that component in two flavours:
+
+* :class:`LockManager` — non-blocking core used by the protocols and the
+  discrete-event simulator.  ``acquire`` either grants immediately,
+  returns a WAITING request (simulator mode) or raises
+  :class:`~repro.errors.LockConflictError` (``wait=False``).
+* :class:`ThreadedLockManager` — a thin blocking wrapper with a condition
+  variable, used by the threaded integration tests and the check-out
+  examples.  Throughput experiments never use threads (see DESIGN.md on
+  the GIL); this wrapper exists to prove the semantics carry over to real
+  concurrent callers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.errors import DeadlockError, LockTimeoutError
+from repro.locking.deadlock import DeadlockDetector
+from repro.locking.lock_table import LockRequest, LockTable
+from repro.locking.modes import LockMode
+
+
+class LockManager:
+    """Grants, queues and releases locks on opaque resources.
+
+    All protocol classes in :mod:`repro.protocol` sit on top of this
+    manager; the per-granule rules live there, the bookkeeping lives here.
+    """
+
+    def __init__(self, age_of=None, reader_bypass: bool = False):
+        self.table = LockTable(reader_bypass=reader_bypass)
+        self.detector = DeadlockDetector(self.table, age_of=age_of)
+
+    # -- delegation -----------------------------------------------------------
+
+    def acquire(
+        self,
+        txn,
+        resource,
+        mode: LockMode,
+        long: bool = False,
+        wait: bool = True,
+    ) -> LockRequest:
+        """Request ``mode`` on ``resource``; see :meth:`LockTable.request`."""
+        return self.table.request(txn, resource, mode, long=long, wait=wait)
+
+    def release(self, txn, resource) -> List[LockRequest]:
+        return self.table.release(txn, resource)
+
+    def release_all(self, txn, keep_long: bool = False) -> List[LockRequest]:
+        return self.table.release_all(txn, keep_long=keep_long)
+
+    def cancel(self, request: LockRequest) -> List[LockRequest]:
+        return self.table.cancel(request)
+
+    def holders(self, resource) -> Dict[object, LockMode]:
+        return self.table.holders(resource)
+
+    def held_mode(self, txn, resource) -> Optional[LockMode]:
+        return self.table.held_mode(txn, resource)
+
+    def holds_at_least(self, txn, resource, mode: LockMode) -> bool:
+        return self.table.holds_at_least(txn, resource, mode)
+
+    def locks_of(self, txn) -> Dict[object, LockMode]:
+        """All resources ``txn`` currently holds, with modes."""
+        return {
+            resource: self.table.held_mode(txn, resource)
+            for resource in self.table.resources_of(txn)
+        }
+
+    def lock_count(self) -> int:
+        return self.table.lock_count()
+
+    # -- deadlock handling ------------------------------------------------------
+
+    def detect_deadlock(self) -> Optional[List[object]]:
+        """One detection pass; returns a cycle or None."""
+        return self.detector.check()
+
+    def resolve_deadlocks(self, abort_callback) -> List[object]:
+        """Detect and break every deadlock; returns aborted victims.
+
+        ``abort_callback(victim)`` must release the victim's locks (usually
+        by aborting the transaction).  Loops until no cycle remains —
+        breaking one cycle can expose another.
+        """
+        victims = []
+        while True:
+            cycle = self.detector.check()
+            if cycle is None:
+                return victims
+            victim = self.detector.pick_victim(cycle)
+            victims.append(victim)
+            abort_callback(victim)
+
+    # -- metrics ---------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, int]:
+        """Snapshot of the bookkeeping counters (benchmark instrumentation)."""
+        return {
+            "requests": self.table.requests,
+            "immediate_grants": self.table.immediate_grants,
+            "waits": self.table.waits,
+            "conflict_tests": self.table.conflict_tests,
+            "max_entries": self.table.max_entries,
+            "deadlocks": self.detector.deadlocks_found,
+        }
+
+    def reset_metrics(self):
+        self.table.requests = 0
+        self.table.immediate_grants = 0
+        self.table.waits = 0
+        self.table.conflict_tests = 0
+        self.table.max_entries = 0
+        self.detector.deadlocks_found = 0
+
+
+class ThreadedLockManager:
+    """Blocking adapter over :class:`LockManager` for real threads.
+
+    ``acquire`` blocks the calling thread until the lock is granted, the
+    optional timeout expires (:class:`LockTimeoutError`) or the waiter is
+    aborted as a deadlock victim (:class:`DeadlockError`).  Deadlock
+    detection runs inline on every blocked acquire.
+    """
+
+    def __init__(self):
+        self._manager = LockManager()
+        self._lock = threading.Lock()
+        self._granted = threading.Condition(self._lock)
+
+    @property
+    def core(self) -> LockManager:
+        return self._manager
+
+    def acquire(
+        self,
+        txn,
+        resource,
+        mode: LockMode,
+        long: bool = False,
+        timeout: Optional[float] = None,
+    ):
+        with self._granted:
+            request = self._manager.acquire(txn, resource, mode, long=long)
+            if request.granted:
+                return request
+            waited = 0.0
+            poll = 0.05
+            while not request.granted:
+                cycle = self._manager.detect_deadlock()
+                if cycle is not None:
+                    victim = self._manager.detector.pick_victim(cycle)
+                    if victim == txn:
+                        self._manager.cancel(request)
+                        self._granted.notify_all()
+                        raise DeadlockError(
+                            "transaction %r chosen as deadlock victim" % (txn,),
+                            cycle=cycle,
+                        )
+                self._granted.wait(timeout=poll)
+                waited += poll
+                if request.status == "cancelled":
+                    raise DeadlockError(
+                        "transaction %r aborted while waiting" % (txn,)
+                    )
+                if timeout is not None and waited >= timeout and not request.granted:
+                    self._manager.cancel(request)
+                    raise LockTimeoutError(
+                        "timed out waiting for %s on %r" % (mode, resource)
+                    )
+            return request
+
+    def release(self, txn, resource):
+        with self._granted:
+            woken = self._manager.release(txn, resource)
+            if woken:
+                self._granted.notify_all()
+            return woken
+
+    def release_all(self, txn, keep_long: bool = False):
+        with self._granted:
+            woken = self._manager.release_all(txn, keep_long=keep_long)
+            self._granted.notify_all()
+            return woken
+
+    def holders(self, resource):
+        with self._lock:
+            return self._manager.holders(resource)
+
+    def held_mode(self, txn, resource):
+        with self._lock:
+            return self._manager.held_mode(txn, resource)

@@ -1,0 +1,139 @@
+"""Lock modes, compatibility and supremum ("at least as restrictive") order.
+
+The paper uses the four System R granular modes (section 3.1):
+
+* ``IS`` — *Intention Share*: grants the right to lock a descendant in S;
+* ``IX`` — *Intention eXclusive*: grants the right to lock a descendant in
+  S or X;
+* ``S``  — *Share*: read lock, implicitly S-locks the whole subtree;
+* ``X``  — *eXclusive*: write lock, implicitly X-locks the whole subtree.
+
+``SIX`` (Share + Intention eXclusive) from Gray et al. is provided as an
+extension; the paper's protocol never requests it but lock conversions can
+produce it (a transaction holding S that requests IX must end up holding
+the supremum of both, which is SIX).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+
+class LockMode(enum.Enum):
+    """The granular lock modes of Gray/Lorie/Putzolu/Traiger."""
+
+    IS = "IS"
+    IX = "IX"
+    S = "S"
+    SIX = "SIX"
+    X = "X"
+
+    def __repr__(self):
+        return self.value
+
+    def __str__(self):
+        return self.value
+
+    @property
+    def is_intention(self) -> bool:
+        """True for IS and IX (pure intention modes)."""
+        return self in (LockMode.IS, LockMode.IX)
+
+    @property
+    def is_exclusive_class(self) -> bool:
+        """True for modes that announce write intent (IX, SIX, X)."""
+        return self in (LockMode.IX, LockMode.SIX, LockMode.X)
+
+
+IS, IX, S, SIX, X = LockMode.IS, LockMode.IX, LockMode.S, LockMode.SIX, LockMode.X
+
+#: The classic compatibility matrix (GLPT76, table form).  ``True`` means
+#: the two modes may be held concurrently by different transactions.
+_COMPATIBLE: Dict[Tuple[LockMode, LockMode], bool] = {}
+
+
+def _fill_compatibility():
+    rows = {
+        IS: {IS: True, IX: True, S: True, SIX: True, X: False},
+        IX: {IS: True, IX: True, S: False, SIX: False, X: False},
+        S: {IS: True, IX: False, S: True, SIX: False, X: False},
+        SIX: {IS: True, IX: False, S: False, SIX: False, X: False},
+        X: {IS: False, IX: False, S: False, SIX: False, X: False},
+    }
+    for held, row in rows.items():
+        for requested, ok in row.items():
+            _COMPATIBLE[(held, requested)] = ok
+
+
+_fill_compatibility()
+
+
+def compatible(held: LockMode, requested: LockMode) -> bool:
+    """Can ``requested`` be granted while another txn holds ``held``?"""
+    return _COMPATIBLE[(held, requested)]
+
+
+#: Supremum (least upper bound) in the restrictiveness lattice.  When a
+#: transaction already holding mode ``a`` requests mode ``b`` on the same
+#: node, it must afterwards hold ``supremum(a, b)`` (lock conversion).
+_SUPREMUM: Dict[Tuple[LockMode, LockMode], LockMode] = {}
+
+
+def _fill_supremum():
+    order = {
+        (IS, IS): IS,
+        (IS, IX): IX,
+        (IS, S): S,
+        (IS, SIX): SIX,
+        (IS, X): X,
+        (IX, IX): IX,
+        (IX, S): SIX,
+        (IX, SIX): SIX,
+        (IX, X): X,
+        (S, S): S,
+        (S, SIX): SIX,
+        (S, X): X,
+        (SIX, SIX): SIX,
+        (SIX, X): X,
+        (X, X): X,
+    }
+    for (a, b), sup in order.items():
+        _SUPREMUM[(a, b)] = sup
+        _SUPREMUM[(b, a)] = sup
+
+
+_fill_supremum()
+
+
+def supremum(a: LockMode, b: LockMode) -> LockMode:
+    """Least upper bound of two modes in the restrictiveness lattice."""
+    return _SUPREMUM[(a, b)]
+
+
+def covers(held: LockMode, required: LockMode) -> bool:
+    """Is ``held`` *at least as restrictive* as ``required``?
+
+    This is the paper's "(at least) IS/IX locked" test: a node locked in
+    IX satisfies a requirement of "at least IS"; a node locked in S does
+    *not* satisfy "at least IX" (S grants no write intention).
+    """
+    return supremum(held, required) == held
+
+
+def intention_of(mode: LockMode) -> LockMode:
+    """The intention mode a parent must carry before ``mode`` is requested.
+
+    Protocol rules 1-4: S needs parents "(at least) IS"; X and IX need
+    parents "(at least) IX".  SIX behaves like X for this purpose because
+    it includes write intent.
+    """
+    if mode in (S, IS):
+        return IS
+    return IX
+
+
+ALL_MODES = (IS, IX, S, SIX, X)
+
+#: Modes the paper's protocol requests explicitly (SIX only via conversion).
+PAPER_MODES = (IS, IX, S, X)

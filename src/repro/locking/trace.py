@@ -1,0 +1,149 @@
+"""Lock tracing: a recorded narrative of lock-manager activity.
+
+The paper explains its protocol through worked narratives ("Hence,
+'Database db1' ..., 'Segment seg1', 'Relation cells', 'cell c1' and list
+'robots' are IX locked in sequence").  :class:`LockTrace` records every
+request, grant, wait, wake, release and cancellation so tests, examples
+and the CLI can render exactly such narratives — and so concurrency bugs
+leave evidence.
+
+Attach with ``trace = LockTrace.attach(manager)``; detach restores the
+undecorated methods.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+
+class TraceEvent:
+    __slots__ = ("seq", "action", "txn", "resource", "mode", "outcome")
+
+    def __init__(self, seq, action, txn, resource, mode=None, outcome=None):
+        self.seq = seq
+        self.action = action
+        self.txn = txn
+        self.resource = resource
+        self.mode = mode
+        self.outcome = outcome
+
+    def render(self) -> str:
+        parts = ["#%03d" % self.seq, self.action, "txn=%s" % (self.txn,)]
+        if self.resource is not None:
+            parts.append("/".join(str(p) for p in self.resource))
+        if self.mode is not None:
+            parts.append(str(self.mode))
+        if self.outcome is not None:
+            parts.append("-> %s" % self.outcome)
+        return " ".join(parts)
+
+    def __repr__(self):
+        return "TraceEvent(%s)" % self.render()
+
+
+class LockTrace:
+    """Event recorder wrapping a :class:`~repro.locking.manager.LockManager`."""
+
+    def __init__(self):
+        self.events: List[TraceEvent] = []
+        self._seq = itertools.count(1)
+        self._manager = None
+        self._originals = {}
+
+    # -- attachment -------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, manager) -> "LockTrace":
+        trace = cls()
+        trace._manager = manager
+        trace._originals = {
+            "acquire": manager.acquire,
+            "release": manager.release,
+            "release_all": manager.release_all,
+            "cancel": manager.cancel,
+        }
+
+        def acquire(txn, resource, mode, long=False, wait=True):
+            request = trace._originals["acquire"](
+                txn, resource, mode, long=long, wait=wait
+            )
+            trace._record(
+                "acquire", txn, resource, mode,
+                "granted" if request.granted else "WAIT",
+            )
+            return request
+
+        def release(txn, resource):
+            woken = trace._originals["release"](txn, resource)
+            trace._record("release", txn, resource)
+            trace._record_woken(woken)
+            return woken
+
+        def release_all(txn, keep_long=False):
+            woken = trace._originals["release_all"](txn, keep_long=keep_long)
+            trace._record("release_all", txn, None)
+            trace._record_woken(woken)
+            return woken
+
+        def cancel(request):
+            woken = trace._originals["cancel"](request)
+            trace._record("cancel", request.txn, request.resource, request.mode)
+            trace._record_woken(woken)
+            return woken
+
+        manager.acquire = acquire
+        manager.release = release
+        manager.release_all = release_all
+        manager.cancel = cancel
+        return trace
+
+    def detach(self):
+        if self._manager is None:
+            return
+        for name in self._originals:
+            # the wrappers were installed as instance attributes shadowing
+            # the class methods; removing them restores class lookup
+            try:
+                delattr(self._manager, name)
+            except AttributeError:
+                pass
+        self._manager = None
+
+    # -- recording -----------------------------------------------------------------
+
+    def _record(self, action, txn, resource, mode=None, outcome=None):
+        self.events.append(
+            TraceEvent(next(self._seq), action, txn, resource, mode, outcome)
+        )
+
+    def _record_woken(self, woken):
+        for request in woken:
+            self._record(
+                "grant", request.txn, request.resource, request.target_mode,
+                "woken",
+            )
+
+    # -- queries ---------------------------------------------------------------------
+
+    def for_txn(self, txn) -> List[TraceEvent]:
+        return [event for event in self.events if event.txn == txn]
+
+    def waits(self) -> List[TraceEvent]:
+        return [event for event in self.events if event.outcome == "WAIT"]
+
+    def grants(self) -> List[TraceEvent]:
+        return [
+            event
+            for event in self.events
+            if event.outcome in ("granted", "woken")
+        ]
+
+    def render(self) -> str:
+        return "\n".join(event.render() for event in self.events)
+
+    def clear(self):
+        self.events.clear()
+
+    def __len__(self):
+        return len(self.events)

@@ -1,0 +1,88 @@
+"""Extended NF² data model with references to common data.
+
+This package is the storage substrate beneath the lock technique: schema
+types (:mod:`~repro.nf2.types`), instance values
+(:mod:`~repro.nf2.values`), path expressions (:mod:`~repro.nf2.paths`),
+relation schemas (:mod:`~repro.nf2.schema`) and the database containers
+(:mod:`~repro.nf2.database`).
+"""
+
+from repro.nf2.database import (
+    Database,
+    Relation,
+    make_list,
+    make_set,
+    make_tuple,
+)
+from repro.nf2.index import Index, validate_indexable
+from repro.nf2.paths import (
+    AttrStep,
+    ElemStep,
+    STAR,
+    format_path,
+    iter_schema_paths,
+    parse_path,
+    resolve_type,
+    resolve_value,
+    schema_path,
+)
+from repro.nf2.schema import RelationSchema, check_schema_closure
+from repro.nf2.surrogate import SurrogateGenerator
+from repro.nf2.types import (
+    ATOMIC_DOMAINS,
+    AtomicType,
+    AttributeType,
+    ListType,
+    RefType,
+    SetType,
+    TupleType,
+    referenced_relations,
+    type_depth,
+)
+from repro.nf2.values import (
+    ComplexObject,
+    ListValue,
+    Reference,
+    SetValue,
+    TupleValue,
+    collect_references,
+    value_kind,
+)
+
+__all__ = [
+    "ATOMIC_DOMAINS",
+    "AtomicType",
+    "AttributeType",
+    "AttrStep",
+    "ComplexObject",
+    "Database",
+    "ElemStep",
+    "Index",
+    "ListType",
+    "ListValue",
+    "Reference",
+    "RefType",
+    "Relation",
+    "RelationSchema",
+    "SetType",
+    "SetValue",
+    "STAR",
+    "SurrogateGenerator",
+    "TupleType",
+    "TupleValue",
+    "check_schema_closure",
+    "validate_indexable",
+    "collect_references",
+    "format_path",
+    "iter_schema_paths",
+    "make_list",
+    "make_set",
+    "make_tuple",
+    "parse_path",
+    "referenced_relations",
+    "resolve_type",
+    "resolve_value",
+    "schema_path",
+    "type_depth",
+    "value_kind",
+]

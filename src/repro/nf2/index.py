@@ -1,0 +1,93 @@
+"""Secondary indexes over top-level atomic attributes.
+
+Figure 2 shows *indexes* as lockable units beside relations in System R's
+lock graph, and section 5 lists "the integration of indexes into the
+proposed technique" (plus "a solution of the phantom problem") as future
+work.  This module provides the substrate for both:
+
+* an :class:`Index` maps an attribute value to the surrogates of the
+  objects carrying it, maintained automatically on insert/delete/replace;
+* index **entries** are lockable resources of their own (see
+  :func:`repro.graphs.units.index_resource`), so an equality lookup can
+  S-lock the entry *even when no object matches* — and an inserter of
+  that value must X-lock the same entry first.  That conflict is exactly
+  equality-predicate phantom protection.
+
+Only top-level atomic (non-reference) attributes are indexable; that is
+what the paper's key-lookup queries (Q1-Q3) need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import IntegrityError, SchemaError
+
+
+class Index:
+    """Value → surrogates mapping for one attribute of one relation."""
+
+    def __init__(self, relation_name: str, attribute: str, unique: bool = False):
+        self.relation_name = relation_name
+        self.attribute = attribute
+        self.unique = unique
+        self._entries: Dict[object, List[str]] = {}
+
+    @property
+    def name(self) -> str:
+        """The lockable unit's name: ``relation#attribute``."""
+        return "%s#%s" % (self.relation_name, self.attribute)
+
+    def add(self, value, surrogate: str):
+        bucket = self._entries.setdefault(value, [])
+        if self.unique and bucket:
+            raise IntegrityError(
+                "unique index %s already holds value %r" % (self.name, value)
+            )
+        bucket.append(surrogate)
+
+    def remove(self, value, surrogate: str):
+        bucket = self._entries.get(value)
+        if not bucket or surrogate not in bucket:
+            raise IntegrityError(
+                "index %s has no entry %r -> %r" % (self.name, value, surrogate)
+            )
+        bucket.remove(surrogate)
+        if not bucket:
+            del self._entries[value]
+
+    def lookup(self, value) -> List[str]:
+        """Surrogates of the objects whose attribute equals ``value``."""
+        return list(self._entries.get(value, ()))
+
+    def values(self) -> List[object]:
+        return sorted(self._entries, key=repr)
+
+    def entry_count(self) -> int:
+        return sum(len(bucket) for bucket in self._entries.values())
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __repr__(self):
+        return "Index(%s, %d values%s)" % (
+            self.name,
+            len(self._entries),
+            ", unique" if self.unique else "",
+        )
+
+
+def validate_indexable(schema, attribute: str):
+    """Check that ``attribute`` is a top-level atomic non-ref attribute."""
+    try:
+        attr_type = schema.object_type.attribute_type(attribute)
+    except SchemaError:
+        raise SchemaError(
+            "relation %r has no attribute %r to index" % (schema.name, attribute)
+        )
+    if not attr_type.is_atomic() or attr_type.is_reference():
+        raise SchemaError(
+            "only top-level atomic attributes are indexable, %r is %r"
+            % (attribute, attr_type)
+        )
+    return attr_type

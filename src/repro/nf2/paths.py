@@ -1,0 +1,226 @@
+"""Path expressions addressing schema nodes and instance nodes.
+
+Locks are requested on *instance* granules ("cell c1" → "robots" →
+"robot r1", Figure 7) while object-specific lock graphs are *schema* level
+(Figure 5).  Both are addressed with paths:
+
+* a **schema path** is a sequence of steps descending a relation's type
+  tree: attribute steps (``robots``) and one ``*`` element step per
+  set/list level (``robots.*``, ``robots.*.trajectory``);
+* an **instance path** replaces each ``*`` by the key of a concrete element
+  (``robots[r1].trajectory``).
+
+The textual syntax ``attr[key].attr2[key2]...`` is used by tests, examples
+and the query layer.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import PathError
+from repro.nf2.types import AttributeType, ListType, SetType, TupleType
+from repro.nf2.values import ListValue, SetValue, TupleValue
+
+
+class AttrStep:
+    """Descend into a named attribute of a (complex) tuple."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other):
+        return isinstance(other, AttrStep) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("attr", self.name))
+
+    def __repr__(self):
+        return "AttrStep(%r)" % self.name
+
+
+class ElemStep:
+    """Select the element of a set/list whose key attribute equals ``key``."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __eq__(self, other):
+        return isinstance(other, ElemStep) and self.key == other.key
+
+    def __hash__(self):
+        return hash(("elem", self.key))
+
+    def __repr__(self):
+        return "ElemStep(%r)" % (self.key,)
+
+
+#: The schema-level wildcard element step.
+STAR = ElemStep("*")
+
+
+def parse_path(text: str) -> Tuple:
+    """Parse ``"robots[r1].trajectory"`` into a tuple of steps.
+
+    ``*`` inside brackets (or a bare ``*`` segment) produces the schema
+    wildcard element step.  An empty string yields the empty path (the
+    object root itself).
+    """
+    if not text:
+        return ()
+    steps = []
+    for segment in text.split("."):
+        if not segment:
+            raise PathError("empty path segment in %r" % text)
+        name = segment
+        keys = []
+        while name.endswith("]"):
+            open_idx = name.rfind("[")
+            if open_idx < 0:
+                raise PathError("unbalanced brackets in %r" % text)
+            keys.insert(0, name[open_idx + 1 : -1])
+            name = name[:open_idx]
+        if name == "*":
+            if keys:
+                raise PathError("wildcard segment cannot carry keys: %r" % text)
+            steps.append(STAR)
+            continue
+        if not name:
+            raise PathError("missing attribute name in %r" % text)
+        if "[" in name or "]" in name:
+            raise PathError("unbalanced brackets in %r" % text)
+        steps.append(AttrStep(name))
+        for key in keys:
+            steps.append(ElemStep(key) if key != "*" else STAR)
+    return tuple(steps)
+
+
+def format_path(steps) -> str:
+    """Inverse of :func:`parse_path` (canonical textual form)."""
+    parts = []
+    for step in steps:
+        if isinstance(step, AttrStep):
+            parts.append("." + step.name if parts else step.name)
+        elif isinstance(step, ElemStep):
+            if not parts:
+                parts.append("*" if step.key == "*" else "[%s]" % step.key)
+            else:
+                parts.append("[%s]" % step.key)
+        else:
+            raise PathError("unknown step %r" % (step,))
+    return "".join(parts)
+
+
+def schema_path(steps) -> Tuple:
+    """Project an instance path onto its schema path (keys → ``*``)."""
+    projected = []
+    for step in steps:
+        if isinstance(step, ElemStep):
+            projected.append(STAR)
+        else:
+            projected.append(step)
+    return tuple(projected)
+
+
+def resolve_type(root_type: TupleType, steps) -> AttributeType:
+    """Resolve a (schema or instance) path against a type tree.
+
+    Returns the :class:`AttributeType` at the end of the path.  Raises
+    :class:`PathError` when a step does not fit the structure.
+    """
+    current: AttributeType = root_type
+    for step in steps:
+        if isinstance(step, AttrStep):
+            if not isinstance(current, TupleType):
+                raise PathError(
+                    "attribute step %r applied to non-tuple type %r"
+                    % (step.name, current)
+                )
+            try:
+                current = current.attribute_type(step.name)
+            except Exception:
+                raise PathError(
+                    "type has no attribute %r (have: %r)"
+                    % (step.name, [n for n, _ in current.attributes])
+                )
+        elif isinstance(step, ElemStep):
+            if not isinstance(current, (SetType, ListType)):
+                raise PathError(
+                    "element step %r applied to non-collection type %r"
+                    % (step.key, current)
+                )
+            current = current.element_type
+        else:
+            raise PathError("unknown step %r" % (step,))
+    return current
+
+
+def resolve_value(root: TupleValue, root_type: TupleType, steps):
+    """Resolve an instance path against a value tree.
+
+    Element steps select set/list members by their key attribute (the
+    ``..._id`` attribute of the element tuple type).  Returns the value at
+    the end of the path; raises :class:`PathError` when the path does not
+    resolve.
+    """
+    value = root
+    current_type: AttributeType = root_type
+    for step in steps:
+        if isinstance(step, AttrStep):
+            if not isinstance(value, TupleValue) or not isinstance(
+                current_type, TupleType
+            ):
+                raise PathError("attribute step %r on non-tuple value" % step.name)
+            current_type = resolve_type(current_type, (step,))
+            value = value[step.name]
+        elif isinstance(step, ElemStep):
+            if not isinstance(current_type, (SetType, ListType)):
+                raise PathError("element step %r on non-collection" % (step.key,))
+            if not isinstance(value, (SetValue, ListValue)):
+                raise PathError("element step %r on non-collection value" % (step.key,))
+            element_type = current_type.element_type
+            if not isinstance(element_type, TupleType) or element_type.key is None:
+                raise PathError(
+                    "element selection needs a keyed tuple element type, got %r"
+                    % (element_type,)
+                )
+            element = value.find_by_key(element_type.key, step.key)
+            if element is None and isinstance(step.key, str):
+                # Resource ids stringify keys; retry with the int reading.
+                try:
+                    element = value.find_by_key(element_type.key, int(step.key))
+                except ValueError:
+                    element = None
+            if element is None:
+                raise PathError(
+                    "no element with %s=%r" % (element_type.key, step.key)
+                )
+            current_type = element_type
+            value = element
+        else:
+            raise PathError("unknown step %r" % (step,))
+    return value
+
+
+def iter_schema_paths(root_type: TupleType):
+    """Yield every schema path of a type tree, root first (pre-order).
+
+    Yields ``(path, type)`` pairs including the empty path for the root.
+    Used by the object-specific lock-graph builder.
+    """
+
+    def walk(path, attr_type):
+        yield path, attr_type
+        if isinstance(attr_type, TupleType):
+            for name, child in attr_type.attributes:
+                for item in walk(path + (AttrStep(name),), child):
+                    yield item
+        elif isinstance(attr_type, (SetType, ListType)):
+            for item in walk(path + (STAR,), attr_type.element_type):
+                yield item
+
+    return walk((), root_type)

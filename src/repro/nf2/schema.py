@@ -1,0 +1,122 @@
+"""Relation schemas of the extended NF² data model.
+
+A :class:`RelationSchema` couples a relation name with the
+:class:`~repro.nf2.types.TupleType` of its member complex objects, the
+segment the relation is stored in, and the key attribute.  Section 2 of the
+paper fixes two structural rules that we validate here:
+
+* references always target *whole relations* of common data, never parts of
+  a complex object ("a reference to common data always references a complex
+  object of a relation"), and
+* complex objects are **non-recursive** — a relation's type tree must not
+  reference the relation itself, directly or transitively (recursive
+  complex objects are explicitly out of the paper's scope).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.errors import SchemaError
+from repro.nf2.types import TupleType, referenced_relations, type_depth
+
+
+class RelationSchema:
+    """Schema of one complex-object relation."""
+
+    def __init__(
+        self,
+        name: str,
+        object_type: TupleType,
+        segment: str = "seg1",
+        key: Optional[str] = None,
+    ):
+        if not name:
+            raise SchemaError("relation needs a non-empty name")
+        if "#" in name:
+            # '#' is reserved for index lockable units ("relation#attr")
+            raise SchemaError("relation names may not contain '#': %r" % name)
+        if not isinstance(object_type, TupleType):
+            raise SchemaError(
+                "relation %r: object type must be a TupleType, got %r"
+                % (name, object_type)
+            )
+        self.name = name
+        self.object_type = (
+            object_type
+            if key is None
+            else TupleType(object_type.attributes, key=key)
+        )
+        if self.object_type.key is None:
+            raise SchemaError(
+                "relation %r: object type needs a key attribute "
+                "(an attribute ending in '_id' or an explicit key=...)" % name
+            )
+        self.segment = segment
+
+    @property
+    def key(self) -> str:
+        return self.object_type.key
+
+    def referenced_relations(self):
+        """Names of all common-data relations referenced by this schema."""
+        return referenced_relations(self.object_type)
+
+    def depth(self) -> int:
+        """Structural depth of the object type tree."""
+        return type_depth(self.object_type)
+
+    def __repr__(self):
+        return "RelationSchema(%r, segment=%r, key=%r)" % (
+            self.name,
+            self.segment,
+            self.key,
+        )
+
+
+def check_schema_closure(schemas: Iterable[RelationSchema]):
+    """Validate a set of relation schemas as a closed, non-recursive database.
+
+    * every referenced relation must exist in the set;
+    * the reference graph between relations must be acyclic (non-recursive
+      complex objects; a cycle would make objects transitively contain
+      objects of their own type).
+
+    Raises :class:`SchemaError` on violation; returns the schemas keyed by
+    name on success.
+    """
+    by_name: Dict[str, RelationSchema] = {}
+    for schema in schemas:
+        if schema.name in by_name:
+            raise SchemaError("duplicate relation name %r" % schema.name)
+        by_name[schema.name] = schema
+
+    for schema in by_name.values():
+        for target in schema.referenced_relations():
+            if target not in by_name:
+                raise SchemaError(
+                    "relation %r references unknown relation %r"
+                    % (schema.name, target)
+                )
+
+    # Cycle check over the relation-reference graph (DFS, three colours).
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {name: WHITE for name in by_name}
+
+    def visit(name, trail):
+        colour[name] = GREY
+        for target in sorted(by_name[name].referenced_relations()):
+            if colour[target] == GREY:
+                cycle = trail + [name, target]
+                raise SchemaError(
+                    "recursive complex objects are not supported "
+                    "(reference cycle: %s)" % " -> ".join(cycle)
+                )
+            if colour[target] == WHITE:
+                visit(target, trail + [name])
+        colour[name] = BLACK
+
+    for name in sorted(by_name):
+        if colour[name] == WHITE:
+            visit(name, [])
+    return by_name

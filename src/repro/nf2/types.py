@@ -1,0 +1,292 @@
+"""Attribute types of the extended NF² data model.
+
+The paper (section 1 and 2) bases its discussion on the extended NF² data
+model of Pistor/Andersen with an additional *reference* concept:
+
+* attributes may be **atomic** (``str``, ``int``, ``float``, ``bool``),
+* **table-valued**: a ``set`` or a ``list`` of values of one element type
+  (homogeneously structured values),
+* **tuple-valued**: a (complex) tuple composed of attributes of different
+  types (heterogeneously structured values),
+* or a **reference** to common data — always referencing a whole complex
+  object of another relation, never parts of one (the paper's explicit
+  assumption in section 2).
+
+These type descriptors are pure schema objects; instance values live in
+:mod:`repro.nf2.values`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import SchemaError
+
+#: Names of the supported atomic domains.
+ATOMIC_DOMAINS = ("str", "int", "float", "bool")
+
+
+class AttributeType:
+    """Abstract base of all NF² attribute types."""
+
+    #: short structural tag used by lock-graph derivation rules (section 4.3)
+    kind = "abstract"
+
+    def validate(self, value, resolver=None):
+        """Check that ``value`` conforms to this type.
+
+        ``resolver`` is an optional callable ``resolver(relation_name,
+        surrogate) -> bool`` used by reference types to verify that the
+        target object exists.  Raises :class:`SchemaError` on mismatch.
+        """
+        raise NotImplementedError
+
+    def children(self) -> Iterator[Tuple[str, "AttributeType"]]:
+        """Yield ``(name, type)`` pairs of direct structural children."""
+        return iter(())
+
+    def is_atomic(self) -> bool:
+        return False
+
+    def is_reference(self) -> bool:
+        return False
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self):
+        return hash((type(self).__name__, repr(self)))
+
+
+class AtomicType(AttributeType):
+    """An atomic attribute: string, integer, float or boolean.
+
+    In the paper's Figure 1 these are the schema-tree leaves labelled
+    ``str`` and ``int``.
+    """
+
+    kind = "atomic"
+
+    _PYTHON_TYPES = {
+        "str": str,
+        "int": int,
+        "float": (int, float),
+        "bool": bool,
+    }
+
+    def __init__(self, domain: str):
+        if domain not in ATOMIC_DOMAINS:
+            raise SchemaError(
+                "unknown atomic domain %r (expected one of %s)"
+                % (domain, ", ".join(ATOMIC_DOMAINS))
+            )
+        self.domain = domain
+
+    def validate(self, value, resolver=None):
+        expected = self._PYTHON_TYPES[self.domain]
+        # bool is a subclass of int; keep the domains disjoint.
+        if self.domain in ("int", "float") and isinstance(value, bool):
+            raise SchemaError("expected %s, got bool %r" % (self.domain, value))
+        if not isinstance(value, expected):
+            raise SchemaError(
+                "expected atomic %s, got %r of type %s"
+                % (self.domain, value, type(value).__name__)
+            )
+
+    def is_atomic(self):
+        return True
+
+    def __repr__(self):
+        return "AtomicType(%r)" % self.domain
+
+
+class RefType(AttributeType):
+    """A reference to a complex object of another ("common data") relation.
+
+    The dashed arrow of Figure 1: ``ref -> effectors``.  The paper leaves
+    the implementation of references open (footnote 1); we implement them
+    with surrogates (Meier/Lorie) — see :class:`repro.nf2.values.Reference`.
+    """
+
+    kind = "ref"
+
+    def __init__(self, target_relation: str):
+        if not target_relation:
+            raise SchemaError("reference type needs a target relation name")
+        self.target_relation = target_relation
+
+    def validate(self, value, resolver=None):
+        from repro.nf2.values import Reference
+
+        if not isinstance(value, Reference):
+            raise SchemaError(
+                "expected Reference to %r, got %r" % (self.target_relation, value)
+            )
+        if value.relation != self.target_relation:
+            raise SchemaError(
+                "reference targets relation %r, expected %r"
+                % (value.relation, self.target_relation)
+            )
+        if resolver is not None and not resolver(value.relation, value.surrogate):
+            raise SchemaError(
+                "dangling reference: no object %r in relation %r"
+                % (value.surrogate, value.relation)
+            )
+
+    def is_atomic(self):
+        # References are leaves of the schema tree (BLUs in the lock graph)
+        # even though they point at further structure.
+        return True
+
+    def is_reference(self):
+        return True
+
+    def __repr__(self):
+        return "RefType(%r)" % self.target_relation
+
+
+class SetType(AttributeType):
+    """A set of elements of one common type (homogeneously structured).
+
+    Sets are unordered; element identity is by key (for tuple elements with
+    a key attribute) or by value (for atomic elements).
+    """
+
+    kind = "set"
+
+    def __init__(self, element_type: AttributeType):
+        if not isinstance(element_type, AttributeType):
+            raise SchemaError("set element type must be an AttributeType")
+        self.element_type = element_type
+
+    def validate(self, value, resolver=None):
+        from repro.nf2.values import SetValue
+
+        if not isinstance(value, SetValue):
+            raise SchemaError("expected SetValue, got %r" % (value,))
+        for element in value:
+            self.element_type.validate(element, resolver)
+
+    def children(self):
+        yield ("*", self.element_type)
+
+    def __repr__(self):
+        return "SetType(%r)" % (self.element_type,)
+
+
+class ListType(AttributeType):
+    """An ordered list of elements of one common type.
+
+    Figure 1's ``robots`` attribute is a list ordered e.g. by ``robot_id``.
+    """
+
+    kind = "list"
+
+    def __init__(self, element_type: AttributeType):
+        if not isinstance(element_type, AttributeType):
+            raise SchemaError("list element type must be an AttributeType")
+        self.element_type = element_type
+
+    def validate(self, value, resolver=None):
+        from repro.nf2.values import ListValue
+
+        if not isinstance(value, ListValue):
+            raise SchemaError("expected ListValue, got %r" % (value,))
+        for element in value:
+            self.element_type.validate(element, resolver)
+
+    def children(self):
+        yield ("*", self.element_type)
+
+    def __repr__(self):
+        return "ListType(%r)" % (self.element_type,)
+
+
+class TupleType(AttributeType):
+    """A (complex) tuple: named attributes of possibly different types.
+
+    The heterogeneously structured values of the paper.  Attribute order is
+    preserved (it is the order of Figure 1's schema trees) and attribute
+    names must be unique.  A name ending in ``_id`` marks the key attribute
+    by the paper's convention; this can be overridden via ``key``.
+    """
+
+    kind = "tuple"
+
+    def __init__(self, attributes, key: Optional[str] = None):
+        names = [name for name, _ in attributes]
+        if len(names) != len(set(names)):
+            raise SchemaError("duplicate attribute names in tuple type: %r" % names)
+        for name, attr_type in attributes:
+            if not isinstance(attr_type, AttributeType):
+                raise SchemaError(
+                    "attribute %r must have an AttributeType, got %r"
+                    % (name, attr_type)
+                )
+        self.attributes = tuple((name, attr_type) for name, attr_type in attributes)
+        if key is not None:
+            if key not in names:
+                raise SchemaError("key attribute %r not among %r" % (key, names))
+            self.key = key
+        else:
+            id_names = [name for name in names if name.endswith("_id")]
+            self.key = id_names[0] if id_names else None
+        if self.key is not None:
+            key_type = dict(self.attributes)[self.key]
+            if not key_type.is_atomic() or key_type.is_reference():
+                raise SchemaError(
+                    "key attribute %r must be atomic, got %r" % (self.key, key_type)
+                )
+
+    def validate(self, value, resolver=None):
+        from repro.nf2.values import TupleValue
+
+        if not isinstance(value, TupleValue):
+            raise SchemaError("expected TupleValue, got %r" % (value,))
+        expected = dict(self.attributes)
+        if set(value.keys()) != set(expected):
+            raise SchemaError(
+                "tuple attributes %r do not match schema %r"
+                % (sorted(value.keys()), sorted(expected))
+            )
+        for name, attr_type in self.attributes:
+            attr_type.validate(value[name], resolver)
+
+    def children(self):
+        return iter(self.attributes)
+
+    def attribute_type(self, name: str) -> AttributeType:
+        """Return the type of attribute ``name`` or raise SchemaError."""
+        for attr_name, attr_type in self.attributes:
+            if attr_name == name:
+                return attr_type
+        raise SchemaError("tuple type has no attribute %r" % name)
+
+    def __repr__(self):
+        return "TupleType(%s)" % ", ".join(
+            "%s=%r" % (name, attr_type) for name, attr_type in self.attributes
+        )
+
+
+def referenced_relations(attr_type: AttributeType):
+    """Return the set of relation names referenced anywhere below ``attr_type``.
+
+    Used by the schema layer to validate reference targets and by the
+    lock-graph builder to find dashed edges.
+    """
+    found = set()
+    stack = [attr_type]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, RefType):
+            found.add(current.target_relation)
+        for _, child in current.children():
+            stack.append(child)
+    return found
+
+
+def type_depth(attr_type: AttributeType) -> int:
+    """Structural depth of a type tree (atomic/ref leaves have depth 1)."""
+    if attr_type.is_atomic():
+        return 1
+    return 1 + max(type_depth(child) for _, child in attr_type.children())

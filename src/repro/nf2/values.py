@@ -1,0 +1,286 @@
+"""Instance values of the extended NF² data model.
+
+A complex object is a tree of :class:`TupleValue`, :class:`SetValue`,
+:class:`ListValue` and atomic Python values, with :class:`Reference` leaves
+pointing at complex objects of *common data* relations (the non-disjoint
+case of the paper).
+
+Values deliberately mirror Python's native containers but are distinct
+classes: the lock technique needs to know the *structural kind* of every
+node (HoLU vs. HeLU vs. BLU, section 4.2), and schema validation needs to
+distinguish a set from a list even when both are handed in as iterables.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import IntegrityError, PathError
+
+
+class Reference:
+    """A reference to a complex object in a common-data relation.
+
+    Implemented with surrogates (see :mod:`repro.nf2.surrogate`); two
+    references are equal iff they name the same relation and surrogate.
+    """
+
+    __slots__ = ("relation", "surrogate")
+
+    def __init__(self, relation: str, surrogate: str):
+        self.relation = relation
+        self.surrogate = surrogate
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Reference)
+            and self.relation == other.relation
+            and self.surrogate == other.surrogate
+        )
+
+    def __hash__(self):
+        return hash((self.relation, self.surrogate))
+
+    def __repr__(self):
+        return "Reference(%r, %r)" % (self.relation, self.surrogate)
+
+
+class TupleValue:
+    """A (complex) tuple: an ordered mapping of attribute name to value."""
+
+    def __init__(self, **attributes):
+        self._attributes = dict(attributes)
+
+    @classmethod
+    def from_dict(cls, mapping) -> "TupleValue":
+        value = cls()
+        value._attributes = dict(mapping)
+        return value
+
+    def keys(self):
+        return self._attributes.keys()
+
+    def items(self):
+        return self._attributes.items()
+
+    def values(self):
+        return self._attributes.values()
+
+    def __getitem__(self, name):
+        try:
+            return self._attributes[name]
+        except KeyError:
+            raise PathError("tuple has no attribute %r" % name)
+
+    def __setitem__(self, name, value):
+        self._attributes[name] = value
+
+    def __contains__(self, name):
+        return name in self._attributes
+
+    def get(self, name, default=None):
+        return self._attributes.get(name, default)
+
+    def __eq__(self, other):
+        return isinstance(other, TupleValue) and self._attributes == other._attributes
+
+    def __len__(self):
+        return len(self._attributes)
+
+    def __repr__(self):
+        inner = ", ".join("%s=%r" % kv for kv in self._attributes.items())
+        return "TupleValue(%s)" % inner
+
+
+class _Collection:
+    """Shared behaviour of SetValue and ListValue (homogeneous values)."""
+
+    def __init__(self, elements: Optional[Iterable] = None):
+        self._elements = list(elements) if elements is not None else []
+
+    def __iter__(self) -> Iterator:
+        return iter(self._elements)
+
+    def __len__(self):
+        return len(self._elements)
+
+    def __bool__(self):
+        return bool(self._elements)
+
+    def add(self, element):
+        self._elements.append(element)
+
+    def remove(self, element):
+        try:
+            self._elements.remove(element)
+        except ValueError:
+            raise IntegrityError("element %r not in collection" % (element,))
+
+    def find(self, predicate):
+        """Return the first element satisfying ``predicate`` or None."""
+        for element in self._elements:
+            if predicate(element):
+                return element
+        return None
+
+    def find_by_key(self, key_attr: str, key_value):
+        """Return the tuple element whose ``key_attr`` equals ``key_value``."""
+        for element in self._elements:
+            if isinstance(element, TupleValue) and element.get(key_attr) == key_value:
+                return element
+        return None
+
+
+class SetValue(_Collection):
+    """An unordered collection of same-typed elements (a HoLU instance).
+
+    Order of insertion is preserved internally for determinism, but equality
+    is order-insensitive — matching set semantics while keeping elements
+    that are unhashable containers.
+    """
+
+    def __eq__(self, other):
+        if not isinstance(other, SetValue):
+            return False
+        if len(self) != len(other):
+            return False
+        remaining = list(other._elements)
+        for element in self._elements:
+            if element in remaining:
+                remaining.remove(element)
+            else:
+                return False
+        return not remaining
+
+    def __repr__(self):
+        return "SetValue(%r)" % (self._elements,)
+
+
+class ListValue(_Collection):
+    """An ordered collection of same-typed elements (a HoLU instance)."""
+
+    def __eq__(self, other):
+        return isinstance(other, ListValue) and self._elements == other._elements
+
+    def __getitem__(self, index):
+        return self._elements[index]
+
+    def insert(self, index, element):
+        self._elements.insert(index, element)
+
+    def index(self, element):
+        return self._elements.index(element)
+
+    def __repr__(self):
+        return "ListValue(%r)" % (self._elements,)
+
+
+class ComplexObject:
+    """A complex object: the root tuple of a relation member plus identity.
+
+    Identity is the surrogate assigned at insertion time; ``key`` caches the
+    key-attribute value for lookups.  ``root`` is the :class:`TupleValue`
+    holding the object's data tree.
+    """
+
+    __slots__ = ("relation", "surrogate", "key", "root")
+
+    def __init__(self, relation: str, surrogate: str, key, root: TupleValue):
+        self.relation = relation
+        self.surrogate = surrogate
+        self.key = key
+        self.root = root
+
+    def reference(self) -> Reference:
+        """Return a Reference pointing at this object."""
+        return Reference(self.relation, self.surrogate)
+
+    def snapshot(self) -> "ComplexObject":
+        """Deep copy for undo logs and workstation check-out."""
+        return ComplexObject(
+            self.relation, self.surrogate, self.key, copy.deepcopy(self.root)
+        )
+
+    def __repr__(self):
+        return "ComplexObject(%r, %r, key=%r)" % (
+            self.relation,
+            self.surrogate,
+            self.key,
+        )
+
+
+def collect_references(value) -> list:
+    """Return every :class:`Reference` reachable in ``value``, in tree order.
+
+    This is the scan the paper relies on for implicit downward propagation
+    ("this is done by a scan over all the existing references", end of
+    section 4.4.2.1).
+    """
+    found = []
+    stack = [value]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Reference):
+            found.append(current)
+        elif isinstance(current, TupleValue):
+            stack.extend(reversed(list(current.values())))
+        elif isinstance(current, _Collection):
+            stack.extend(reversed(list(current)))
+    return found
+
+
+def reference_paths(root) -> list:
+    """Yield ``(reference, steps)`` pairs locating each reference occurrence.
+
+    ``steps`` is the instance path (AttrStep/ElemStep sequence) of the
+    innermost *addressable* node holding the reference: the tuple
+    attribute for a directly-held reference, or the containing collection
+    for references that are themselves collection elements (reference BLUs
+    have no key of their own).  This is what the naive DAG baseline needs
+    to lock "all parent nodes" of a shared node (section 3.2.2).
+    """
+    from repro.nf2.paths import AttrStep, ElemStep
+
+    out = []
+
+    def element_key(element: TupleValue):
+        for name in element.keys():
+            if name.endswith("_id"):
+                return element[name]
+        return None
+
+    def walk(node, steps):
+        if isinstance(node, Reference):
+            out.append((node, steps))
+        elif isinstance(node, TupleValue):
+            for name, child in node.items():
+                walk(child, steps + (AttrStep(name),))
+        elif isinstance(node, _Collection):
+            for element in node:
+                if isinstance(element, Reference):
+                    out.append((element, steps))
+                elif isinstance(element, TupleValue):
+                    key = element_key(element)
+                    if key is None:
+                        walk(element, steps)
+                    else:
+                        walk(element, steps + (ElemStep(key),))
+                elif isinstance(element, _Collection):
+                    walk(element, steps)
+
+    walk(root, ())
+    return out
+
+
+def value_kind(value) -> str:
+    """Structural kind of an instance node: tuple / set / list / ref / atomic."""
+    if isinstance(value, TupleValue):
+        return "tuple"
+    if isinstance(value, SetValue):
+        return "set"
+    if isinstance(value, ListValue):
+        return "list"
+    if isinstance(value, Reference):
+        return "ref"
+    return "atomic"

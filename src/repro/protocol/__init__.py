@@ -1,0 +1,42 @@
+"""Lock protocols: the paper's technique and its baselines, plus the
+query-time lock-request optimizer."""
+
+from repro.protocol.base import LockPlan, PlannedLock, ProtocolBase
+from repro.protocol.herrmann import HerrmannProtocol
+from repro.protocol.naive_dag import NaiveDAGProtocol, NaiveDAGUnsafeProtocol
+from repro.protocol.optimizer import AccessIntent, LockRequestOptimizer
+from repro.protocol.system_r import (
+    SystemRRelationProtocol,
+    SystemRTupleProtocol,
+    tuple_resources_below,
+)
+from repro.protocol.xsql import XSQLProtocol
+
+#: All comparable protocol classes, keyed by their report name.
+PROTOCOLS = {
+    cls.name: cls
+    for cls in (
+        HerrmannProtocol,
+        SystemRTupleProtocol,
+        SystemRRelationProtocol,
+        XSQLProtocol,
+        NaiveDAGProtocol,
+        NaiveDAGUnsafeProtocol,
+    )
+}
+
+__all__ = [
+    "AccessIntent",
+    "HerrmannProtocol",
+    "LockPlan",
+    "LockRequestOptimizer",
+    "NaiveDAGProtocol",
+    "NaiveDAGUnsafeProtocol",
+    "PROTOCOLS",
+    "PlannedLock",
+    "ProtocolBase",
+    "SystemRRelationProtocol",
+    "SystemRTupleProtocol",
+    "XSQLProtocol",
+    "tuple_resources_below",
+]

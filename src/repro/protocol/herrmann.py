@@ -1,0 +1,186 @@
+"""The paper's lock protocol (section 4.4.2.1, rules 1-5 and 4').
+
+One logical demand — "lock this granule in this mode" — expands into the
+explicit requests of the rules:
+
+* **ancestors** (rules 1/2): every immediate parent up to the root of the
+  requested node's unit — and, for inner units, of the *superunit* — is
+  locked in the matching intention mode ("implicit upward propagation");
+* **via-reference check**: when an entry point is reached through a
+  reference (``via=`` the referencing node), that node must already be
+  locked, at least in intention mode, by the transaction (explicitly or
+  implicitly);
+* **implicit downward propagation** (rules 3/4/4'): before S or X is
+  granted on any node, every entry point of a lower inner unit accessible
+  via that node is locked — S for an S demand; for an X demand, X on
+  modifiable inner units and S on non-modifiable ones when rule 4' is
+  active (the authorization-oriented solution), plain X otherwise;
+* the **target** lock is granted last, exactly as in the paper's worked
+  example ("As soon as all these locks are granted ... the X lock on
+  'robot r1' was granted").
+
+Order of requests is root-to-leaf (rule 5); release is leaf-to-root or at
+end of transaction, handled by the transaction manager.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import AuthorizationError, ProtocolError
+from repro.graphs.units import ancestors
+from repro.locking.modes import IX, S, X, LockMode, intention_of
+from repro.protocol.base import LockPlan, PlannedLock, ProtocolBase
+
+
+class HerrmannProtocol(ProtocolBase):
+    """Lock protocol for disjoint and non-disjoint complex objects.
+
+    Parameters
+    ----------
+    manager, catalog:
+        lock manager and catalog (see :class:`ProtocolBase`).
+    authorization:
+        optional :class:`~repro.catalog.authorization.AuthorizationManager`;
+        required for ``rule4prime``.
+    rule4prime:
+        apply the authorization-aware variant of rule 4 (default True when
+        an authorization manager is supplied).
+    transitive_propagation:
+        follow references inside referenced objects too (common data may
+        again contain common data, section 2).  Default True.
+    """
+
+    name = "herrmann"
+
+    def __init__(
+        self,
+        manager,
+        catalog,
+        authorization=None,
+        rule4prime: Optional[bool] = None,
+        transitive_propagation: bool = True,
+    ):
+        super().__init__(manager, catalog, authorization=authorization)
+        if rule4prime is None:
+            rule4prime = authorization is not None
+        if rule4prime and authorization is None:
+            raise ProtocolError("rule 4' needs an authorization manager")
+        self.rule4prime = rule4prime
+        self.transitive_propagation = transitive_propagation
+
+    # -- planning ---------------------------------------------------------------
+
+    def plan_request(
+        self, txn, resource, mode: LockMode, via=None, propagate: bool = True
+    ) -> LockPlan:
+        """Expand one demand into the rule-mandated explicit requests.
+
+        ``propagate=False`` applies the semantic refinement of the last
+        paragraph of section 4.5: an operation that treats references as
+        opaque values (e.g. deleting a robot without touching its
+        effectors) "needs no locks on common data at all", so downward
+        propagation is skipped.  The caller asserts reference
+        transparency; the rules themselves are unchanged.
+        """
+        self._check_mode(mode)
+        self._check_authorization(txn, resource, mode)
+        steps: List[PlannedLock] = []
+        intention = intention_of(mode)
+        unit_root = self.units.unit_root(resource)
+
+        if self.units.is_entry_point(unit_root):
+            # Inner-unit node. When reached via a reference, the node
+            # holding the reference must already carry (at least) the
+            # intention mode — rule 1/2/3/4, entry-point case.
+            if via is not None and not self.effectively_holds(txn, via, intention):
+                raise ProtocolError(
+                    "referencing node %r must be (at least) %s locked before "
+                    "entry point %r may be requested" % (via, intention, resource)
+                )
+            # Implicit upward propagation: the immediate parents of the
+            # requested node, up to the root of the superunit.
+            for ancestor in self.units.superunit_path(unit_root):
+                steps.append(PlannedLock(ancestor, intention, "upward"))
+            for ancestor in ancestors(resource):
+                if len(ancestor) >= len(unit_root):
+                    steps.append(PlannedLock(ancestor, intention, "ancestor"))
+        else:
+            # Outer-unit node: rule 1/2 — the root of the outer unit needs
+            # no prior locks; every non-root node needs its immediate
+            # parents intention-locked.  Planning the whole chain from the
+            # database node down achieves exactly that.
+            for ancestor in ancestors(resource):
+                steps.append(PlannedLock(ancestor, intention, "ancestor"))
+
+        if mode in (S, X) and propagate:
+            steps.extend(self._downward_steps(txn, resource, mode))
+
+        steps.append(PlannedLock(resource, mode, "target"))
+        return self.finish_plan(txn, steps)
+
+    def _downward_steps(self, txn, resource, mode: LockMode) -> List[PlannedLock]:
+        """Implicit downward propagation onto lower entry points."""
+        if len(resource) < 3:
+            # S/X on database or segment: the paper's graphs never request
+            # these below-intention modes above relation level during
+            # normal processing; treat the whole database as one unit and
+            # propagate to every common-data object would be prohibitive —
+            # but correctness demands it, so we do propagate from relation
+            # level down. Database/segment S/X locks fall back to locking
+            # every relation's entry points.
+            entry_points = []
+            for relation in self.catalog.relation_names():
+                schema = self.catalog.schema(relation)
+                rel_resource = (
+                    self.catalog.database.name,
+                    schema.segment,
+                    relation,
+                )
+                if rel_resource[: len(resource)] == resource:
+                    entry_points.extend(
+                        self.units.entry_points_below(
+                            rel_resource, transitive=self.transitive_propagation
+                        )
+                    )
+        else:
+            entry_points = self.units.entry_points_below(
+                resource, transitive=self.transitive_propagation
+            )
+        steps: List[PlannedLock] = []
+        for entry in entry_points:
+            if entry == resource or entry in set(a for a in ancestors(resource)):
+                continue
+            entry_mode = self._propagated_mode(txn, entry, mode)
+            entry_intention = intention_of(entry_mode)
+            for ancestor in self.units.superunit_path(entry):
+                steps.append(PlannedLock(ancestor, entry_intention, "downward-path"))
+            steps.append(PlannedLock(entry, entry_mode, "downward"))
+        return steps
+
+    def _propagated_mode(self, txn, entry_resource, mode: LockMode) -> LockMode:
+        """Mode pushed onto a lower entry point (rule 3, 4 or 4')."""
+        if mode is S:
+            return S
+        if not self.rule4prime:
+            return X  # rule 4: X propagates X everywhere
+        relation_name = entry_resource[2]
+        if self.authorization.can_modify(txn, relation_name):
+            return X
+        return S  # rule 4': least restrictive mode that is still safe
+
+    def _check_authorization(self, txn, resource, mode: LockMode):
+        """An (I)X demand on a relation's data needs the modify right."""
+        if not self.rule4prime:
+            return
+        if mode not in (X, IX):
+            return
+        if len(resource) < 3:
+            return
+        # index units ("relation#attr") carry their relation's rights
+        relation_name = resource[2].split("#", 1)[0]
+        if not self.authorization.can_modify(txn, relation_name):
+            raise AuthorizationError(
+                "transaction %r requested %s on %r without modify right on %r"
+                % (txn, mode, resource, relation_name)
+            )

@@ -1,0 +1,219 @@
+"""Determination of "optimal" lock requests (section 4.5, after HDKS89).
+
+The companion paper's mechanism — sketched in section 4.5 — is the
+*anticipation of lock escalations*: during query analysis (before any data
+is touched) the optimizer predicts, from structural and statistical
+information, how many fine-granule locks a query would accumulate, and
+requests a coarser granule *in advance* whenever fine locking would later
+escalate anyway.  This avoids the run-time cost and deadlock risk of
+actual escalations while keeping granules "neither too coarse (data would
+be blocked unnecessarily) nor too small (high overhead would result)".
+
+Inputs are :class:`AccessIntent` records produced by the query analyzer:
+which schema paths a query touches, whether it writes, and the estimated
+selectivity at each collection level.  Output is a
+:class:`~repro.graphs.query_graph.QuerySpecificLockGraph`.
+
+Heuristic (per intent, walking from the object node toward the leaf):
+
+1. if the expected *fraction* of elements accessed at a collection level
+   reaches ``fraction_threshold``, cut here — the coarse lock blocks
+   little extra data and saves many locks;
+2. if the expected *number* of fine locks so far exceeds
+   ``escalation_threshold`` (the lock manager's run-time escalation
+   trigger), cut here — fine locking would escalate anyway;
+3. otherwise descend one level and repeat; reaching the end of the path
+   yields the finest (per accessed element / exact component) granule.
+
+The same walk decides between relation-level and object-level locking
+using the fraction of the relation's objects the query selects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import QueryError
+from repro.graphs.query_graph import LockAnnotation, QuerySpecificLockGraph
+from repro.locking.modes import S, X, LockMode
+from repro.nf2.paths import STAR, format_path, schema_path
+
+
+class AccessIntent:
+    """One attribute-path access a query will perform.
+
+    ``path`` is a schema path below the object node (``()`` = the whole
+    object); ``selectivities`` gives, for each ``*`` in the path in order,
+    the estimated fraction of that collection's elements the query
+    touches (default 1.0 = all).  ``object_selectivity`` is the fraction
+    of the relation's objects selected (1.0 = full scan; a key-equality
+    predicate should pass ``1 / object_count``).
+    """
+
+    def __init__(
+        self,
+        relation: str,
+        path,
+        write: bool = False,
+        object_selectivity: float = 1.0,
+        selectivities: Optional[Sequence[float]] = None,
+    ):
+        self.relation = relation
+        self.path = schema_path(tuple(path))
+        self.write = write
+        if not 0.0 <= object_selectivity <= 1.0:
+            raise QueryError("object selectivity must be in [0, 1]")
+        self.object_selectivity = object_selectivity
+        stars = sum(1 for step in self.path if step == STAR)
+        if selectivities is None:
+            selectivities = [1.0] * stars
+        if len(selectivities) != stars:
+            raise QueryError(
+                "intent on %r has %d star level(s) but %d selectivities"
+                % (format_path(self.path), stars, len(selectivities))
+            )
+        for value in selectivities:
+            if not 0.0 < value <= 1.0:
+                raise QueryError("selectivities must be in (0, 1]")
+        self.selectivities = list(selectivities)
+
+    @property
+    def mode(self) -> LockMode:
+        return X if self.write else S
+
+    def __repr__(self):
+        return "AccessIntent(%r, %r, %s)" % (
+            self.relation,
+            format_path(self.path),
+            "write" if self.write else "read",
+        )
+
+
+class LockRequestOptimizer:
+    """Chooses lock granules and modes by anticipating escalations."""
+
+    def __init__(
+        self,
+        statistics,
+        escalation_threshold: int = 10,
+        fraction_threshold: float = 0.75,
+        relation_fraction_threshold: float = 0.9,
+    ):
+        self.statistics = statistics
+        self.escalation_threshold = escalation_threshold
+        self.fraction_threshold = fraction_threshold
+        self.relation_fraction_threshold = relation_fraction_threshold
+        #: how many anticipated escalations the optimizer performed
+        self.anticipated = 0
+
+    def plan_query(self, intents: Iterable[AccessIntent]) -> Dict[str, QuerySpecificLockGraph]:
+        """Produce one query-specific lock graph per accessed relation."""
+        by_relation: Dict[str, List[AccessIntent]] = {}
+        for intent in intents:
+            by_relation.setdefault(intent.relation, []).append(intent)
+        graphs = {}
+        for relation, relation_intents in by_relation.items():
+            annotations = self._plan_relation(relation, relation_intents)
+            graphs[relation] = QuerySpecificLockGraph(relation, annotations)
+        return graphs
+
+    # -- internals -----------------------------------------------------------
+
+    def _plan_relation(self, relation, intents) -> List[LockAnnotation]:
+        object_count = max(1, self.statistics.object_count(relation))
+        max_object_selectivity = max(i.object_selectivity for i in intents)
+        any_write = any(i.write for i in intents)
+
+        # Relation vs object level: a query selecting (nearly) all objects
+        # should lock the relation once instead of each object — but only
+        # when that actually saves locks (≥2 objects expected); escalating
+        # a single-object selection gains nothing and needlessly blocks
+        # the rest of the relation.
+        if (
+            max_object_selectivity >= self.relation_fraction_threshold
+            and max_object_selectivity * object_count >= 2.0
+        ):
+            self.anticipated += 1
+            mode = X if any_write else S
+            return [
+                LockAnnotation(
+                    (),
+                    mode,
+                    reason="anticipated escalation: %.0f%% of relation selected"
+                    % (100 * max_object_selectivity),
+                    relation_level=True,
+                )
+            ]
+
+        expected_objects = max(1.0, max_object_selectivity * object_count)
+        annotations: List[LockAnnotation] = []
+        for intent in intents:
+            annotations.append(
+                self._plan_intent(relation, intent, expected_objects)
+            )
+        return _subsume(annotations)
+
+    def _plan_intent(self, relation, intent, expected_objects) -> LockAnnotation:
+        """Walk the path from the object node down; cut where anticipation says."""
+        if expected_objects > self.escalation_threshold:
+            # Even object-level locks would escalate: one lock per object
+            # is the floor granularity below relation level; keep objects
+            # (escalating to relation level is handled by the caller) but
+            # record the pressure.
+            pass
+        path = intent.path
+        expected_count = expected_objects
+        star_index = 0
+        for cut in range(len(path)):
+            step = path[cut]
+            if step != STAR:
+                continue
+            fanout = self.statistics.estimate_fanout(relation, path[:cut])
+            selectivity = intent.selectivities[star_index]
+            star_index += 1
+            fraction = selectivity
+            next_count = expected_count * max(1.0, fanout * selectivity)
+            if fraction >= self.fraction_threshold:
+                self.anticipated += 1
+                return LockAnnotation(
+                    path[:cut],
+                    intent.mode,
+                    reason="anticipated escalation: %.0f%% of elements accessed"
+                    % (100 * fraction),
+                )
+            if next_count > self.escalation_threshold:
+                self.anticipated += 1
+                return LockAnnotation(
+                    path[:cut],
+                    intent.mode,
+                    reason="anticipated escalation: ~%d fine locks expected"
+                    % int(next_count),
+                )
+            expected_count = next_count
+        return LockAnnotation(path, intent.mode, reason="fine granule")
+
+
+def _subsume(annotations: List[LockAnnotation]) -> List[LockAnnotation]:
+    """Drop annotations covered by a coarser one with a covering mode."""
+    from repro.locking.modes import covers
+
+    kept: List[LockAnnotation] = []
+    for candidate in annotations:
+        covered = False
+        for other in annotations:
+            if other is candidate:
+                continue
+            if len(other.path) <= len(candidate.path) and (
+                candidate.path[: len(other.path)] == other.path
+            ):
+                if covers(other.mode, candidate.mode) and (
+                    len(other.path) < len(candidate.path)
+                    or (other.mode != candidate.mode)
+                ):
+                    covered = True
+                    break
+        if not covered and not any(
+            k.path == candidate.path and k.mode == candidate.mode for k in kept
+        ):
+            kept.append(candidate)
+    return kept

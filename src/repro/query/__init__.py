@@ -1,0 +1,18 @@
+"""Query layer: HDBL-like parser, analyzer, executor."""
+
+from repro.query.analyzer import DEFAULT_NONKEY_SELECTIVITY, QueryAnalyzer
+from repro.query.ast import AccessKind, Binding, Predicate, Query
+from repro.query.executor import QueryExecutor, ResultRow
+from repro.query.parser import parse_query
+
+__all__ = [
+    "AccessKind",
+    "Binding",
+    "DEFAULT_NONKEY_SELECTIVITY",
+    "Predicate",
+    "Query",
+    "QueryAnalyzer",
+    "QueryExecutor",
+    "ResultRow",
+    "parse_query",
+]

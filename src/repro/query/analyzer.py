@@ -1,0 +1,120 @@
+"""Query analysis: which attributes will be accessed, and how.
+
+Section 4.1: "Each query to be processed is first analyzed to find out
+which attributes will be accessed, and which kind of access (read,
+update, ...) will be done.  Then, 'optimal' lock requests ... are
+determined."  This module performs the first half; the produced
+:class:`~repro.protocol.optimizer.AccessIntent` records feed the
+lock-request optimizer.
+
+Selectivity estimation mirrors a textbook optimizer:
+
+* an equality predicate on the *key* attribute of a relation selects
+  ``1 / object_count`` of its objects;
+* an equality predicate on the key of a collection's element type selects
+  ``1 / fanout`` of its elements;
+* equality on a non-key attribute uses a default selectivity;
+* no predicate means the whole collection is accessed (selectivity 1.0),
+  and unkeyed element types always count as fully accessed because
+  per-element locks need element identity.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import QueryError
+from repro.nf2.paths import STAR, AttrStep
+from repro.nf2.types import ListType, SetType, TupleType
+from repro.protocol.optimizer import AccessIntent
+from repro.query.ast import AccessKind, Query
+
+#: selectivity assumed for equality on a non-key attribute
+DEFAULT_NONKEY_SELECTIVITY = 0.1
+
+
+class QueryAnalyzer:
+    """Turns parsed queries into access intents using catalog + statistics."""
+
+    def __init__(self, catalog, statistics):
+        self.catalog = catalog
+        self.statistics = statistics
+
+    def analyze(self, query: Query) -> List[AccessIntent]:
+        root = query.root_binding()
+        schema = self.catalog.schema(root.relation)
+        chain = query.chain_to(query.select_var)
+
+        object_selectivity = self._object_selectivity(query, root, schema)
+
+        path: List = []
+        selectivities: List[float] = []
+        current_type = schema.object_type
+        for binding in chain[1:]:
+            for part in binding.path:
+                if not isinstance(current_type, TupleType):
+                    raise QueryError(
+                        "binding %r descends through non-tuple at %r"
+                        % (binding.var, part)
+                    )
+                path.append(AttrStep(part))
+                current_type = current_type.attribute_type(part)
+            if not isinstance(current_type, (SetType, ListType)):
+                raise QueryError(
+                    "range variable %r must iterate a set or list" % binding.var
+                )
+            element_type = current_type.element_type
+            path.append(STAR)
+            selectivities.append(
+                self._element_selectivity(
+                    query, binding.var, element_type, root.relation, tuple(path[:-1])
+                )
+            )
+            current_type = element_type
+
+        for part in query.select_path:
+            if not isinstance(current_type, TupleType):
+                raise QueryError(
+                    "projection %r descends through non-tuple" % (part,)
+                )
+            path.append(AttrStep(part))
+            current_type = current_type.attribute_type(part)
+
+        write = query.access in (AccessKind.UPDATE, AccessKind.DELETE)
+        return [
+            AccessIntent(
+                root.relation,
+                tuple(path),
+                write=write,
+                object_selectivity=object_selectivity,
+                selectivities=selectivities,
+            )
+        ]
+
+    # -- selectivities -----------------------------------------------------------
+
+    def _object_selectivity(self, query, root, schema) -> float:
+        count = max(1, self.statistics.object_count(root.relation))
+        best = 1.0
+        for predicate in query.predicates_on(root.var):
+            if len(predicate.path) == 1 and predicate.path[0] == schema.key:
+                best = min(best, 1.0 / count)
+            else:
+                best = min(best, DEFAULT_NONKEY_SELECTIVITY)
+        return best
+
+    def _element_selectivity(
+        self, query, var, element_type, relation_name, collection_path
+    ) -> float:
+        if not isinstance(element_type, TupleType) or element_type.key is None:
+            # unkeyed elements cannot be locked individually; report full
+            # access so the optimizer chooses the collection granule
+            return 1.0
+        fanout = max(1.0, self.statistics.estimate_fanout(relation_name, collection_path))
+        best = 1.0
+        for predicate in query.predicates_on(var):
+            if len(predicate.path) == 1 and predicate.path[0] == element_type.key:
+                best = min(best, 1.0 / fanout)
+            else:
+                best = min(best, DEFAULT_NONKEY_SELECTIVITY)
+        return best

@@ -1,0 +1,302 @@
+"""Query execution under a lock protocol.
+
+Implements the full pipeline of section 4.1:
+
+1. **query analysis** — :class:`~repro.query.analyzer.QueryAnalyzer`
+   extracts access intents;
+2. **optimization** — the lock-request optimizer chooses granules/modes
+   and stores them in a query-specific lock graph;
+3. **execution** — range variables are bound against the database, the
+   stored granule/mode information is instantiated on the touched
+   instances, locks are requested from the lock manager through the
+   active protocol, and only then is data returned.
+
+The executor is protocol-agnostic: the same queries run under the paper's
+protocol or any baseline, which is how the benchmarks compare them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.graphs.units import component_resource, object_resource, relation_resource
+from repro.locking.modes import LockMode, S
+from repro.nf2.paths import AttrStep, ElemStep
+from repro.nf2.values import ListValue, SetValue, TupleValue
+from repro.query.analyzer import QueryAnalyzer
+from repro.query.ast import AccessKind, Query
+from repro.query.parser import parse_query
+
+
+class ResultRow:
+    """One query result: the selected value plus its instance address."""
+
+    __slots__ = ("object", "steps", "value")
+
+    def __init__(self, obj, steps, value):
+        self.object = obj
+        self.steps = tuple(steps)
+        self.value = value
+
+    def __repr__(self):
+        return "ResultRow(%r, %r)" % (self.object, self.value)
+
+
+class QueryExecutor:
+    """Executes parsed queries for a transaction under a protocol."""
+
+    def __init__(self, protocol, optimizer, analyzer: Optional[QueryAnalyzer] = None):
+        self.protocol = protocol
+        self.optimizer = optimizer
+        self.catalog = protocol.catalog
+        self.database = protocol.catalog.database
+        self.analyzer = analyzer or QueryAnalyzer(
+            self.catalog, optimizer.statistics
+        )
+
+    # -- public API --------------------------------------------------------------
+
+    def execute(self, txn, query, wait: bool = False) -> List[ResultRow]:
+        """Run a query (text or AST) for ``txn``; returns result rows.
+
+        Locks are requested before data is handed out; a conflict raises
+        (``wait=False``) or parks the plan (simulator integration uses
+        :meth:`lock_requirements` directly instead).
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        self._check_authorization(txn, query)
+        rows, demands = self._bind_and_plan(txn, query)
+        for resource, mode in demands:
+            self.protocol.request(txn, resource, mode, wait=wait, long=getattr(txn, "long", False))
+        if query.assignments:
+            self._apply_assignments(txn, query, rows)
+        return rows
+
+    def _apply_assignments(self, txn, query: Query, rows):
+        """Apply SET clauses to every selected row (locks already held)."""
+        relation = self.database.relation(query.root_binding().relation)
+        for row in rows:
+            for assignment in query.assignments:
+                container = row.value
+                for part in assignment.path[:-1]:
+                    if not isinstance(container, TupleValue):
+                        raise QueryError(
+                            "SET path %r does not resolve" % (assignment.path,)
+                        )
+                    container = container[part]
+                if not isinstance(container, TupleValue):
+                    raise QueryError(
+                        "SET path %r does not resolve" % (assignment.path,)
+                    )
+                last = assignment.path[-1]
+                old_value = container[last]
+                container[last] = assignment.value
+                record_undo = getattr(txn, "record_undo", None)
+                if record_undo is not None:
+                    record_undo(
+                        lambda c=container, n=last, v=old_value: c.__setitem__(n, v)
+                    )
+            relation.schema.object_type.validate(
+                row.object.root, resolver=self.database._resolves
+            )
+
+    def lock_requirements(self, txn, query) -> Tuple[List[ResultRow], List[Tuple[Tuple, LockMode]]]:
+        """Rows plus the (resource, mode) demands, without acquiring locks.
+
+        Used by the discrete-event simulator, which acquires the demands
+        stepwise in simulated time.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        self._check_authorization(txn, query)
+        return self._bind_and_plan(txn, query)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _check_authorization(self, txn, query: Query):
+        authorization = self.protocol.authorization
+        if authorization is None:
+            return
+        relation = query.root_binding().relation
+        if query.access == AccessKind.READ:
+            authorization.check_read(txn, relation)
+        else:
+            authorization.check_modify(txn, relation)
+
+    def _bind_and_plan(self, txn, query: Query):
+        intents = self.analyzer.analyze(query)
+        graphs = self.optimizer.plan_query(intents)
+        root = query.root_binding()
+        graph = graphs[root.relation]
+
+        rows = self._evaluate(query)
+        demands: List[Tuple[Tuple, LockMode]] = []
+        seen = set()
+        for annotation in graph.annotations:
+            for resource in self._instantiate(annotation, query, rows):
+                key = (resource, annotation.mode)
+                if key not in seen:
+                    seen.add(key)
+                    demands.append((resource, annotation.mode))
+        demands.extend(self._index_demands(query, seen))
+        return rows, demands
+
+    def _index_demands(self, query: Query, seen):
+        """S locks on index entries for the root's equality predicates.
+
+        The entry is locked whether or not a matching object exists —
+        an inserter of that value must X-lock the same entry first, so
+        equality-predicate phantoms cannot occur (section 5 future work,
+        implemented via the index units of Figure 2).
+        """
+        from repro.graphs.units import index_entry_resource
+
+        root = query.root_binding()
+        relation = self.database.relation(root.relation)
+        out = []
+        for predicate in query.predicates_on(root.var):
+            if len(predicate.path) != 1:
+                continue
+            if predicate.path[0] not in relation.indexes:
+                continue
+            entry = index_entry_resource(
+                self.catalog, root.relation, predicate.path[0], predicate.value
+            )
+            if (entry, S) not in seen:
+                seen.add((entry, S))
+                out.append((entry, S))
+        return out
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def _evaluate(self, query: Query) -> List[ResultRow]:
+        root = query.root_binding()
+        relation = self.database.relation(root.relation)
+        schema = relation.schema
+
+        objects = []
+        key_predicates = [
+            p
+            for p in query.predicates_on(root.var)
+            if len(p.path) == 1 and p.path[0] == schema.key
+        ]
+        index_predicates = [
+            p
+            for p in query.predicates_on(root.var)
+            if len(p.path) == 1 and p.path[0] in relation.indexes
+        ]
+        if key_predicates:
+            key = key_predicates[0].value
+            if relation.contains_key(key):
+                objects.append(relation.get(key))
+        elif index_predicates:
+            # index-assisted evaluation: fetch candidates by surrogate
+            # instead of scanning the relation
+            predicate = index_predicates[0]
+            index = relation.indexes[predicate.path[0]]
+            for surrogate in index.lookup(predicate.value):
+                objects.append(relation.get_by_surrogate(surrogate))
+        else:
+            objects.extend(relation)
+        objects = [
+            obj
+            for obj in objects
+            if self._matches(obj.root, query.predicates_on(root.var))
+        ]
+
+        chain = query.chain_to(query.select_var)
+        rows: List[ResultRow] = []
+        for obj in objects:
+            partial = [((), obj.root)]
+            for binding in chain[1:]:
+                grown = []
+                for steps, value in partial:
+                    collection_steps = list(steps)
+                    container = value
+                    for part in binding.path:
+                        if not isinstance(container, TupleValue):
+                            raise QueryError(
+                                "path %r does not reach a collection" % (binding.path,)
+                            )
+                        collection_steps.append(AttrStep(part))
+                        container = container[part]
+                    if not isinstance(container, (SetValue, ListValue)):
+                        raise QueryError(
+                            "range variable %r ranges over non-collection" % binding.var
+                        )
+                    for element in container:
+                        if not self._matches(element, query.predicates_on(binding.var)):
+                            continue
+                        element_key = self._element_key(element)
+                        grown.append(
+                            (
+                                tuple(collection_steps) + (ElemStep(element_key),),
+                                element,
+                            )
+                        )
+                partial = grown
+            for steps, value in partial:
+                final_steps = list(steps)
+                final_value = value
+                for part in query.select_path:
+                    if not isinstance(final_value, TupleValue):
+                        raise QueryError("projection through non-tuple at %r" % part)
+                    final_steps.append(AttrStep(part))
+                    final_value = final_value[part]
+                rows.append(ResultRow(obj, final_steps, final_value))
+        return rows
+
+    def _matches(self, value, predicates) -> bool:
+        for predicate in predicates:
+            current = value
+            for part in predicate.path:
+                if not isinstance(current, TupleValue) or part not in current:
+                    return False
+                current = current[part]
+            if current != predicate.value:
+                return False
+        return True
+
+    def _element_key(self, element):
+        if isinstance(element, TupleValue):
+            for name in element.keys():
+                if name.endswith("_id"):
+                    return element[name]
+        return repr(element)
+
+    # -- lock instantiation ------------------------------------------------------------
+
+    def _instantiate(self, annotation, query: Query, rows: List[ResultRow]):
+        """Concrete resources for one annotation over the result rows."""
+        root = query.root_binding()
+        schema = self.catalog.schema(root.relation)
+        if annotation.relation_level:
+            yield relation_resource(
+                self.database.name, schema.segment, root.relation
+            )
+            return
+        emitted = set()
+        if not rows:
+            # No matching data: lock the relation in intention-compatible
+            # coarse mode?  The paper defers phantoms (section 5); we lock
+            # nothing beyond what the protocol's ancestors already cover.
+            return
+        for row in rows:
+            obj_res = object_resource(self.catalog, root.relation, row.object.key)
+            resource = self._cut_resource(obj_res, row.steps, annotation.path)
+            if resource not in emitted:
+                emitted.add(resource)
+                yield resource
+
+    def _cut_resource(self, obj_res, instance_steps, annotation_path):
+        """Prefix of the row's instance path matching the annotation path."""
+        cut = len(annotation_path)
+        steps = tuple(instance_steps)[:cut]
+        if len(steps) < cut:
+            raise QueryError(
+                "annotation path %r longer than instance path %r"
+                % (annotation_path, instance_steps)
+            )
+        return component_resource(obj_res, steps)

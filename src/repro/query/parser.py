@@ -1,0 +1,202 @@
+"""Recursive-descent parser for the HDBL-like query subset.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT var [ '.' ident+ ]
+                  FROM binding ( ',' binding )*
+                  [ WHERE predicate ( AND predicate )* ]
+                  FOR ( READ | UPDATE | DELETE )
+                  [ SET assignment ( ',' assignment )* ]
+    assignment := var '.' ident ( '.' ident )* '=' literal
+    binding    := var IN ( ident | var '.' ident ( '.' ident )* )
+    predicate  := var '.' ident ( '.' ident )* '=' literal
+    literal    := 'string' | integer | float | TRUE | FALSE
+
+Exactly enough to parse the paper's Q1/Q2/Q3 and the workloads' query
+templates.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.query.ast import AccessKind, Assignment, Binding, Predicate, Query
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^'\\]|\\.)*')
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+      | (?P<punct>[.,=])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "FOR", "IN", "READ", "UPDATE",
+             "DELETE", "SET", "TRUE", "FALSE"}
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind, value):
+        self.kind = kind
+        self.value = value
+
+    def __repr__(self):
+        return "%s(%r)" % (self.kind, self.value)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise QueryError("cannot tokenize query at %r" % remainder[:20])
+        position = match.end()
+        if match.lastgroup == "string":
+            raw = match.group("string")[1:-1]
+            tokens.append(_Token("literal", raw.replace("\\'", "'")))
+        elif match.lastgroup == "number":
+            raw = match.group("number")
+            value = float(raw) if "." in raw else int(raw)
+            tokens.append(_Token("literal", value))
+        elif match.lastgroup == "ident":
+            word = match.group("ident")
+            if word.upper() in _KEYWORDS:
+                if word.upper() == "TRUE":
+                    tokens.append(_Token("literal", True))
+                elif word.upper() == "FALSE":
+                    tokens.append(_Token("literal", False))
+                else:
+                    tokens.append(_Token("keyword", word.upper()))
+            else:
+                tokens.append(_Token("ident", word))
+        else:
+            tokens.append(_Token("punct", match.group("punct")))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], text: str):
+        self.tokens = tokens
+        self.index = 0
+        self.text = text
+
+    def peek(self) -> Optional[_Token]:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query: %r" % self.text)
+        self.index += 1
+        return token
+
+    def expect_keyword(self, word: str):
+        token = self.next()
+        if token.kind != "keyword" or token.value != word:
+            raise QueryError("expected %s, got %r in %r" % (word, token, self.text))
+
+    def expect_ident(self) -> str:
+        token = self.next()
+        if token.kind != "ident":
+            raise QueryError("expected identifier, got %r" % (token,))
+        return token.value
+
+    def expect_punct(self, char: str):
+        token = self.next()
+        if token.kind != "punct" or token.value != char:
+            raise QueryError("expected %r, got %r" % (char, token))
+
+    def at_punct(self, char: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == "punct" and token.value == char
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == "keyword" and token.value == word
+
+    def dotted_tail(self) -> Tuple[str, ...]:
+        """Consume ``.ident`` repetitions."""
+        parts: List[str] = []
+        while self.at_punct("."):
+            self.expect_punct(".")
+            parts.append(self.expect_ident())
+        return tuple(parts)
+
+
+def parse_query(text: str) -> Query:
+    """Parse one query; raises :class:`~repro.errors.QueryError` on errors."""
+    parser = _Parser(_tokenize(text), text)
+    parser.expect_keyword("SELECT")
+    select_var = parser.expect_ident()
+    select_path = parser.dotted_tail()
+
+    parser.expect_keyword("FROM")
+    bindings: List[Binding] = []
+    while True:
+        var = parser.expect_ident()
+        parser.expect_keyword("IN")
+        first = parser.expect_ident()
+        tail = parser.dotted_tail()
+        if tail:
+            bindings.append(Binding(var, base_var=first, path=tail))
+        else:
+            bindings.append(Binding(var, relation=first))
+        if parser.at_punct(","):
+            parser.expect_punct(",")
+            continue
+        break
+
+    predicates: List[Predicate] = []
+    if parser.at_keyword("WHERE"):
+        parser.expect_keyword("WHERE")
+        while True:
+            var = parser.expect_ident()
+            path = parser.dotted_tail()
+            parser.expect_punct("=")
+            literal = parser.next()
+            if literal.kind != "literal":
+                raise QueryError("expected literal, got %r" % (literal,))
+            predicates.append(Predicate(var, path, literal.value))
+            if parser.at_keyword("AND"):
+                parser.expect_keyword("AND")
+                continue
+            break
+
+    parser.expect_keyword("FOR")
+    access_token = parser.next()
+    if access_token.kind != "keyword" or access_token.value not in AccessKind.ALL:
+        raise QueryError("expected READ/UPDATE/DELETE, got %r" % (access_token,))
+
+    assignments: List[Assignment] = []
+    if parser.at_keyword("SET"):
+        parser.expect_keyword("SET")
+        while True:
+            var = parser.expect_ident()
+            path = parser.dotted_tail()
+            parser.expect_punct("=")
+            literal = parser.next()
+            if literal.kind != "literal":
+                raise QueryError("expected literal, got %r" % (literal,))
+            assignments.append(Assignment(var, path, literal.value))
+            if parser.at_punct(","):
+                parser.expect_punct(",")
+                continue
+            break
+
+    if parser.peek() is not None:
+        raise QueryError("trailing tokens after query: %r" % (parser.peek(),))
+    return Query(
+        select_var, bindings, predicates, access_token.value, select_path,
+        assignments=assignments,
+    )

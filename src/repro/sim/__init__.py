@@ -1,0 +1,33 @@
+"""Discrete-event concurrency simulation (the paper's future-work
+"simulations with regard to the efficiency of the proposed technique")."""
+
+from repro.sim.events import EventQueue
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.simulator import CallOp, LockOp, QueryOp, Simulator, ThinkOp, WorkOp
+from repro.sim.workload import (
+    Terminal,
+    WorkloadSpec,
+    generate_programs,
+    generate_query_programs,
+    run_closed_system,
+    submit_query_workload,
+    submit_workload,
+)
+
+__all__ = [
+    "CallOp",
+    "EventQueue",
+    "LockOp",
+    "QueryOp",
+    "SimulationMetrics",
+    "Simulator",
+    "Terminal",
+    "ThinkOp",
+    "WorkOp",
+    "WorkloadSpec",
+    "generate_programs",
+    "generate_query_programs",
+    "run_closed_system",
+    "submit_query_workload",
+    "submit_workload",
+]

@@ -1,0 +1,64 @@
+"""A minimal deterministic discrete-event engine.
+
+The concurrency experiments run in *simulated* time: transactions are
+programs advanced by the engine, lock waits suspend them, releases wake
+them.  Determinism matters — identical seeds must give identical traces so
+the benchmarks are reproducible — hence the (time, sequence) total order
+on events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class EventQueue:
+    """Priority queue of (time, seq) ordered callbacks."""
+
+    def __init__(self):
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]):
+        """Run ``callback`` at ``now + delay`` (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past (delay=%r)" % delay)
+        heapq.heappush(self._heap, (self.now + delay, next(self._sequence), callback))
+
+    def schedule_at(self, time: float, callback: Callable[[], None]):
+        if time < self.now:
+            raise SimulationError(
+                "cannot schedule at %r before now=%r" % (time, self.now)
+            )
+        heapq.heappush(self._heap, (time, next(self._sequence), callback))
+
+    def empty(self) -> bool:
+        return not self._heap
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        time, _seq, callback = heapq.heappop(self._heap)
+        self.now = time
+        self.processed += 1
+        callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000):
+        """Drain the queue (optionally bounded by time or event count)."""
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            if self.processed >= max_events:
+                raise SimulationError(
+                    "event budget exhausted (%d events) - livelock?" % max_events
+                )
+            self.step()

@@ -1,0 +1,169 @@
+"""Canned experiment runners: the library API behind the CLI and benches.
+
+Downstream users reproduce the paper's evaluation with three calls:
+
+>>> from repro.sim.experiments import protocol_comparison, scaling_sweep
+>>> rows = protocol_comparison()          # E6's table as dicts
+>>> rows = scaling_sweep("work_time")     # one E9 axis
+
+Every runner is deterministic given its seed and returns plain dicts so
+results serialize straight into JSON/CSV.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import repro
+from repro.protocol import (
+    HerrmannProtocol,
+    SystemRRelationProtocol,
+    SystemRTupleProtocol,
+    XSQLProtocol,
+)
+from repro.sim.simulator import Simulator
+from repro.sim.workload import WorkloadSpec, submit_workload
+from repro.workloads import build_cells_database
+
+#: protocols compared by default, report order
+DEFAULT_PROTOCOLS = (
+    HerrmannProtocol,
+    SystemRTupleProtocol,
+    SystemRRelationProtocol,
+    XSQLProtocol,
+)
+
+DEFAULT_DB = dict(n_cells=3, n_objects=8, n_robots=4, n_effectors=5, seed=2)
+
+DEFAULT_SPEC = dict(
+    n_transactions=60,
+    update_fraction=0.5,
+    whole_object_fraction=0.15,
+    library_update_fraction=0.05,
+    work_time=2.0,
+    mean_interarrival=0.4,
+    seed=21,
+)
+
+#: the §5 claim's axes and their default sweep settings
+SWEEP_AXES: Dict[str, Sequence[float]] = {
+    "work_time": (0.5, 2.0, 8.0),
+    "think_time": (0.0, 10.0, 40.0),
+    "update_fraction": (0.2, 0.6, 1.0),
+}
+
+
+def run_one(
+    protocol_cls,
+    spec: Optional[WorkloadSpec] = None,
+    db_kwargs: Optional[dict] = None,
+    lock_cost: float = 0.02,
+    scan_item_cost: float = 0.01,
+):
+    """One simulation run; returns the metrics report dict + protocol name."""
+    database, catalog = build_cells_database(**(db_kwargs or DEFAULT_DB))
+    stack = repro.make_stack(database, catalog, protocol_cls=protocol_cls)
+    simulator = Simulator(
+        stack.protocol, lock_cost=lock_cost, scan_item_cost=scan_item_cost
+    )
+    submit_workload(
+        simulator,
+        catalog,
+        spec or WorkloadSpec(**DEFAULT_SPEC),
+        authorization=stack.authorization,
+    )
+    report = simulator.run().report()
+    report["protocol"] = protocol_cls.name
+    return report
+
+
+def protocol_comparison(
+    protocols=DEFAULT_PROTOCOLS,
+    spec: Optional[WorkloadSpec] = None,
+    db_kwargs: Optional[dict] = None,
+) -> List[dict]:
+    """E6: the same workload under each protocol (one report per row)."""
+    return [run_one(protocol_cls, spec, db_kwargs) for protocol_cls in protocols]
+
+
+def scaling_sweep(
+    axis: str,
+    settings: Optional[Sequence[float]] = None,
+    base_spec: Optional[dict] = None,
+    db_kwargs: Optional[dict] = None,
+) -> List[dict]:
+    """E9: one axis of the section-5 claim.
+
+    Returns one row per setting with the herrmann and xsql throughputs
+    and their ratio.
+    """
+    if axis not in SWEEP_AXES:
+        raise ValueError(
+            "unknown sweep axis %r (have: %s)" % (axis, ", ".join(SWEEP_AXES))
+        )
+    settings = settings if settings is not None else SWEEP_AXES[axis]
+    base = dict(base_spec or DEFAULT_SPEC)
+    base.pop("library_update_fraction", None)  # keep the sweep single-factor
+    rows = []
+    for value in settings:
+        base[axis] = value
+        spec = WorkloadSpec(**base)
+        ours = run_one(HerrmannProtocol, spec, db_kwargs)
+        xsql = run_one(XSQLProtocol, spec, db_kwargs)
+        rows.append(
+            {
+                "axis": axis,
+                "setting": value,
+                "herrmann_throughput": ours["throughput"],
+                "xsql_throughput": xsql["throughput"],
+                "ratio": round(
+                    ours["throughput"] / max(xsql["throughput"], 1e-9), 4
+                ),
+            }
+        )
+    return rows
+
+
+def write_csv(rows: List[dict], path) -> int:
+    """Write experiment rows (as returned by the runners) to a CSV file.
+
+    Column order follows the first row's key order; missing keys in later
+    rows are left empty.  Returns the number of data rows written.
+    """
+    import csv
+
+    if not rows:
+        raise ValueError("no rows to write")
+    fieldnames = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
+
+
+def sharing_sweep(refs_settings=(0, 2, 4), base_spec=None) -> List[dict]:
+    """E9b: the sharing-degree axis (a database property, not a spec one)."""
+    rows = []
+    for refs in refs_settings:
+        db = dict(DEFAULT_DB, n_cells=2, refs_per_robot=refs)
+        spec = WorkloadSpec(**(base_spec or DEFAULT_SPEC))
+        ours = run_one(HerrmannProtocol, spec, db)
+        xsql = run_one(XSQLProtocol, spec, db)
+        rows.append(
+            {
+                "axis": "refs_per_robot",
+                "setting": refs,
+                "herrmann_throughput": ours["throughput"],
+                "xsql_throughput": xsql["throughput"],
+                "ratio": round(
+                    ours["throughput"] / max(xsql["throughput"], 1e-9), 4
+                ),
+            }
+        )
+    return rows

@@ -1,0 +1,275 @@
+"""Workload generation for the concurrency experiments.
+
+Produces deterministic (seeded) transaction programs over the
+cells/effectors database: mixes of part-readers, robot-updaters, library
+readers and library maintainers, with exponential interarrival times and
+configurable think/work times — the knobs of experiments E6 and E9
+(object depth, sharing degree, transaction length, lock-mode
+restrictiveness).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.graphs.units import component_resource, object_resource
+from repro.locking.modes import S, X
+from repro.nf2.paths import parse_path
+from repro.sim.simulator import LockOp, Program, ThinkOp, WorkOp
+
+
+class WorkloadSpec:
+    """Parameters of a synthetic workload over the cells database.
+
+    ``update_fraction`` — share of transactions that update a robot;
+    ``whole_object_fraction`` — share of accesses that need the whole cell
+    (vs. one component); ``library_update_fraction`` — share of
+    transactions that maintain the shared effector library (high-conflict
+    writers on common data); ``work_time``/``think_time`` scale transaction
+    length (think > 0 models conversational / long transactions).
+    """
+
+    #: principal used by cell/robot transactions (modify right on "cells")
+    ENGINEER = "engineer"
+    #: principal used by library maintainers (modify right on "effectors")
+    LIBRARIAN = "librarian"
+
+    def __init__(
+        self,
+        n_transactions: int = 40,
+        update_fraction: float = 0.5,
+        whole_object_fraction: float = 0.2,
+        library_update_fraction: float = 0.0,
+        work_time: float = 1.0,
+        think_time: float = 0.0,
+        mean_interarrival: float = 0.5,
+        seed: int = 42,
+    ):
+        self.n_transactions = n_transactions
+        self.update_fraction = update_fraction
+        self.whole_object_fraction = whole_object_fraction
+        self.library_update_fraction = library_update_fraction
+        self.work_time = work_time
+        self.think_time = think_time
+        self.mean_interarrival = mean_interarrival
+        self.seed = seed
+
+    def grant_rights(self, authorization):
+        """Install the scenario's rights: engineers modify cells but only
+        read the effector library (the Figure 7 assumption); librarians
+        maintain the library.  Call before submitting the workload so
+        rule 4' locks common data least-restrictively."""
+        authorization.grant_modify(self.ENGINEER, "cells")
+        authorization.grant_read(self.ENGINEER, "effectors")
+        authorization.grant_modify(self.LIBRARIAN, "effectors")
+        return authorization
+
+
+def generate_programs(
+    catalog, spec: WorkloadSpec
+) -> List[Tuple[float, Program, str]]:
+    """Build (arrival_time, program, name) triples for a workload spec.
+
+    Transaction shapes:
+
+    * *robot updater* — X one robot of a random cell, work;
+    * *part reader* — S the c_objects set of a random cell, work;
+    * *whole-cell transaction* — S or X the entire cell object, work;
+    * *library maintainer* — X one effector in the shared library, work.
+
+    Think time, when configured, is inserted **while locks are held**
+    (conversational transactions keep their locks, section 1).
+    """
+    database = catalog.database
+    rng = random.Random(spec.seed)
+    cells = sorted(obj.key for obj in database.relation("cells"))
+    effectors = sorted(obj.key for obj in database.relation("effectors"))
+    robots_by_cell = {
+        key: [robot["robot_id"] for robot in database.get("cells", key).root["robots"]]
+        for key in cells
+    }
+
+    programs: List[Tuple[float, Program, str, str]] = []
+    clock = 0.0
+    for index in range(spec.n_transactions):
+        clock += rng.expovariate(1.0 / spec.mean_interarrival)
+        cell_key = rng.choice(cells)
+        cell_res = object_resource(catalog, "cells", cell_key)
+        draw = rng.random()
+        ops: List = []
+        principal = spec.ENGINEER
+        if draw < spec.library_update_fraction and effectors:
+            effector_key = rng.choice(effectors)
+            target = object_resource(catalog, "effectors", effector_key)
+            ops.append(LockOp(target, X))
+            name = "lib-update-%d" % index
+            principal = spec.LIBRARIAN
+        elif rng.random() < spec.whole_object_fraction:
+            mode = X if rng.random() < spec.update_fraction else S
+            ops.append(LockOp(cell_res, mode))
+            name = "cell-%s-%d" % (mode.value, index)
+        elif rng.random() < spec.update_fraction:
+            robot_id = rng.choice(robots_by_cell[cell_key])
+            target = component_resource(
+                cell_res, parse_path("robots[%s]" % robot_id)
+            )
+            ops.append(LockOp(target, X))
+            name = "robot-update-%d" % index
+        else:
+            target = component_resource(cell_res, parse_path("c_objects"))
+            ops.append(LockOp(target, S))
+            name = "parts-read-%d" % index
+        ops.append(WorkOp(spec.work_time))
+        if spec.think_time:
+            ops.append(ThinkOp(spec.think_time))
+        programs.append((clock, ops, name, principal))
+    return programs
+
+
+def generate_query_programs(catalog, spec: WorkloadSpec):
+    """Like :func:`generate_programs` but phrased as HDBL queries.
+
+    Each transaction is a :class:`~repro.sim.simulator.QueryOp`, so the
+    simulator exercises the full section-4.1 pipeline (analysis,
+    optimizer, query-specific lock graph) per transaction.  Requires a
+    ``Simulator(executor=...)``.
+    """
+    from repro.sim.simulator import QueryOp
+
+    database = catalog.database
+    rng = random.Random(spec.seed)
+    cells = sorted(obj.key for obj in database.relation("cells"))
+    robots_by_cell = {
+        key: [robot["robot_id"] for robot in database.get("cells", key).root["robots"]]
+        for key in cells
+    }
+    programs = []
+    clock = 0.0
+    for index in range(spec.n_transactions):
+        clock += rng.expovariate(1.0 / spec.mean_interarrival)
+        cell_key = rng.choice(cells)
+        principal = spec.ENGINEER
+        if rng.random() < spec.update_fraction:
+            robot = rng.choice(robots_by_cell[cell_key])
+            text = (
+                "SELECT r FROM c IN cells, r IN c.robots "
+                "WHERE c.cell_id = '%s' AND r.robot_id = '%s' FOR UPDATE"
+                % (cell_key, robot)
+            )
+            name = "q-update-%d" % index
+        else:
+            text = (
+                "SELECT o FROM c IN cells, o IN c.c_objects "
+                "WHERE c.cell_id = '%s' FOR READ" % cell_key
+            )
+            name = "q-read-%d" % index
+        ops = [QueryOp(text, work_per_row=spec.work_time)]
+        if spec.think_time:
+            ops.append(ThinkOp(spec.think_time))
+        programs.append((clock, ops, name, principal))
+    return programs
+
+
+def submit_query_workload(simulator, catalog, spec: WorkloadSpec, authorization=None):
+    """Generate and submit a query-based workload (QueryOp programs)."""
+    if authorization is not None:
+        spec.grant_rights(authorization)
+    runs = []
+    for arrival, program, name, principal in generate_query_programs(catalog, spec):
+        runs.append(
+            simulator.submit(program, at=arrival, name=name, principal=principal)
+        )
+    return runs
+
+
+class Terminal:
+    """One terminal of a closed system (Ries/Stonebraker-style).
+
+    Submits its next transaction ``think_time`` after the previous one
+    completes, up to ``jobs`` transactions.  ``program_factory(index)``
+    returns (ops, name, principal) for the terminal's index-th job.
+    """
+
+    def __init__(self, simulator, program_factory, think_time, jobs, start_at=0.0):
+        self.simulator = simulator
+        self.program_factory = program_factory
+        self.think_time = think_time
+        self.jobs = jobs
+        self.completed = 0
+        self._submit_next(start_at)
+
+    def _submit_next(self, at):
+        if self.completed >= self.jobs:
+            return
+        ops, name, principal = self.program_factory(self.completed)
+        run = self.simulator.submit(ops, at=at, name=name, principal=principal)
+        run.on_done = self._job_done
+
+    def _job_done(self, run):
+        self.completed += 1
+        self._submit_next(self.simulator.events.now + self.think_time)
+
+
+def run_closed_system(
+    simulator,
+    catalog,
+    spec: WorkloadSpec,
+    terminals: int,
+    jobs_per_terminal: int = 5,
+    authorization=None,
+):
+    """Closed-loop workload: ``terminals`` concurrent users, each running
+    ``jobs_per_terminal`` transactions back to back (multiprogramming
+    level = terminals).  Returns the Terminal handles; run the simulator
+    afterwards and read its metrics.
+    """
+    if authorization is not None:
+        spec.grant_rights(authorization)
+    # one long program stream per terminal, drawn from the same generator
+    pool_spec = WorkloadSpec(
+        n_transactions=terminals * jobs_per_terminal,
+        update_fraction=spec.update_fraction,
+        whole_object_fraction=spec.whole_object_fraction,
+        library_update_fraction=spec.library_update_fraction,
+        work_time=spec.work_time,
+        think_time=0.0,
+        mean_interarrival=spec.mean_interarrival,
+        seed=spec.seed,
+    )
+    pool = generate_programs(catalog, pool_spec)
+    handles = []
+    for terminal_index in range(terminals):
+        slice_ = pool[terminal_index::terminals]
+
+        def factory(job_index, jobs=slice_):
+            _, ops, name, principal = jobs[job_index % len(jobs)]
+            return list(ops), name, principal
+
+        handles.append(
+            Terminal(
+                simulator,
+                factory,
+                think_time=spec.think_time,
+                jobs=jobs_per_terminal,
+                start_at=terminal_index * 0.01,
+            )
+        )
+    return handles
+
+
+def submit_workload(simulator, catalog, spec: WorkloadSpec, authorization=None):
+    """Generate and submit a workload; returns the run handles.
+
+    When ``authorization`` is given (usually the stack's manager), the
+    spec's engineer/librarian rights are installed first so rule 4' can
+    lock common data least-restrictively.
+    """
+    if authorization is not None:
+        spec.grant_rights(authorization)
+    runs = []
+    for arrival, program, name, principal in generate_programs(catalog, spec):
+        runs.append(
+            simulator.submit(program, at=arrival, name=name, principal=principal)
+        )
+    return runs

@@ -1,0 +1,14 @@
+"""Transactions, transaction manager and workstation check-out/check-in."""
+
+from repro.txn.checkout import CheckoutManager, CheckoutRecord, Workstation
+from repro.txn.manager import TransactionManager
+from repro.txn.transaction import Transaction, TxnState
+
+__all__ = [
+    "CheckoutManager",
+    "CheckoutRecord",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+    "Workstation",
+]

@@ -1,0 +1,90 @@
+"""Transactions: states, undo log, strict two-phase locking discipline.
+
+The paper defines transactions "as widely accepted (cf. [Date85])" with
+degree-3 consistency ("multiple reads of the same data during one
+transaction lead to the same result", GLPT76) and distinguishes *short*
+transactions (conventional, centralized) from *long* transactions
+(conversational / workstation-server, lasting up to days or weeks).
+
+Locks are kept to end of transaction (rule 5's EOT branch); the undo log
+rolls data changes back on abort.  A transaction carries a *principal*
+for the authorization component (section 3.2.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional
+
+from repro.errors import TransactionAborted, TransactionError
+
+
+class TxnState:
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One transaction; hashable, usable directly as a lock-table owner."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        principal=None,
+        long: bool = False,
+        start_ts: Optional[float] = None,
+        name: Optional[str] = None,
+    ):
+        self.id = next(Transaction._ids)
+        self.name = name or "T%d" % self.id
+        #: authorization principal; defaults to the transaction itself
+        self.principal = principal if principal is not None else self
+        #: long (conversational / check-out) transaction?
+        self.long = long
+        #: start timestamp for deadlock victim selection (youngest dies)
+        self.start_ts = self.id if start_ts is None else start_ts
+        self.state = TxnState.ACTIVE
+        self._undo_log: List[Callable[[], None]] = []
+        #: reads observed, (resource, value-repr), for degree-3 test support
+        self.read_log: List[tuple] = []
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self.state == TxnState.ACTIVE
+
+    def ensure_active(self):
+        if self.state == TxnState.ABORTED:
+            raise TransactionAborted("%s is aborted" % self.name)
+        if self.state != TxnState.ACTIVE:
+            raise TransactionError(
+                "%s is %s; no further operations allowed" % (self.name, self.state)
+            )
+
+    # -- undo log ---------------------------------------------------------------
+
+    def record_undo(self, undo: Callable[[], None]):
+        """Register a compensating action to run (LIFO) on abort."""
+        self.ensure_active()
+        self._undo_log.append(undo)
+
+    def rollback_data(self):
+        """Run the undo log, newest first."""
+        while self._undo_log:
+            self._undo_log.pop()()
+
+    def forget_undo(self):
+        self._undo_log.clear()
+
+    def undo_depth(self) -> int:
+        return len(self._undo_log)
+
+    def __repr__(self):
+        return "Transaction(%s, %s%s)" % (
+            self.name,
+            self.state,
+            ", long" if self.long else "",
+        )

@@ -1,0 +1,201 @@
+"""Invariant auditing of a live lock state.
+
+``audit(protocol)`` inspects the lock table and the database and reports
+every violation of the invariants the paper's correctness rests on:
+
+1. **compatibility** — concurrently granted modes on one resource are
+   pairwise compatible (the lock table's core guarantee);
+2. **intention chains** — a transaction holding any lock on a non-root
+   resource holds at least the matching intention mode on every ancestor
+   *within the same unit and superunit path* (rules 1-4);
+3. **entry-point visibility** — a transaction holding S/X on a node whose
+   subtree references common data also holds a lock on every reachable
+   entry point (the downward-propagation obligation; its absence is
+   exactly the from-the-side hazard of section 3.2.2);
+4. **waiting consistency** — no waiting request could actually be granted
+   (no lost wakeups).
+
+The auditor is intentionally protocol-agnostic: run it against a baseline
+(e.g. ``NaiveDAGUnsafeProtocol``) and it *finds* the paper's problem —
+see ``tests/integration/test_verify.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graphs.units import ancestors
+from repro.locking.modes import S, SIX, X, compatible, covers, intention_of
+
+
+class Violation:
+    """One audit finding."""
+
+    __slots__ = ("rule", "txn", "resource", "detail")
+
+    def __init__(self, rule, txn, resource, detail):
+        self.rule = rule
+        self.txn = txn
+        self.resource = resource
+        self.detail = detail
+
+    def __repr__(self):
+        return "Violation(%s, txn=%r, resource=%r: %s)" % (
+            self.rule,
+            self.txn,
+            self.resource,
+            self.detail,
+        )
+
+
+def audit(protocol) -> List[Violation]:
+    """Audit the protocol's lock manager against all invariants."""
+    violations: List[Violation] = []
+    violations.extend(check_compatibility(protocol.manager))
+    violations.extend(check_intention_chains(protocol))
+    violations.extend(check_entry_point_visibility(protocol))
+    violations.extend(check_waiting_consistency(protocol.manager))
+    violations.extend(check_indexes(protocol.catalog.database))
+    return violations
+
+
+def check_indexes(database) -> List[Violation]:
+    """Every index must agree exactly with its relation's contents.
+
+    5. **index consistency** — for each indexed attribute, the index maps
+       value v to surrogate s iff the stored object s carries v; no
+       dangling and no missing entries (maintenance must be atomic with
+       the data change, including undo paths).
+    """
+    out: List[Violation] = []
+    for relation in database.relations():
+        for attribute, index in relation.indexes.items():
+            expected = {}
+            for obj in relation:
+                expected.setdefault(obj.root[attribute], []).append(obj.surrogate)
+            actual = {value: sorted(index.lookup(value)) for value in index.values()}
+            expected = {value: sorted(s) for value, s in expected.items()}
+            if actual != expected:
+                missing = {
+                    value: s for value, s in expected.items()
+                    if actual.get(value) != s
+                }
+                stale = {
+                    value: s for value, s in actual.items()
+                    if expected.get(value) != s
+                }
+                out.append(
+                    Violation(
+                        "index-consistency",
+                        None,
+                        (relation.name, attribute),
+                        "missing=%r stale=%r" % (missing, stale),
+                    )
+                )
+    return out
+
+
+def check_compatibility(manager) -> List[Violation]:
+    out = []
+    for resource in manager.table.locked_resources():
+        holders = list(manager.holders(resource).items())
+        for i, (txn_a, mode_a) in enumerate(holders):
+            for txn_b, mode_b in holders[i + 1 :]:
+                if not compatible(mode_a, mode_b):
+                    out.append(
+                        Violation(
+                            "compatibility",
+                            (txn_a, txn_b),
+                            resource,
+                            "%s and %s granted concurrently" % (mode_a, mode_b),
+                        )
+                    )
+    return out
+
+
+def check_intention_chains(protocol) -> List[Violation]:
+    """Every held lock needs intention cover on its in-unit ancestors."""
+    out = []
+    manager = protocol.manager
+    units = protocol.units
+    for resource in manager.table.locked_resources():
+        for txn, mode in manager.holders(resource).items():
+            required = intention_of(mode)
+            unit_root = units.unit_root(resource)
+            for ancestor in ancestors(resource):
+                # within the unit, plus the superunit path of inner units:
+                # for outer-unit members that is every prefix anyway
+                held = manager.held_mode(txn, ancestor)
+                if held is not None and covers(held, required):
+                    continue
+                # an ancestor covered *implicitly* by a coarse lock higher
+                # up is fine too (S/X imply the whole subtree)
+                if protocol.effectively_holds(txn, ancestor, S) or (
+                    protocol.effectively_holds(txn, ancestor, X)
+                ):
+                    continue
+                out.append(
+                    Violation(
+                        "intention-chain",
+                        txn,
+                        resource,
+                        "ancestor %r lacks (at least) %s" % (ancestor, required),
+                    )
+                )
+    return out
+
+
+def check_entry_point_visibility(protocol) -> List[Violation]:
+    """S/X holders must have locked every reachable entry point."""
+    out = []
+    manager = protocol.manager
+    units = protocol.units
+    for resource in manager.table.locked_resources():
+        if len(resource) < 3:
+            continue
+        for txn, mode in manager.holders(resource).items():
+            if mode not in (S, SIX, X):
+                continue
+            try:
+                entries = units.entry_points_below(resource, transitive=True)
+            except Exception:
+                continue
+            for entry in entries:
+                held = manager.held_mode(txn, entry)
+                if held is None:
+                    out.append(
+                        Violation(
+                            "entry-point-visibility",
+                            txn,
+                            resource,
+                            "holds %s but no lock on reachable entry point %r"
+                            % (mode, entry),
+                        )
+                    )
+    return out
+
+
+def check_waiting_consistency(manager) -> List[Violation]:
+    """No waiting request may be grantable (lost-wakeup detector)."""
+    out = []
+    table = manager.table
+    for resource, entry in list(table._entries.items()):
+        for request in list(entry.queue):
+            if entry.conversions or entry.queue[0] is not request:
+                continue  # FIFO: only the head could be grantable
+            grantable = all(
+                compatible(held.mode, request.target_mode)
+                for txn, held in entry.granted.items()
+                if txn != request.txn
+            )
+            if grantable:
+                out.append(
+                    Violation(
+                        "waiting-consistency",
+                        request.txn,
+                        resource,
+                        "head waiter for %s is grantable but still queued"
+                        % request.target_mode,
+                    )
+                )
+    return out

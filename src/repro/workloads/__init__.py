@@ -1,0 +1,49 @@
+"""Workload schemas and generators (cells/effectors, part library, VLSI)."""
+
+from repro.workloads.cells import (
+    Q1,
+    Q2,
+    Q3,
+    build_cells_database,
+    cells_schema,
+    effector_keys,
+    effectors_schema,
+    robot_ids,
+)
+from repro.workloads.deep import (
+    build_deep_database,
+    deep_schema,
+    random_component,
+)
+from repro.workloads.design import (
+    build_design_database,
+    chips_schema,
+    stdcells_schema,
+)
+from repro.workloads.partlib import (
+    assemblies_schema,
+    build_partlib_database,
+    materials_schema,
+    parts_schema,
+)
+
+__all__ = [
+    "Q1",
+    "Q2",
+    "Q3",
+    "assemblies_schema",
+    "build_cells_database",
+    "build_deep_database",
+    "build_design_database",
+    "build_partlib_database",
+    "cells_schema",
+    "chips_schema",
+    "deep_schema",
+    "effector_keys",
+    "effectors_schema",
+    "materials_schema",
+    "parts_schema",
+    "random_component",
+    "robot_ids",
+    "stdcells_schema",
+]

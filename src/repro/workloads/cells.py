@@ -1,0 +1,204 @@
+"""The paper's running example: manufacturing cells and effectors (Figure 1).
+
+"The relation 'cells' models a manufacturing cell which contains different
+cell-objects.  These cell-objects can be manufactured by some robots. ...
+The effectors (tools) which may be used by robots are stored within the
+relation 'effectors', which in turn represents a library of effectors.
+One effector may be used (shared) by different robots."
+
+:func:`cells_schema` builds the two relation schemas exactly as drawn in
+Figure 1; :func:`build_cells_database` populates them, either with the
+precise instance of Figures 6/7 (``figure7=True``) or with a parameterized
+synthetic instance for the benchmarks (numbers of cells, c_objects,
+robots, effectors, and the degree of sharing).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.catalog import Catalog
+from repro.nf2 import (
+    AtomicType,
+    Database,
+    ListType,
+    RefType,
+    RelationSchema,
+    SetType,
+    TupleType,
+    make_list,
+    make_set,
+    make_tuple,
+)
+
+#: The three example queries of Figure 3 (SQL-extension syntax).
+Q1 = (
+    "SELECT o FROM c IN cells, o IN c.c_objects "
+    "WHERE c.cell_id = 'c1' FOR READ"
+)
+Q2 = (
+    "SELECT r FROM c IN cells, r IN c.robots "
+    "WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR UPDATE"
+)
+Q3 = (
+    "SELECT r FROM c IN cells, r IN c.robots "
+    "WHERE c.cell_id = 'c1' AND r.robot_id = 'r2' FOR UPDATE"
+)
+
+
+def effectors_schema() -> RelationSchema:
+    """Relation "effectors": eff_id (key) and tool description."""
+    return RelationSchema(
+        "effectors",
+        TupleType(
+            [
+                ("eff_id", AtomicType("str")),
+                ("tool", AtomicType("str")),
+            ]
+        ),
+        segment="seg2",
+    )
+
+
+def cells_schema() -> RelationSchema:
+    """Relation "cells" exactly as in Figure 1.
+
+    cell_id (str, key); c_objects: set of tuples (obj_id int, obj_name
+    str); robots: list (ordered by robot_id) of tuples (robot_id str,
+    trajectory str, effectors: set of references into "effectors").
+    """
+    return RelationSchema(
+        "cells",
+        TupleType(
+            [
+                ("cell_id", AtomicType("str")),
+                (
+                    "c_objects",
+                    SetType(
+                        TupleType(
+                            [
+                                ("obj_id", AtomicType("int")),
+                                ("obj_name", AtomicType("str")),
+                            ]
+                        )
+                    ),
+                ),
+                (
+                    "robots",
+                    ListType(
+                        TupleType(
+                            [
+                                ("robot_id", AtomicType("str")),
+                                ("trajectory", AtomicType("str")),
+                                ("effectors", SetType(RefType("effectors"))),
+                            ]
+                        )
+                    ),
+                ),
+            ]
+        ),
+        segment="seg1",
+    )
+
+
+def build_cells_database(
+    n_cells: int = 1,
+    n_objects: int = 3,
+    n_robots: int = 2,
+    n_effectors: int = 3,
+    refs_per_robot: int = 2,
+    seed: Optional[int] = 7,
+    figure7: bool = False,
+) -> Tuple[Database, Catalog]:
+    """Create and populate the cells/effectors database.
+
+    With ``figure7=True`` the exact instance of Figures 6/7 is built:
+    cell c1 with c_object o1, robots r1 (→ e1, e2) and r2 (→ e2, e3), and
+    effectors e1..e3 — the other parameters are ignored.
+
+    Otherwise a synthetic database is generated: ``n_cells`` cells named
+    ``c1..``, each with ``n_objects`` c_objects and ``n_robots`` robots;
+    ``n_effectors`` effectors named ``e1..``; every robot references
+    ``refs_per_robot`` effectors drawn (seeded) from the library, so the
+    expected sharing degree of an effector is
+    ``n_cells * n_robots * refs_per_robot / n_effectors``.
+    """
+    database = Database("db1")
+    catalog = Catalog(database)
+    database.create_relations([effectors_schema(), cells_schema()])
+
+    if figure7:
+        refs = {}
+        for eff_id, tool in (("e1", "t1"), ("e2", "t2"), ("e3", "t3")):
+            obj = database.insert(
+                "effectors", make_tuple(eff_id=eff_id, tool=tool)
+            )
+            refs[eff_id] = obj.reference()
+        database.insert(
+            "cells",
+            make_tuple(
+                cell_id="c1",
+                c_objects=make_set(make_tuple(obj_id=1, obj_name="on1")),
+                robots=make_list(
+                    make_tuple(
+                        robot_id="r1",
+                        trajectory="tr1",
+                        effectors=make_set(refs["e1"], refs["e2"]),
+                    ),
+                    make_tuple(
+                        robot_id="r2",
+                        trajectory="tr2",
+                        effectors=make_set(refs["e2"], refs["e3"]),
+                    ),
+                ),
+            ),
+        )
+        return database, catalog
+
+    rng = random.Random(seed)
+    effector_refs = []
+    for index in range(1, n_effectors + 1):
+        obj = database.insert(
+            "effectors",
+            make_tuple(eff_id="e%d" % index, tool="tool-%d" % index),
+        )
+        effector_refs.append(obj.reference())
+
+    for cell_index in range(1, n_cells + 1):
+        c_objects = make_set(
+            *(
+                make_tuple(obj_id=obj_index, obj_name="obj-%d-%d" % (cell_index, obj_index))
+                for obj_index in range(1, n_objects + 1)
+            )
+        )
+        robots = []
+        for robot_index in range(1, n_robots + 1):
+            count = min(refs_per_robot, len(effector_refs))
+            chosen = rng.sample(effector_refs, count) if count else []
+            robots.append(
+                make_tuple(
+                    robot_id="r%d_%d" % (cell_index, robot_index),
+                    trajectory="tr-%d-%d" % (cell_index, robot_index),
+                    effectors=make_set(*chosen),
+                )
+            )
+        database.insert(
+            "cells",
+            make_tuple(
+                cell_id="c%d" % cell_index,
+                c_objects=c_objects,
+                robots=make_list(*robots),
+            ),
+        )
+    return database, catalog
+
+
+def robot_ids(database: Database, cell_key: str) -> List[str]:
+    """Robot ids of one cell (workload helpers)."""
+    cell = database.get("cells", cell_key)
+    return [robot["robot_id"] for robot in cell.root["robots"]]
+
+
+def effector_keys(database: Database) -> List[str]:
+    return sorted(obj.key for obj in database.relation("effectors"))

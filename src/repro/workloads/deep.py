@@ -1,0 +1,105 @@
+"""Depth-parameterized workload: nested containers of arbitrary depth.
+
+The paper's closing claim starts with "the **deeper** complex objects are
+structured ... the higher the benefit of the proposed technique promises
+to be."  The cells schema has fixed depth, so this workload provides a
+relation whose objects nest ``depth`` container levels::
+
+    containers(cont_id, children: set of (n0_id, children: set of (...)))
+
+with ``fanout`` elements per level, plus helpers to address random
+leaf-level components — the fine granules a deep-structure workload
+touches.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.catalog import Catalog
+from repro.graphs.units import component_resource, object_resource
+from repro.nf2 import (
+    AtomicType,
+    Database,
+    RelationSchema,
+    SetType,
+    TupleType,
+    make_set,
+    make_tuple,
+)
+from repro.nf2.paths import AttrStep, ElemStep
+
+
+def deep_schema(depth: int) -> RelationSchema:
+    """``depth`` nested set-of-tuple levels below the object node."""
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    inner = TupleType(
+        [("leaf_id", AtomicType("int")), ("payload", AtomicType("str"))]
+    )
+    for level in range(depth - 1):
+        inner = TupleType(
+            [
+                ("n%d_id" % level, AtomicType("int")),
+                ("children", SetType(inner)),
+            ]
+        )
+    return RelationSchema(
+        "containers",
+        TupleType(
+            [("cont_id", AtomicType("str")), ("children", SetType(inner))]
+        ),
+    )
+
+
+def _element_for(levels: int, fanout: int, index: int):
+    """Instance element spanning ``levels`` levels down to the leaves.
+
+    Mirrors :func:`deep_schema`'s naming: the element ``levels`` levels
+    above the leaf carries key attribute ``n<levels-2>_id``.
+    """
+    if levels == 1:
+        return make_tuple(leaf_id=index, payload="leaf-%d" % index)
+    children = make_set(
+        *(
+            _element_for(levels - 1, fanout, child)
+            for child in range(1, fanout + 1)
+        )
+    )
+    return make_tuple(**{"n%d_id" % (levels - 2): index, "children": children})
+
+
+def build_deep_database(
+    n_objects: int = 2, depth: int = 3, fanout: int = 3
+) -> Tuple[Database, Catalog]:
+    """Create ``n_objects`` containers of the given depth and fan-out."""
+    database = Database("db1")
+    catalog = Catalog(database)
+    database.create_relation(deep_schema(depth))
+    for index in range(1, n_objects + 1):
+        children = make_set(
+            *(
+                _element_for(depth, fanout, child)
+                for child in range(1, fanout + 1)
+            )
+        )
+        database.insert(
+            "containers", make_tuple(cont_id="o%d" % index, children=children)
+        )
+    return database, catalog
+
+
+def random_component(
+    catalog, depth: int, fanout: int, rng: random.Random, object_key=None
+):
+    """Resource of one random component at the deepest tuple level."""
+    relation = catalog.database.relation("containers")
+    if object_key is None:
+        object_key = rng.choice(sorted(obj.key for obj in relation))
+    steps: List = []
+    for level in range(depth - 1):
+        steps.append(AttrStep("children"))
+        steps.append(ElemStep(rng.randint(1, fanout)))
+    obj_res = object_resource(catalog, "containers", object_key)
+    return component_resource(obj_res, steps)

@@ -1,0 +1,161 @@
+"""VLSI-design workload: deep disjoint objects and long transactions.
+
+Section 1: "In non-standard applications like VLSI-design, however, the
+duration of a transaction can last up to days or even weeks (long
+transactions)."  This workload provides
+
+* a deep, *disjoint* design hierarchy (chips → modules → cells → gates)
+  for experiment E8 (the paper's acknowledged disadvantage 2: overhead on
+  exclusively disjoint access) and the depth axis of E9;
+* a shared standard-cell library variant for the sharing axis;
+* long-transaction program builders (check-out style, large think times).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.catalog import Catalog
+from repro.nf2 import (
+    AtomicType,
+    Database,
+    RefType,
+    RelationSchema,
+    SetType,
+    TupleType,
+    make_set,
+    make_tuple,
+)
+
+
+def stdcells_schema() -> RelationSchema:
+    """The shared standard-cell library (common data)."""
+    return RelationSchema(
+        "stdcells",
+        TupleType(
+            [
+                ("std_id", AtomicType("str")),
+                ("function", AtomicType("str")),
+                ("area", AtomicType("float")),
+            ]
+        ),
+        segment="seg_lib",
+    )
+
+
+def chips_schema(shared_library: bool = False) -> RelationSchema:
+    """Design hierarchy: chip → modules → cells → gates.
+
+    With ``shared_library=True`` each cell additionally references a
+    standard cell from the shared library, making the objects
+    non-disjoint.
+    """
+    gate = TupleType(
+        [
+            ("gate_id", AtomicType("int")),
+            ("kind", AtomicType("str")),
+            ("fanin", AtomicType("int")),
+        ]
+    )
+    cell_attrs = [
+        ("cell_id", AtomicType("str")),
+        ("placed", AtomicType("bool")),
+        ("gates", SetType(gate)),
+    ]
+    if shared_library:
+        cell_attrs.append(("std", RefType("stdcells")))
+    cell = TupleType(cell_attrs)
+    module = TupleType(
+        [
+            ("mod_id", AtomicType("str")),
+            ("kind", AtomicType("str")),
+            ("cells", SetType(cell)),
+        ]
+    )
+    return RelationSchema(
+        "chips",
+        TupleType(
+            [
+                ("chip_id", AtomicType("str")),
+                ("revision", AtomicType("int")),
+                ("modules", SetType(module)),
+            ]
+        ),
+        segment="seg_design",
+    )
+
+
+def build_design_database(
+    n_chips: int = 2,
+    modules_per_chip: int = 3,
+    cells_per_module: int = 3,
+    gates_per_cell: int = 4,
+    shared_library: bool = False,
+    n_stdcells: int = 5,
+    seed: Optional[int] = 23,
+) -> Tuple[Database, Catalog]:
+    """Create and populate the design database (optionally non-disjoint)."""
+    database = Database("db1")
+    catalog = Catalog(database)
+    schemas = [chips_schema(shared_library=shared_library)]
+    if shared_library:
+        schemas.insert(0, stdcells_schema())
+    database.create_relations(schemas)
+    rng = random.Random(seed)
+
+    std_refs = []
+    if shared_library:
+        functions = ["nand2", "nor2", "inv", "dff", "mux2", "xor2"]
+        for index in range(1, n_stdcells + 1):
+            obj = database.insert(
+                "stdcells",
+                make_tuple(
+                    std_id="sc%d" % index,
+                    function=functions[(index - 1) % len(functions)],
+                    area=float(index),
+                ),
+            )
+            std_refs.append(obj.reference())
+
+    kinds = ["alu", "fpu", "cache", "decoder", "io"]
+    gate_kinds = ["nand", "nor", "inv", "xor"]
+    for chip_index in range(1, n_chips + 1):
+        modules = []
+        for mod_index in range(1, modules_per_chip + 1):
+            cells = []
+            for cell_index in range(1, cells_per_module + 1):
+                gates = make_set(
+                    *(
+                        make_tuple(
+                            gate_id=gate_index,
+                            kind=gate_kinds[gate_index % len(gate_kinds)],
+                            fanin=1 + gate_index % 4,
+                        )
+                        for gate_index in range(1, gates_per_cell + 1)
+                    )
+                )
+                attrs = dict(
+                    cell_id="cell_%d_%d_%d" % (chip_index, mod_index, cell_index),
+                    placed=bool(cell_index % 2),
+                    gates=gates,
+                )
+                if shared_library:
+                    attrs["std"] = rng.choice(std_refs)
+                cells.append(make_tuple(**attrs))
+            modules.append(
+                make_tuple(
+                    mod_id="mod_%d_%d" % (chip_index, mod_index),
+                    kind=kinds[(mod_index - 1) % len(kinds)],
+                    cells=make_set(*cells),
+                )
+            )
+        database.insert(
+            "chips",
+            make_tuple(
+                chip_id="chip%d" % chip_index,
+                revision=1,
+                modules=make_set(*modules),
+            ),
+        )
+    return database, catalog

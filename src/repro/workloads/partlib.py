@@ -1,0 +1,153 @@
+"""Part library workload: nested common data.
+
+Section 2 motivates non-disjoint complex objects with "part libraries with
+component parts or with standard parts like bolts and nuts or ICs" and
+notes that "common data may again contain common data".  This workload
+exercises exactly that: a two-level sharing chain
+
+    assemblies ──ref──> parts ──ref──> materials
+
+* ``assemblies`` — top-level products, each composed of a set of
+  positions referencing shared ``parts``;
+* ``parts`` — the standard-part library (bolts, nuts, ICs); each part
+  references the shared ``materials`` it is made of;
+* ``materials`` — the innermost common data.
+
+Transitive downward propagation (an S/X lock on an assembly must reach
+material entry points *through* the part entry points) is tested on this
+schema.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.catalog import Catalog
+from repro.nf2 import (
+    AtomicType,
+    Database,
+    ListType,
+    RefType,
+    RelationSchema,
+    SetType,
+    TupleType,
+    make_list,
+    make_set,
+    make_tuple,
+)
+
+
+def materials_schema() -> RelationSchema:
+    return RelationSchema(
+        "materials",
+        TupleType(
+            [
+                ("mat_id", AtomicType("str")),
+                ("name", AtomicType("str")),
+                ("density", AtomicType("float")),
+            ]
+        ),
+        segment="seg_materials",
+    )
+
+
+def parts_schema() -> RelationSchema:
+    """Standard parts: each references the materials it is made of."""
+    return RelationSchema(
+        "parts",
+        TupleType(
+            [
+                ("part_id", AtomicType("str")),
+                ("name", AtomicType("str")),
+                ("materials", SetType(RefType("materials"))),
+            ]
+        ),
+        segment="seg_parts",
+    )
+
+
+def assemblies_schema() -> RelationSchema:
+    """Products: a list of positions, each referencing one standard part."""
+    return RelationSchema(
+        "assemblies",
+        TupleType(
+            [
+                ("asm_id", AtomicType("str")),
+                (
+                    "positions",
+                    ListType(
+                        TupleType(
+                            [
+                                ("pos_id", AtomicType("int")),
+                                ("quantity", AtomicType("int")),
+                                ("part", RefType("parts")),
+                            ]
+                        )
+                    ),
+                ),
+            ]
+        ),
+        segment="seg_asm",
+    )
+
+
+def build_partlib_database(
+    n_assemblies: int = 4,
+    positions_per_assembly: int = 3,
+    n_parts: int = 6,
+    n_materials: int = 3,
+    materials_per_part: int = 2,
+    seed: Optional[int] = 11,
+) -> Tuple[Database, Catalog]:
+    """Create and populate the three-relation part library."""
+    database = Database("db1")
+    catalog = Catalog(database)
+    database.create_relations(
+        [materials_schema(), parts_schema(), assemblies_schema()]
+    )
+    rng = random.Random(seed)
+
+    material_refs = []
+    names = ["steel", "brass", "nylon", "copper", "titanium", "ceramic"]
+    for index in range(1, n_materials + 1):
+        obj = database.insert(
+            "materials",
+            make_tuple(
+                mat_id="m%d" % index,
+                name=names[(index - 1) % len(names)],
+                density=1.0 + index * 0.5,
+            ),
+        )
+        material_refs.append(obj.reference())
+
+    part_refs = []
+    kinds = ["bolt", "nut", "ic", "washer", "bracket", "spring"]
+    for index in range(1, n_parts + 1):
+        count = min(materials_per_part, len(material_refs))
+        chosen = rng.sample(material_refs, count) if count else []
+        obj = database.insert(
+            "parts",
+            make_tuple(
+                part_id="p%d" % index,
+                name="%s-%d" % (kinds[(index - 1) % len(kinds)], index),
+                materials=make_set(*chosen),
+            ),
+        )
+        part_refs.append(obj.reference())
+
+    for asm_index in range(1, n_assemblies + 1):
+        positions = []
+        for pos_index in range(1, positions_per_assembly + 1):
+            positions.append(
+                make_tuple(
+                    pos_id=pos_index,
+                    quantity=rng.randint(1, 12),
+                    part=rng.choice(part_refs),
+                )
+            )
+        database.insert(
+            "assemblies",
+            make_tuple(asm_id="a%d" % asm_index, positions=make_list(*positions)),
+        )
+    return database, catalog

@@ -1,0 +1,95 @@
+"""Authorization component (section 3.2.3): modify/read rights."""
+
+import pytest
+
+from repro.catalog import AuthorizationManager, principal_of
+from repro.errors import AuthorizationError
+
+
+class TestDefaults:
+    def test_permissive_by_default(self):
+        authz = AuthorizationManager()
+        assert authz.can_modify("anyone", "cells")
+        assert authz.can_read("anyone", "cells")
+
+    def test_default_flags(self):
+        authz = AuthorizationManager(default_modify=False, default_read=True)
+        assert not authz.can_modify("anyone", "cells")
+        assert authz.can_read("anyone", "cells")
+
+
+class TestGrants:
+    def test_grant_restricts_principal(self):
+        authz = AuthorizationManager()
+        authz.grant_modify("u1", "cells")
+        assert authz.can_modify("u1", "cells")
+        assert not authz.can_modify("u1", "effectors")
+
+    def test_other_principals_unaffected(self):
+        authz = AuthorizationManager()
+        authz.grant_modify("u1", "cells")
+        assert authz.can_modify("u2", "effectors")
+
+    def test_modify_implies_read(self):
+        authz = AuthorizationManager()
+        authz.grant_modify("u1", "cells")
+        assert authz.can_read("u1", "cells")
+
+    def test_read_does_not_imply_modify(self):
+        authz = AuthorizationManager()
+        authz.grant_read("u1", "effectors")
+        assert authz.can_read("u1", "effectors")
+        assert not authz.can_modify("u1", "effectors")
+
+    def test_restrict_without_grant(self):
+        authz = AuthorizationManager()
+        authz.restrict("u1")
+        assert not authz.can_modify("u1", "cells")
+        assert not authz.can_read("u1", "cells")
+
+    def test_revoke_modify(self):
+        authz = AuthorizationManager()
+        authz.grant_modify("u1", "cells")
+        authz.revoke_modify("u1", "cells")
+        assert not authz.can_modify("u1", "cells")
+        assert authz.can_read("u1", "cells")  # read grant remains
+
+
+class TestChecks:
+    def test_check_modify_raises(self):
+        authz = AuthorizationManager()
+        authz.restrict("u1")
+        with pytest.raises(AuthorizationError):
+            authz.check_modify("u1", "cells")
+
+    def test_check_read_raises(self):
+        authz = AuthorizationManager()
+        authz.restrict("u1")
+        with pytest.raises(AuthorizationError):
+            authz.check_read("u1", "cells")
+
+    def test_check_passes_when_granted(self):
+        authz = AuthorizationManager()
+        authz.grant_modify("u1", "cells")
+        authz.check_modify("u1", "cells")
+        authz.check_read("u1", "cells")
+
+
+class TestPrincipalResolution:
+    def test_plain_objects_are_their_own_principal(self):
+        assert principal_of("u1") == "u1"
+
+    def test_transactions_carry_principals(self):
+        class FakeTxn:
+            principal = "group-a"
+
+        assert principal_of(FakeTxn()) == "group-a"
+
+    def test_rights_follow_the_principal(self):
+        class FakeTxn:
+            principal = "group-a"
+
+        authz = AuthorizationManager()
+        authz.grant_modify("group-a", "cells")
+        assert authz.can_modify(FakeTxn(), "cells")
+        assert not authz.can_modify(FakeTxn(), "effectors")

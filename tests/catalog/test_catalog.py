@@ -1,0 +1,68 @@
+"""Catalog: registry, common-data classification, graph cache."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.errors import SchemaError
+from repro.nf2 import AtomicType, Database, RelationSchema, TupleType
+from repro.workloads import cells_schema, effectors_schema
+
+
+class TestRegistration:
+    def test_existing_relations_registered(self, figure7):
+        _, catalog = figure7
+        assert catalog.relation_names() == ["cells", "effectors"]
+
+    def test_later_relations_picked_up_by_hook(self):
+        database = Database("db1")
+        catalog = Catalog(database)
+        database.create_relation(
+            RelationSchema("solo", TupleType([("solo_id", AtomicType("str"))]))
+        )
+        assert catalog.relation_names() == ["solo"]
+
+    def test_schema_lookup(self, figure7):
+        _, catalog = figure7
+        assert catalog.schema("cells").key == "cell_id"
+        with pytest.raises(SchemaError):
+            catalog.schema("nope")
+
+    def test_segment_of(self, figure7):
+        _, catalog = figure7
+        assert catalog.segment_of("cells") == "seg1"
+        assert catalog.segment_of("effectors") == "seg2"
+
+
+class TestCommonDataClassification:
+    def test_effectors_is_common_data(self, figure7):
+        _, catalog = figure7
+        assert catalog.is_common_data("effectors")
+
+    def test_cells_is_not(self, figure7):
+        _, catalog = figure7
+        assert not catalog.is_common_data("cells")
+
+    def test_referencing_relations(self, figure7):
+        _, catalog = figure7
+        assert catalog.referencing_relations("effectors") == ["cells"]
+        assert catalog.referencing_relations("cells") == []
+
+    def test_chained_common_data(self, partlib):
+        _, catalog = partlib
+        assert catalog.is_common_data("parts")
+        assert catalog.is_common_data("materials")
+        assert not catalog.is_common_data("assemblies")
+        assert catalog.referencing_relations("materials") == ["parts"]
+
+
+class TestGraphCache:
+    def test_cache_hit(self, figure7):
+        _, catalog = figure7
+        assert catalog.object_graph("cells") is catalog.object_graph("cells")
+
+    def test_cache_invalidated_on_recreation_hook(self):
+        database = Database("db1")
+        catalog = Catalog(database)
+        database.create_relations([effectors_schema(), cells_schema()])
+        graph = catalog.object_graph("cells")
+        assert graph.relation_name == "cells"

@@ -1,0 +1,78 @@
+"""Statistics: fan-out estimates feeding escalation anticipation."""
+
+import pytest
+
+from repro.catalog import Statistics
+from repro.nf2 import parse_path
+from repro.nf2.paths import schema_path
+from repro.workloads import build_cells_database
+
+
+class TestRefresh:
+    def test_object_counts(self, figure7):
+        database, _ = figure7
+        stats = Statistics(database).refresh()
+        assert stats.object_count("cells") == 1
+        assert stats.object_count("effectors") == 3
+
+    def test_fanout_of_robots_list(self, figure7):
+        database, _ = figure7
+        stats = Statistics(database).refresh()
+        assert stats.estimate_fanout("cells", parse_path("robots")) == 2.0
+
+    def test_fanout_of_c_objects(self, figure7):
+        database, _ = figure7
+        stats = Statistics(database).refresh()
+        assert stats.estimate_fanout("cells", parse_path("c_objects")) == 1.0
+
+    def test_fanout_of_nested_effector_sets(self, figure7):
+        database, _ = figure7
+        stats = Statistics(database).refresh()
+        fanout = stats.estimate_fanout("cells", parse_path("robots[*].effectors"))
+        assert fanout == 2.0  # both robots reference two effectors
+
+    def test_synthetic_average(self):
+        database, _ = build_cells_database(
+            n_cells=3, n_objects=7, n_robots=2, n_effectors=4
+        )
+        stats = Statistics(database).refresh()
+        assert stats.estimate_fanout("cells", parse_path("c_objects")) == 7.0
+
+    def test_refresh_resets(self, figure7):
+        database, _ = figure7
+        stats = Statistics(database).refresh()
+        stats.observe_fanout("cells", parse_path("robots"), 99.0)
+        stats.refresh()
+        assert stats.estimate_fanout("cells", parse_path("robots")) == 2.0
+
+
+class TestDefaults:
+    def test_unknown_path_uses_default(self, figure7):
+        database, _ = figure7
+        stats = Statistics(database)  # no refresh
+        assert (
+            stats.estimate_fanout("cells", parse_path("robots"))
+            == Statistics.DEFAULT_FANOUT
+        )
+
+    def test_object_count_falls_back_to_live_relation(self, figure7):
+        database, _ = figure7
+        stats = Statistics(database)
+        assert stats.object_count("effectors") == 3
+
+    def test_observe_fanout_overrides(self, figure7):
+        database, _ = figure7
+        stats = Statistics(database)
+        stats.observe_fanout("cells", parse_path("robots"), 42.0)
+        assert stats.estimate_fanout("cells", parse_path("robots")) == 42.0
+
+    def test_instance_paths_projected_to_schema_paths(self, figure7):
+        database, _ = figure7
+        stats = Statistics(database).refresh()
+        by_instance = stats.estimate_fanout(
+            "cells", parse_path("robots[r1].effectors")
+        )
+        by_schema = stats.estimate_fanout(
+            "cells", schema_path(parse_path("robots[*].effectors"))
+        )
+        assert by_instance == by_schema

@@ -1,0 +1,68 @@
+"""Shared fixtures: the paper's example database and wired stacks."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.workloads import (
+    build_cells_database,
+    build_design_database,
+    build_partlib_database,
+)
+
+
+@pytest.fixture
+def figure7():
+    """The exact instance of Figures 6/7: cell c1, robots r1/r2, e1..e3."""
+    database, catalog = build_cells_database(figure7=True)
+    return database, catalog
+
+
+@pytest.fixture
+def figure7_stack(figure7):
+    database, catalog = figure7
+    stack = repro.make_stack(database, catalog)
+    # The Figure 7 scenario: Q2/Q3's users may modify cells but not the
+    # effectors library (the assumption behind rule 4' in the example).
+    stack.authorization.grant_modify("user2", "cells")
+    stack.authorization.grant_modify("user3", "cells")
+    stack.authorization.grant_read("user2", "effectors")
+    stack.authorization.grant_read("user3", "effectors")
+    return stack
+
+
+@pytest.fixture
+def synthetic_cells():
+    database, catalog = build_cells_database(
+        n_cells=4, n_objects=5, n_robots=3, n_effectors=6, refs_per_robot=2, seed=7
+    )
+    return database, catalog
+
+
+@pytest.fixture
+def synthetic_stack(synthetic_cells):
+    database, catalog = synthetic_cells
+    return repro.make_stack(database, catalog)
+
+
+@pytest.fixture
+def partlib():
+    database, catalog = build_partlib_database(seed=11)
+    return database, catalog
+
+
+@pytest.fixture
+def partlib_stack(partlib):
+    database, catalog = partlib
+    return repro.make_stack(database, catalog)
+
+
+@pytest.fixture
+def design_disjoint():
+    return build_design_database(shared_library=False)
+
+
+@pytest.fixture
+def design_shared():
+    return build_design_database(shared_library=True)

@@ -1,0 +1,95 @@
+"""The general lock graph (Figure 4): kinds, transitions, derivation rules."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.graphs.general import (
+    BLU,
+    HELU,
+    HOLU,
+    SOLID_TRANSITIONS,
+    SYSTEM_R_AS_GENERAL,
+    UNIT_KINDS,
+    kind_for_type,
+    validate_transition,
+)
+from repro.nf2.types import AtomicType, ListType, RefType, SetType, TupleType
+
+
+class TestDerivationRules:
+    """Section 4.3: list→HoLU, set→HoLU, tuple→HeLU, atomic→BLU."""
+
+    def test_list_is_holu(self):
+        assert kind_for_type(ListType(AtomicType("int"))) == HOLU
+
+    def test_set_is_holu(self):
+        assert kind_for_type(SetType(AtomicType("int"))) == HOLU
+
+    def test_tuple_is_helu(self):
+        assert kind_for_type(TupleType([("a_id", AtomicType("str"))])) == HELU
+
+    def test_atomic_is_blu(self):
+        assert kind_for_type(AtomicType("str")) == BLU
+
+    def test_reference_is_blu(self):
+        # "a BLU may be a reference to common data" (section 4.2)
+        assert kind_for_type(RefType("effectors")) == BLU
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            kind_for_type(object())
+
+
+class TestTransitions:
+    def test_composite_kinds_may_contain_anything(self):
+        for parent in (HELU, HOLU):
+            for child in UNIT_KINDS:
+                validate_transition(parent, child)
+
+    def test_blu_is_a_leaf(self):
+        for child in UNIT_KINDS:
+            with pytest.raises(SchemaError):
+                validate_transition(BLU, child)
+
+    def test_solid_transition_table_matches_validator(self):
+        for parent, children in SOLID_TRANSITIONS.items():
+            for child in UNIT_KINDS:
+                if child in children:
+                    validate_transition(parent, child)
+                else:
+                    with pytest.raises(SchemaError):
+                        validate_transition(parent, child)
+
+    def test_dashed_transition_blu_to_helu(self):
+        validate_transition(BLU, HELU, dashed=True)
+
+    def test_dashed_transition_other_sources_rejected(self):
+        for parent in (HELU, HOLU):
+            with pytest.raises(SchemaError):
+                validate_transition(parent, HELU, dashed=True)
+
+    def test_dashed_transition_other_targets_rejected(self):
+        for child in (HOLU, BLU):
+            with pytest.raises(SchemaError):
+                validate_transition(BLU, child, dashed=True)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_transition("GLU", BLU)
+
+
+class TestSystemRSpecialCase:
+    """End of section 4.2: System R's graph in the general vocabulary."""
+
+    def test_levels(self):
+        assert SYSTEM_R_AS_GENERAL == (
+            ("database", HELU),
+            ("segment", HELU),
+            ("relation", HOLU),
+            ("tuple", BLU),
+        )
+
+    def test_chain_is_valid_in_general_graph(self):
+        kinds = [kind for _, kind in SYSTEM_R_AS_GENERAL]
+        for parent, child in zip(kinds, kinds[1:]):
+            validate_transition(parent, child)

@@ -1,0 +1,230 @@
+"""Object-specific lock graphs (Figure 5): automatic construction."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.errors import PathError
+from repro.graphs.general import BLU, HELU, HOLU
+from repro.graphs.object_graph import build_object_graph
+from repro.nf2 import (
+    AtomicType,
+    Database,
+    ListType,
+    RelationSchema,
+    SetType,
+    TupleType,
+    parse_path,
+)
+from repro.nf2.paths import STAR, AttrStep
+
+
+@pytest.fixture
+def cells_graph(figure7):
+    _, catalog = figure7
+    return build_object_graph(catalog, "cells")
+
+
+@pytest.fixture
+def effectors_graph(figure7):
+    _, catalog = figure7
+    return build_object_graph(catalog, "effectors")
+
+
+class TestFigure5Structure:
+    """The graph of relation "cells" node by node, as drawn in Figure 5."""
+
+    def test_superunit_chain_kinds(self, cells_graph):
+        assert cells_graph.database_node.kind == HELU
+        assert cells_graph.segment_node.kind == HELU
+        assert cells_graph.relation_node.kind == HOLU
+        assert cells_graph.object_node.kind == HELU
+
+    def test_superunit_chain_names(self, cells_graph):
+        assert cells_graph.database_node.name == "db1"
+        assert cells_graph.segment_node.name == "seg1"
+        assert cells_graph.relation_node.name == "cells"
+
+    def test_cell_id_is_blu(self, cells_graph):
+        assert cells_graph.node_at(parse_path("cell_id")).kind == BLU
+
+    def test_c_objects_set_is_holu(self, cells_graph):
+        assert cells_graph.node_at(parse_path("c_objects")).kind == HOLU
+
+    def test_c_objects_element_is_helu(self, cells_graph):
+        node = cells_graph.node_at((AttrStep("c_objects"), STAR))
+        assert node.kind == HELU
+        assert node.level == "object"  # "HeLU (C.O. 'c_objects')"
+
+    def test_obj_attributes_are_blus(self, cells_graph):
+        assert cells_graph.node_at(parse_path("c_objects[*].obj_id")).kind == BLU
+        assert cells_graph.node_at(parse_path("c_objects[*].obj_name")).kind == BLU
+
+    def test_robots_list_is_holu(self, cells_graph):
+        assert cells_graph.node_at(parse_path("robots")).kind == HOLU
+
+    def test_robot_element_is_helu(self, cells_graph):
+        assert cells_graph.node_at(parse_path("robots[*]")).kind == HELU
+
+    def test_robot_attributes(self, cells_graph):
+        assert cells_graph.node_at(parse_path("robots[*].robot_id")).kind == BLU
+        assert cells_graph.node_at(parse_path("robots[*].trajectory")).kind == BLU
+        assert cells_graph.node_at(parse_path("robots[*].effectors")).kind == HOLU
+
+    def test_reference_blu_with_dashed_edge(self, cells_graph):
+        ref_node = cells_graph.node_at(parse_path("robots[*].effectors[*]"))
+        assert ref_node.kind == BLU
+        assert ref_node.is_reference
+        assert ref_node.ref_target == "effectors"
+
+    def test_referenced_relations(self, cells_graph):
+        assert cells_graph.referenced_relations() == ["effectors"]
+
+    def test_effectors_graph_has_no_references(self, effectors_graph):
+        assert effectors_graph.referenced_relations() == []
+        assert effectors_graph.node_at(parse_path("eff_id")).kind == BLU
+        assert effectors_graph.node_at(parse_path("tool")).kind == BLU
+
+    def test_effectors_graph_segment(self, effectors_graph):
+        assert effectors_graph.segment_node.name == "seg2"
+
+    def test_node_count_cells(self, cells_graph):
+        # db, seg, rel + 12 schema nodes (see test_paths node census)
+        assert cells_graph.lockable_unit_count() == 15
+
+    def test_depth(self, cells_graph, effectors_graph):
+        assert cells_graph.depth() == 8  # db..ref BLU
+        assert effectors_graph.depth() == 5
+
+    def test_missing_path_raises(self, cells_graph):
+        with pytest.raises(PathError):
+            cells_graph.node_at(parse_path("nonexistent"))
+
+    def test_labels_match_figure5_style(self, cells_graph):
+        assert cells_graph.database_node.label() == 'HeLU (Database "db1")'
+        assert cells_graph.relation_node.label() == 'HoLU (Relation "cells")'
+        assert (
+            cells_graph.node_at(parse_path("robots")).label() == 'HoLU ("robots")'
+        )
+        ref = cells_graph.node_at(parse_path("robots[*].effectors[*]"))
+        assert ref.label() == 'BLU ("..ref..")'
+
+    def test_render_contains_key_lines(self, cells_graph):
+        text = cells_graph.render()
+        assert 'HeLU (Database "db1")' in text
+        assert 'HoLU (Relation "cells")' in text
+        assert "- - -> effectors" in text
+
+    def test_iter_nodes_preorder_starts_at_database(self, cells_graph):
+        nodes = list(cells_graph.iter_nodes())
+        assert nodes[0] is cells_graph.database_node
+        assert nodes[1] is cells_graph.segment_node
+
+
+class TestCatalogIntegration:
+    def test_catalog_caches_graph(self, figure7):
+        _, catalog = figure7
+        assert catalog.object_graph("cells") is catalog.object_graph("cells")
+
+    def test_graph_built_per_relation(self, figure7):
+        _, catalog = figure7
+        assert catalog.object_graph("cells").relation_name == "cells"
+        assert catalog.object_graph("effectors").relation_name == "effectors"
+
+    def test_shared_part_has_same_structure(self, figure7):
+        """Graphs sharing data model the common part identically (4.3)."""
+        _, catalog = figure7
+        effectors_own = catalog.object_graph("effectors")
+        # the shared structure is the effectors graph itself; every
+        # reference BLU in cells points at it
+        cells = catalog.object_graph("cells")
+        for node in cells.reference_nodes():
+            assert node.ref_target == effectors_own.relation_name
+
+
+class TestFootnote3Grouping:
+    """Footnote 3: sibling atomic attributes may form one BLU."""
+
+    def make_catalog(self):
+        database = Database("db1")
+        catalog = Catalog(database)
+        database.create_relation(
+            RelationSchema(
+                "parts",
+                TupleType(
+                    [
+                        ("part_id", AtomicType("str")),
+                        ("name", AtomicType("str")),
+                        ("weight", AtomicType("float")),
+                        ("subparts", SetType(TupleType([("sub_id", AtomicType("int"))]))),
+                    ]
+                ),
+            )
+        )
+        return catalog
+
+    def test_grouped_blu(self):
+        catalog = self.make_catalog()
+        graph = build_object_graph(catalog, "parts", group_atomic_blus=True)
+        node = graph.node_at(parse_path("part_id"))
+        assert node.kind == BLU
+        assert set(node.grouped_attrs) == {"part_id", "name", "weight"}
+
+    def test_grouped_attrs_share_node(self):
+        catalog = self.make_catalog()
+        graph = build_object_graph(catalog, "parts", group_atomic_blus=True)
+        assert graph.node_at(parse_path("part_id")) is graph.node_at(
+            parse_path("weight")
+        )
+
+    def test_collections_not_grouped(self):
+        catalog = self.make_catalog()
+        graph = build_object_graph(catalog, "parts", group_atomic_blus=True)
+        assert graph.node_at(parse_path("subparts")).kind == HOLU
+
+    def test_grouping_reduces_node_count(self):
+        catalog = self.make_catalog()
+        fine = build_object_graph(catalog, "parts", group_atomic_blus=False)
+        grouped = build_object_graph(catalog, "parts", group_atomic_blus=True)
+        assert grouped.lockable_unit_count() < fine.lockable_unit_count()
+
+
+class TestNestedCollections:
+    """Section 4.2: 'a set of lists of integers is treated ... as a HoLU
+    composed of HoLUs which in turn consist of BLUs.'"""
+
+    def test_set_of_lists_of_integers(self):
+        database = Database("db1")
+        catalog = Catalog(database)
+        database.create_relation(
+            RelationSchema(
+                "grids",
+                TupleType(
+                    [
+                        ("grid_id", AtomicType("str")),
+                        ("rows", SetType(ListType(AtomicType("int")))),
+                    ]
+                ),
+            )
+        )
+        graph = build_object_graph(catalog, "grids")
+        assert graph.node_at(parse_path("rows")).kind == HOLU
+        assert graph.node_at(parse_path("rows[*]")).kind == HOLU
+        assert graph.node_at(parse_path("rows[*][*]")).kind == BLU
+
+
+class TestDotExport:
+    def test_dot_contains_all_nodes_and_edges(self, cells_graph):
+        dot = cells_graph.to_dot()
+        assert dot.startswith("digraph lockgraph {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("[label=") >= cells_graph.lockable_unit_count()
+        # one dashed edge per reference BLU
+        assert dot.count("style=dashed]") >= len(cells_graph.reference_nodes())
+
+    def test_dot_dashed_reference_edge(self, cells_graph):
+        dot = cells_graph.to_dot()
+        assert "-> ref_effectors [style=dashed];" in dot
+
+    def test_dot_effectors_graph_has_no_dashed_edges(self, effectors_graph):
+        dot = effectors_graph.to_dot()
+        assert "style=dashed];" not in dot.replace("style=dashed]；", "")

@@ -1,0 +1,84 @@
+"""Query-specific lock graphs: annotations, instantiation, coarsening."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.graphs.query_graph import (
+    LockAnnotation,
+    QuerySpecificLockGraph,
+    fine_to_coarse,
+)
+from repro.locking.modes import S, X
+from repro.nf2.paths import STAR, AttrStep, parse_path, schema_path
+
+
+ROBOTS_STAR = schema_path(parse_path("robots[*]"))
+ROBOTS = parse_path("robots")
+
+
+class TestLockAnnotation:
+    def test_per_element_detection(self):
+        assert LockAnnotation(ROBOTS_STAR, X).is_per_element()
+        assert not LockAnnotation(ROBOTS, X).is_per_element()
+        assert not LockAnnotation((), S).is_per_element()
+
+    def test_relation_level(self):
+        annotation = LockAnnotation((), S, relation_level=True)
+        assert annotation.relation_level
+        assert "relation" in repr(annotation)
+
+    def test_reason_recorded(self):
+        annotation = LockAnnotation(ROBOTS, S, reason="anticipated escalation")
+        assert "anticipated" in repr(annotation)
+
+
+class TestQuerySpecificLockGraph:
+    def test_duplicate_paths_rejected(self):
+        with pytest.raises(QueryError):
+            QuerySpecificLockGraph(
+                "cells",
+                [LockAnnotation(ROBOTS, S), LockAnnotation(ROBOTS, X)],
+            )
+
+    def test_relation_and_object_level_coexist(self):
+        graph = QuerySpecificLockGraph(
+            "cells",
+            [
+                LockAnnotation((), S, relation_level=True),
+                LockAnnotation((), S),
+            ],
+        )
+        assert len(graph.annotations) == 2
+
+    def test_annotation_lookup_normalizes_keys(self):
+        graph = QuerySpecificLockGraph("cells", [LockAnnotation(ROBOTS_STAR, X)])
+        found = graph.annotation_at(parse_path("robots[r1]"))
+        assert found is graph.annotations[0]
+
+    def test_annotation_lookup_missing(self):
+        graph = QuerySpecificLockGraph("cells", [LockAnnotation(ROBOTS, X)])
+        assert graph.annotation_at(parse_path("c_objects")) is None
+
+    def test_modes_summary(self):
+        graph = QuerySpecificLockGraph(
+            "cells",
+            [LockAnnotation(ROBOTS, S), LockAnnotation((), X)],
+        )
+        assert ("robots", "S") in graph.modes_summary()
+
+    def test_instantiate(self):
+        graph = QuerySpecificLockGraph("cells", [LockAnnotation(ROBOTS_STAR, X)])
+        out = graph.instantiate({0: [parse_path("robots[r1]")]})
+        assert out == [(parse_path("robots[r1]"), X)]
+
+
+class TestFineToCoarse:
+    def test_drops_trailing_star(self):
+        coarse = fine_to_coarse(LockAnnotation(ROBOTS_STAR, X))
+        assert coarse.path == ROBOTS
+        assert coarse.mode is X
+        assert "anticipated escalation" in coarse.reason
+
+    def test_rejects_already_coarse(self):
+        with pytest.raises(QueryError):
+            fine_to_coarse(LockAnnotation(ROBOTS, X))

@@ -1,0 +1,222 @@
+"""Unit decomposition (section 4.4.1, Figure 6): outer/inner units,
+entry points, immediate parents, superunits, downward-propagation scans."""
+
+import pytest
+
+from repro.errors import PathError
+from repro.graphs.units import (
+    UnitMap,
+    ancestors,
+    component_resource,
+    database_resource,
+    immediate_parent,
+    object_resource,
+    reference_entry_resource,
+    relation_resource,
+    resource_level,
+    segment_resource,
+    steps_for_resource,
+)
+from repro.nf2 import parse_path
+from repro.nf2.paths import AttrStep, ElemStep
+
+
+@pytest.fixture
+def units(figure7):
+    _, catalog = figure7
+    return UnitMap(catalog)
+
+
+@pytest.fixture
+def cell_res(figure7):
+    _, catalog = figure7
+    return object_resource(catalog, "cells", "c1")
+
+
+@pytest.fixture
+def effector_res(figure7):
+    _, catalog = figure7
+    return object_resource(catalog, "effectors", "e1")
+
+
+class TestResourceConstruction:
+    def test_database_resource(self):
+        assert database_resource("db1") == ("db1",)
+
+    def test_segment_resource(self):
+        assert segment_resource("db1", "seg1") == ("db1", "seg1")
+
+    def test_relation_resource(self):
+        assert relation_resource("db1", "seg1", "cells") == ("db1", "seg1", "cells")
+
+    def test_object_resource_uses_catalog_segment(self, figure7):
+        _, catalog = figure7
+        assert object_resource(catalog, "effectors", "e1") == (
+            "db1",
+            "seg2",
+            "effectors",
+            "e1",
+        )
+
+    def test_component_resource(self, cell_res):
+        resource = component_resource(cell_res, parse_path("robots[r1].trajectory"))
+        assert resource == cell_res + ("robots", "r1", "trajectory")
+
+    def test_reference_entry_resource(self, figure7):
+        database, catalog = figure7
+        ref = database.get("effectors", "e2").reference()
+        assert reference_entry_resource(catalog, ref) == (
+            "db1",
+            "seg2",
+            "effectors",
+            "e2",
+        )
+
+
+class TestHierarchy:
+    def test_immediate_parent_chain(self, cell_res):
+        assert immediate_parent(cell_res) == ("db1", "seg1", "cells")
+        assert immediate_parent(("db1",)) is None
+
+    def test_immediate_parent_of_entry_point_is_relation(self, effector_res):
+        """Section 4.4.1: the immediate parent of each entry point is a
+        relation node (solid line), NOT the referencing 'o' node."""
+        assert immediate_parent(effector_res) == ("db1", "seg2", "effectors")
+
+    def test_ancestors_root_first(self, cell_res):
+        assert ancestors(cell_res) == [
+            ("db1",),
+            ("db1", "seg1"),
+            ("db1", "seg1", "cells"),
+        ]
+
+    def test_resource_levels(self, cell_res):
+        assert resource_level(("db1",)) == "database"
+        assert resource_level(("db1", "seg1")) == "segment"
+        assert resource_level(("db1", "seg1", "cells")) == "relation"
+        assert resource_level(cell_res) == "object"
+        assert resource_level(cell_res + ("robots",)) == "component"
+
+    def test_steps_for_resource_roundtrip(self, figure7, cell_res):
+        _, catalog = figure7
+        steps = parse_path("robots[r1].effectors")
+        resource = component_resource(cell_res, steps)
+        assert steps_for_resource(catalog, resource) == steps
+
+    def test_steps_for_shallow_resource_raises(self, figure7):
+        _, catalog = figure7
+        with pytest.raises(PathError):
+            steps_for_resource(catalog, ("db1", "seg1"))
+
+
+class TestUnitClassification:
+    def test_database_is_outer_root(self, units):
+        assert units.is_outer_root(("db1",))
+        assert not units.is_outer_root(("db1", "seg1"))
+
+    def test_effector_objects_are_entry_points(self, units, effector_res):
+        """Effectors are common data (referenced by cells) — inner units."""
+        assert units.is_entry_point(effector_res)
+
+    def test_cell_objects_are_not_entry_points(self, units, cell_res):
+        assert not units.is_entry_point(cell_res)
+
+    def test_components_are_not_entry_points(self, units, effector_res):
+        assert not units.is_entry_point(effector_res + ("tool",))
+
+    def test_unit_root_outer(self, units, cell_res):
+        assert units.unit_root(cell_res) == ("db1",)
+        assert units.unit_root(cell_res + ("robots", "r1")) == ("db1",)
+
+    def test_unit_root_inner(self, units, effector_res):
+        assert units.unit_root(effector_res) == effector_res
+        assert units.unit_root(effector_res + ("tool",)) == effector_res
+
+    def test_in_inner_unit(self, units, cell_res, effector_res):
+        assert units.in_inner_unit(effector_res)
+        assert units.in_inner_unit(effector_res + ("tool",))
+        assert not units.in_inner_unit(cell_res)
+        assert not units.in_inner_unit(("db1", "seg2", "effectors"))
+
+    def test_superunit_of_entry_point(self, units, effector_res):
+        """Figure 6: effector e1 + Relation effectors + seg2 + db1."""
+        assert units.superunit_path(effector_res) == [
+            ("db1",),
+            ("db1", "seg2"),
+            ("db1", "seg2", "effectors"),
+        ]
+
+    def test_superunit_of_outer_root_is_empty(self, units):
+        assert units.superunit_path(("db1",)) == []
+
+    def test_unit_kind_labels(self, units, cell_res, effector_res):
+        assert units.unit_members(effector_res) == "inner"
+        assert units.unit_members(cell_res) == "outer"
+
+
+class TestResolve:
+    def test_resolve_object(self, units, cell_res):
+        assert units.resolve(cell_res).key == "c1"
+
+    def test_resolve_component(self, units, cell_res):
+        robot = units.resolve(cell_res + ("robots", "r1"))
+        assert robot["robot_id"] == "r1"
+
+    def test_resolve_relation(self, units):
+        assert units.resolve(("db1", "seg1", "cells")).name == "cells"
+
+    def test_resolve_database(self, units, figure7):
+        database, _ = figure7
+        assert units.resolve(("db1",)) is database
+
+
+class TestEntryPointsBelow:
+    """The reference scan behind implicit downward propagation."""
+
+    def test_from_robot_r1(self, units, cell_res):
+        entries = units.entry_points_below(cell_res + ("robots", "r1"))
+        assert sorted(e[3] for e in entries) == ["e1", "e2"]
+
+    def test_from_robot_r2(self, units, cell_res):
+        entries = units.entry_points_below(cell_res + ("robots", "r2"))
+        assert sorted(e[3] for e in entries) == ["e2", "e3"]
+
+    def test_from_whole_cell(self, units, cell_res):
+        entries = units.entry_points_below(cell_res)
+        assert sorted(e[3] for e in entries) == ["e1", "e2", "e3"]
+
+    def test_from_c_objects_none(self, units, cell_res):
+        assert units.entry_points_below(cell_res + ("c_objects",)) == []
+
+    def test_from_relation_level(self, units):
+        entries = units.entry_points_below(("db1", "seg1", "cells"))
+        assert sorted(e[3] for e in entries) == ["e1", "e2", "e3"]
+
+    def test_duplicates_removed(self, units, cell_res):
+        # e2 is referenced by both robots but reported once
+        entries = units.entry_points_below(cell_res + ("robots",))
+        assert len(entries) == len(set(entries)) == 3
+
+    def test_too_shallow_raises(self, units):
+        with pytest.raises(PathError):
+            units.entry_points_below(("db1",))
+
+
+class TestTransitiveEntryPoints:
+    """Common data may again contain common data (partlib chain)."""
+
+    def test_assembly_reaches_materials_through_parts(self, partlib):
+        database, catalog = partlib
+        units = UnitMap(catalog)
+        assembly = object_resource(catalog, "assemblies", "a1")
+        entries = units.entry_points_below(assembly, transitive=True)
+        relations = {entry[2] for entry in entries}
+        assert "parts" in relations
+        assert "materials" in relations
+
+    def test_non_transitive_stops_at_parts(self, partlib):
+        database, catalog = partlib
+        units = UnitMap(catalog)
+        assembly = object_resource(catalog, "assemblies", "a1")
+        entries = units.entry_points_below(assembly, transitive=False)
+        assert {entry[2] for entry in entries} == {"parts"}

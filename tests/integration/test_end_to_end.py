@@ -1,0 +1,173 @@
+"""End-to-end scenarios across all layers (the paper's sections in play)."""
+
+import pytest
+
+import repro
+from repro.errors import LockConflictError
+from repro.graphs.units import component_resource, object_resource
+from repro.locking.modes import S, X
+from repro.nf2 import make_tuple, parse_path
+from repro.protocol import (
+    HerrmannProtocol,
+    NaiveDAGProtocol,
+    SystemRTupleProtocol,
+    XSQLProtocol,
+)
+from repro.sim import Simulator, WorkloadSpec, submit_workload
+from repro.txn import Workstation
+from repro.workloads import Q1, Q2, Q3, build_cells_database
+
+
+class TestPaperStoryline:
+    """Sections 1-4 as one continuous scenario."""
+
+    def test_full_scenario(self):
+        # 1. schema creation builds object-specific lock graphs (section 4.1)
+        database, catalog = build_cells_database(figure7=True)
+        stack = repro.make_stack(database, catalog)
+        graph = catalog.object_graph("cells")
+        assert graph.lockable_unit_count() == 15
+
+        # 2. authorization: engineers modify cells, the librarian the library
+        stack.authorization.grant_modify("engineer2", "cells")
+        stack.authorization.grant_modify("engineer3", "cells")
+        stack.authorization.grant_modify("librarian", "effectors")
+
+        # 3. Q1..Q3 run concurrently (sections 3.2.1 + 4.4.2.2)
+        t1 = stack.txns.begin(name="Q1")
+        t2 = stack.txns.begin(principal="engineer2", name="Q2")
+        t3 = stack.txns.begin(principal="engineer3", name="Q3")
+        stack.executor.execute(t1, Q1)
+        stack.executor.execute(t2, Q2)
+        stack.executor.execute(t3, Q3)
+
+        # 4. the librarian's exclusive library update is synchronized
+        lib = stack.txns.begin(principal="librarian", name="lib")
+        with pytest.raises(LockConflictError):
+            stack.txns.update_object(
+                lib, "effectors", "e2", make_tuple(eff_id="e2", tool="new")
+            )
+
+        # 5. engineers commit; the librarian can proceed now
+        for txn in (t1, t2, t3):
+            stack.txns.commit(txn)
+        stack.txns.update_object(
+            lib, "effectors", "e2", make_tuple(eff_id="e2", tool="new")
+        )
+        stack.txns.commit(lib)
+        assert database.get("effectors", "e2").root["tool"] == "new"
+        assert stack.manager.lock_count() == 0
+
+    def test_workstation_cycle_with_crash(self):
+        """Section 1 + 3.1: check-out, crash, check-in."""
+        database, catalog = build_cells_database(figure7=True)
+        stack = repro.make_stack(database, catalog)
+        ws = Workstation("ws1", principal="engineer")
+        local = stack.checkout.check_out(ws, "cells", "c1", component="robots[r1]")
+        local.root["robots"][0]["trajectory"] = "offline-edit"
+        stack.checkout.simulate_crash_and_restart()
+        # after the crash the long lock still excludes other writers
+        intruder = stack.txns.begin(principal="engineer", name="intruder")
+        with pytest.raises(LockConflictError):
+            stack.txns.update_component(
+                intruder, "cells", "c1", "robots[r1].trajectory", "stolen"
+            )
+        stack.checkout.check_in(ws, "cells", "c1")
+        assert (
+            database.get("cells", "c1").root["robots"][0]["trajectory"]
+            == "offline-edit"
+        )
+
+
+class TestProtocolComparisonMatrix:
+    """The same contention scenario under all four protocols (E1/E6 shape)."""
+
+    def run_q1_q2(self, protocol_cls):
+        database, catalog = build_cells_database(figure7=True)
+        stack = repro.make_stack(database, catalog, protocol_cls=protocol_cls)
+        cell = object_resource(catalog, "cells", "c1")
+        reader = stack.txns.begin(name="reader")
+        writer = stack.txns.begin(name="writer")
+        stack.protocol.request(reader, cell + ("c_objects",), S)
+        try:
+            stack.protocol.request(writer, cell + ("robots", "r1"), X, wait=False)
+            concurrent = True
+        except LockConflictError:
+            concurrent = False
+        return concurrent, stack.protocol.locks_requested
+
+    def test_herrmann_concurrent_and_cheap(self):
+        concurrent, locks = self.run_q1_q2(HerrmannProtocol)
+        assert concurrent
+        assert locks <= 16
+
+    def test_xsql_serializes(self):
+        concurrent, locks = self.run_q1_q2(XSQLProtocol)
+        assert not concurrent  # the granule-oriented problem
+        assert locks <= 16  # but cheap
+
+    def test_system_r_tuple_concurrent_but_expensive_on_big_objects(self):
+        concurrent, _ = self.run_q1_q2(SystemRTupleProtocol)
+        assert concurrent
+        database, catalog = build_cells_database(
+            figure7=False, n_cells=1, n_objects=100, n_robots=2
+        )
+        stack = repro.make_stack(database, catalog, protocol_cls=SystemRTupleProtocol)
+        cell = object_resource(catalog, "cells", "c1")
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, cell + ("c_objects",), S)
+        assert stack.protocol.locks_requested > 100  # one lock per tuple
+
+    def test_naive_dag_concurrent_but_expensive_on_shared_x(self):
+        concurrent, _ = self.run_q1_q2(NaiveDAGProtocol)
+        assert concurrent
+        database, catalog = build_cells_database(
+            figure7=False, n_cells=10, n_robots=4, n_effectors=3
+        )
+        stack = repro.make_stack(database, catalog, protocol_cls=NaiveDAGProtocol)
+        e1 = object_resource(catalog, "effectors", "e1")
+        txn = stack.txns.begin()
+        database.reset_scan_cost()
+        stack.protocol.request(txn, e1, X)
+        assert database.scan_cost >= 13  # full database scan
+
+
+class TestSimulatedThroughputShape:
+    """E6's qualitative shape on a small instance: the paper's protocol
+    beats XSQL under part-of-object workloads."""
+
+    def run_protocol(self, protocol_cls):
+        database, catalog = build_cells_database(
+            n_cells=2, n_objects=5, n_robots=4, n_effectors=4, seed=3
+        )
+        stack = repro.make_stack(database, catalog, protocol_cls=protocol_cls)
+        simulator = Simulator(stack.protocol, lock_cost=0.02)
+        submit_workload(
+            simulator,
+            catalog,
+            authorization=stack.authorization,
+            spec=WorkloadSpec(
+                n_transactions=40,
+                update_fraction=0.6,
+                whole_object_fraction=0.1,
+                mean_interarrival=0.3,
+                work_time=2.0,
+                seed=17,
+            ),
+        )
+        return simulator.run()
+
+    def test_herrmann_outperforms_xsql(self):
+        herrmann = self.run_protocol(HerrmannProtocol)
+        xsql = self.run_protocol(XSQLProtocol)
+        assert herrmann.committed == xsql.committed == 40
+        # whole-object locking serializes part-of-object transactions and
+        # deadlocks on the shared library; the paper's protocol does not
+        assert herrmann.throughput > xsql.throughput
+        assert herrmann.deadlocks < xsql.deadlocks
+        assert herrmann.mean_response_time < xsql.mean_response_time
+
+    def test_herrmann_fewer_locks_than_tuple_locking(self):
+        herrmann = self.run_protocol(HerrmannProtocol)
+        tuples = self.run_protocol(SystemRTupleProtocol)
+        assert herrmann.locks_requested < tuples.locks_requested

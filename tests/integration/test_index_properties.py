@@ -1,0 +1,123 @@
+"""Property tests: index consistency under random operation traces."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.nf2 import make_tuple
+from repro.verify import audit, check_indexes
+from repro.workloads import build_cells_database, effectors_schema
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "update", "update_obj"]),
+        st.integers(1, 8),      # key suffix
+        st.integers(0, 5),      # value suffix
+        st.booleans(),          # commit (True) or abort (False)
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestIndexConsistencyProperty:
+    @given(operations)
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_indexes_consistent_after_any_trace(self, trace):
+        database, catalog = build_cells_database(figure7=True)
+        database.create_index("effectors", "tool")
+        stack = repro.make_stack(database, catalog)
+        stack.authorization.grant_modify("lib", "effectors")
+
+        for action, key_n, value_n, commit in trace:
+            key = "k%d" % key_n
+            txn = stack.txns.begin(principal="lib")
+            try:
+                if action == "insert":
+                    stack.txns.insert_object(
+                        txn, "effectors",
+                        make_tuple(eff_id=key, tool="v%d" % value_n),
+                    )
+                elif action == "delete":
+                    stack.txns.delete_object(txn, "effectors", key)
+                elif action == "update":
+                    stack.txns.update_component(
+                        txn, "effectors", key, "tool", "v%d" % value_n
+                    )
+                else:
+                    stack.txns.update_object(
+                        txn, "effectors", key,
+                        make_tuple(eff_id=key, tool="v%d" % value_n),
+                    )
+            except Exception:
+                stack.txns.abort(txn)
+                continue
+            if commit:
+                stack.txns.commit(txn)
+            else:
+                stack.txns.abort(txn)
+
+            # invariant: index agrees with the data after EVERY step
+            assert check_indexes(database) == []
+
+        assert audit(stack.protocol) == []
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_backfill_equals_incremental(self, seed):
+        """An index built after N operations equals one maintained live."""
+        import random
+
+        rng = random.Random(seed)
+        live_db, live_cat = build_cells_database(figure7=True)
+        live_db.create_index("effectors", "tool")
+        late_db, late_cat = build_cells_database(figure7=True)
+
+        for index in range(6):
+            key = "x%d" % index
+            tool = "v%d" % rng.randint(0, 3)
+            live_db.insert("effectors", make_tuple(eff_id=key, tool=tool))
+            late_db.insert("effectors", make_tuple(eff_id=key, tool=tool))
+            if rng.random() < 0.3:
+                live_db.relation("effectors").delete(key)
+                late_db.relation("effectors").delete(key)
+
+        late_index = late_db.create_index("effectors", "tool")
+        live_index = live_db.relation("effectors").indexes["tool"]
+        for value in set(live_index.values()) | set(late_index.values()):
+            assert sorted(live_index.lookup(value)) == sorted(
+                late_index.lookup(value)
+            )
+
+
+class TestStress:
+    def test_large_mixed_simulation_with_final_audit(self):
+        from repro.sim import Simulator, WorkloadSpec, submit_workload
+
+        database, catalog = build_cells_database(
+            n_cells=6, n_objects=10, n_robots=5, n_effectors=8, seed=6
+        )
+        database.create_index("cells", "cell_id", unique=True)
+        stack = repro.make_stack(database, catalog)
+        simulator = Simulator(stack.protocol)
+        submit_workload(
+            simulator, catalog,
+            WorkloadSpec(
+                n_transactions=300,
+                update_fraction=0.5,
+                whole_object_fraction=0.2,
+                library_update_fraction=0.05,
+                work_time=1.0,
+                mean_interarrival=0.15,
+                seed=77,
+            ),
+            authorization=stack.authorization,
+        )
+        metrics = simulator.run()
+        assert metrics.committed == 300
+        assert stack.manager.lock_count() == 0
+        assert audit(stack.protocol) == []
+        assert metrics.throughput > 0

@@ -1,0 +1,137 @@
+"""Property tests on lock plans: structural laws of rules 1-5.
+
+For arbitrary demands over arbitrary (deep) databases the plans produced
+by the paper's protocol must satisfy:
+
+* **root-to-leaf order** (rule 5): within each unit chain, an ancestor is
+  always planned before any of its descendants;
+* **intention adequacy** (rules 1-4): for every planned lock, every
+  in-plan ancestor carries (at least) the intention mode of the
+  strongest lock planned below it;
+* **target delivery**: executing the plan leaves the transaction
+  effectively holding the demanded mode on the demanded resource;
+* **idempotence**: planning the same demand again after execution yields
+  an empty plan.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.graphs.units import ancestors
+from repro.locking.modes import IS, IX, S, X, covers, intention_of, supremum
+from repro.workloads import build_cells_database, build_deep_database
+from repro.workloads.deep import random_component
+
+
+def deep_stack(depth, fanout=2):
+    database, catalog = build_deep_database(
+        n_objects=2, depth=depth, fanout=fanout
+    )
+    return repro.make_stack(database, catalog)
+
+
+class TestPlanLaws:
+    @given(
+        depth=st.integers(1, 5),
+        seed=st.integers(0, 1000),
+        write=st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_root_to_leaf_and_intention_adequacy(self, depth, seed, write):
+        stack = deep_stack(depth)
+        txn = stack.txns.begin()
+        rng = random.Random(seed)
+        target = random_component(stack.catalog, depth, 2, rng)
+        mode = X if write else S
+        plan = stack.protocol.plan_request(txn, target, mode)
+        seen = []
+        planned = {}
+        for step in plan:
+            for ancestor in ancestors(step.resource):
+                if ancestor in planned:
+                    assert seen.index(ancestor) < len(seen)  # planned earlier
+            seen.append(step.resource)
+            planned[step.resource] = step.mode
+        # intention adequacy: each planned ancestor covers the intention
+        # of the strongest planned descendant
+        for resource, res_mode in planned.items():
+            for ancestor in ancestors(resource):
+                if ancestor in planned:
+                    assert covers(planned[ancestor], intention_of(res_mode)), (
+                        planned,
+                        resource,
+                    )
+
+    @given(depth=st.integers(1, 4), seed=st.integers(0, 500), write=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_target_delivery_and_idempotence(self, depth, seed, write):
+        stack = deep_stack(depth)
+        txn = stack.txns.begin()
+        rng = random.Random(seed)
+        target = random_component(stack.catalog, depth, 2, rng)
+        mode = X if write else S
+        granted = stack.protocol.request(txn, target, mode)
+        assert all(request.granted for request in granted)
+        assert stack.protocol.effectively_holds(txn, target, mode)
+        again = stack.protocol.plan_request(txn, target, mode)
+        assert len(again) == 0
+
+    @given(seed=st.integers(0, 500), write=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_plans_on_shared_data_cover_entry_points(self, seed, write):
+        database, catalog = build_cells_database(
+            n_cells=2, n_robots=3, n_effectors=4, refs_per_robot=2, seed=seed % 20
+        )
+        stack = repro.make_stack(database, catalog, rule4prime=False)
+        txn = stack.txns.begin()
+        rng = random.Random(seed)
+        cell_key = rng.choice(["c1", "c2"])
+        from repro.graphs.units import component_resource, object_resource
+        from repro.nf2 import parse_path
+
+        cell = object_resource(catalog, "cells", cell_key)
+        robot = "r%s_%d" % (cell_key[1:], rng.randint(1, 3))
+        target = component_resource(cell, parse_path("robots[%s]" % robot))
+        mode = X if write else S
+        plan = stack.protocol.plan_request(txn, target, mode)
+        planned = {step.resource: step.mode for step in plan}
+        entries = stack.protocol.units.entry_points_below(target)
+        for entry in entries:
+            assert entry in planned
+            assert planned[entry] is mode  # rule 3/4 without authorization
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_execution_passes_audit(self, seed):
+        from repro.verify import audit
+
+        database, catalog = build_cells_database(
+            n_cells=2, n_robots=3, n_effectors=3, seed=seed % 10
+        )
+        stack = repro.make_stack(database, catalog, rule4prime=False)
+        rng = random.Random(seed)
+        for index in range(3):
+            txn = stack.txns.begin()
+            from repro.graphs.units import component_resource, object_resource
+            from repro.nf2 import parse_path
+
+            cell_key = rng.choice(["c1", "c2"])
+            cell = object_resource(catalog, "cells", cell_key)
+            choice = rng.random()
+            if choice < 0.4:
+                target, mode = cell + ("c_objects",), S
+            elif choice < 0.7:
+                target, mode = cell, S
+            else:
+                robot = "r%s_%d" % (cell_key[1:], rng.randint(1, 3))
+                target = component_resource(cell, parse_path("robots[%s]" % robot))
+                mode = X
+            try:
+                stack.protocol.request(txn, target, mode, wait=False)
+            except Exception:
+                stack.txns.abort(txn)
+        assert audit(stack.protocol) == []

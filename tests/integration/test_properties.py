@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.errors import LockError
+from repro.graphs.units import component_resource, object_resource
+from repro.locking.lock_table import LockTable, RequestStatus
+from repro.locking.modes import ALL_MODES, IS, IX, S, X, compatible, covers, supremum
+from repro.nf2.paths import format_path, parse_path
+from repro.workloads import build_cells_database
+
+
+modes = st.sampled_from(ALL_MODES)
+
+
+class TestLatticeProperties:
+    @given(modes, modes)
+    def test_supremum_is_upper_bound(self, a, b):
+        assert covers(supremum(a, b), a)
+        assert covers(supremum(a, b), b)
+
+    @given(modes, modes, modes)
+    def test_supremum_is_least(self, a, b, c):
+        if covers(c, a) and covers(c, b):
+            assert covers(c, supremum(a, b))
+
+    @given(modes, modes)
+    def test_stronger_mode_conflicts_more(self, a, b):
+        stronger = supremum(a, b)
+        for other in ALL_MODES:
+            if compatible(stronger, other):
+                assert compatible(a, other) and compatible(b, other)
+
+
+class TestLockTableInvariants:
+    """Random request/release traces never violate the matrix or lose
+    bookkeeping."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["req", "rel", "rel_all"]),
+                st.integers(0, 4),  # txn
+                st.integers(0, 3),  # resource
+                modes,
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_granted_locks_always_compatible(self, trace):
+        table = LockTable()
+        resources = [("r%d" % i,) for i in range(4)]
+        for action, txn, res_index, mode in trace:
+            resource = resources[res_index]
+            if action == "req":
+                table.request("t%d" % txn, resource, mode)
+            elif action == "rel":
+                try:
+                    table.release("t%d" % txn, resource)
+                except LockError:
+                    pass
+            else:
+                table.release_all("t%d" % txn)
+            # invariant: all concurrent holders pairwise compatible
+            for check in resources:
+                holders = list(table.holders(check).items())
+                for i, (txn_a, mode_a) in enumerate(holders):
+                    for txn_b, mode_b in holders[i + 1 :]:
+                        assert compatible(mode_a, mode_b), (
+                            "incompatible grants %s/%s on %r"
+                            % (mode_a, mode_b, check)
+                        )
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 2), modes),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_release_all_leaves_no_residue(self, requests):
+        table = LockTable()
+        for txn, res_index, mode in requests:
+            table.request("t%d" % txn, ("r%d" % res_index,), mode)
+        for txn in range(4):
+            table.release_all("t%d" % txn)
+        assert table.lock_count() == 0
+        assert table.waiting_requests() == []
+
+
+class TestPathProperties:
+    names = st.text(alphabet=string.ascii_lowercase + "_", min_size=1, max_size=8)
+    keys = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=6)
+
+    @given(st.lists(st.tuples(names, st.lists(keys, max_size=2)), min_size=1, max_size=5))
+    def test_parse_format_roundtrip(self, segments):
+        text = ".".join(
+            name + "".join("[%s]" % k for k in keys) for name, keys in segments
+        )
+        assert format_path(parse_path(text)) == text
+
+
+class TestProtocolSafety:
+    """The central correctness property: under the paper's protocol, two
+    transactions never both hold effective write access to the same
+    shared entry point (no undetected from-the-side write conflicts)."""
+
+    demand = st.tuples(
+        st.integers(0, 2),  # txn index
+        st.sampled_from(["cell", "robot", "parts", "effector"]),
+        st.integers(1, 3),  # which one
+        st.booleans(),  # write?
+    )
+
+    @given(st.lists(demand, min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_no_conflicting_effective_writers(self, demands):
+        database, catalog = build_cells_database(
+            n_cells=3, n_robots=3, n_effectors=3, refs_per_robot=2, seed=1
+        )
+        stack = repro.make_stack(database, catalog, rule4prime=False)
+        txns = [stack.txns.begin(name="t%d" % i) for i in range(3)]
+        for txn_index, kind, which, write in demands:
+            txn = txns[txn_index]
+            if not txn.active:
+                continue
+            cell = object_resource(catalog, "cells", "c%d" % which)
+            if kind == "cell":
+                target = cell
+            elif kind == "robot":
+                target = component_resource(
+                    cell, parse_path("robots[r%d_1]" % which)
+                )
+            elif kind == "parts":
+                target = component_resource(cell, parse_path("c_objects"))
+            else:
+                target = object_resource(catalog, "effectors", "e%d" % which)
+            mode = X if write else S
+            try:
+                stack.protocol.request(txn, target, mode, wait=False)
+            except Exception:
+                stack.txns.abort(txn)
+
+        # the auditor must find nothing wrong with any reachable state
+        from repro.verify import check_compatibility
+
+        assert check_compatibility(stack.manager) == []
+
+        # safety: on every effector entry point, the set of transactions
+        # with effective write access has size <= 1, and writers exclude
+        # readers
+        for key in ("e1", "e2", "e3"):
+            entry = object_resource(catalog, "effectors", key)
+            visible = stack.protocol.visible_mode_for_others(entry)
+            writers = {t for t, m in visible if m is X}
+            readers = {t for t, m in visible if m is S}
+            assert len(writers) <= 1
+            if writers:
+                assert not (readers - writers)
+
+    @given(st.lists(demand, min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_commit_releases_everything(self, demands):
+        database, catalog = build_cells_database(
+            n_cells=3, n_robots=3, n_effectors=3, seed=2
+        )
+        stack = repro.make_stack(database, catalog, rule4prime=False)
+        txns = [stack.txns.begin(name="t%d" % i) for i in range(3)]
+        for txn_index, kind, which, write in demands:
+            txn = txns[txn_index]
+            if not txn.active:
+                continue
+            try:
+                cell = object_resource(catalog, "cells", "c%d" % which)
+                stack.protocol.request(txn, cell, X if write else S, wait=False)
+            except Exception:
+                stack.txns.abort(txn)
+        for txn in txns:
+            if txn.active:
+                stack.txns.commit(txn)
+        assert stack.manager.lock_count() == 0
+
+
+class TestSimulatorProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_all_submitted_transactions_finish(self, seed):
+        from repro.sim import Simulator, WorkloadSpec, submit_workload
+
+        database, catalog = build_cells_database(
+            n_cells=3, n_robots=2, n_effectors=4, seed=seed % 50
+        )
+        stack = repro.make_stack(database, catalog)
+        simulator = Simulator(stack.protocol)
+        runs = submit_workload(
+            simulator, catalog, WorkloadSpec(n_transactions=15, seed=seed)
+        )
+        metrics = simulator.run()
+        assert metrics.committed + (metrics.aborted - metrics.restarts) == len(runs)
+        assert stack.manager.lock_count() == 0

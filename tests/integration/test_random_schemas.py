@@ -1,0 +1,163 @@
+"""Property tests over randomly generated NF² schemas.
+
+Hypothesis builds arbitrary (bounded) schema trees; the invariants of the
+graph machinery must hold for all of them:
+
+* the object-specific lock graph builds without violating the general
+  lock graph (Figure 4) — the builder validates every edge;
+* the graph has one node per schema path (plus the db/segment/relation
+  chain), and ``node_at`` resolves every path;
+* derivation rules map each attribute type to the right unit kind;
+* schema-closure/recursion checks accept exactly the acyclic reference
+  graphs.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog
+from repro.graphs.general import BLU, HELU, HOLU
+from repro.graphs.object_graph import build_object_graph
+from repro.nf2 import (
+    AtomicType,
+    Database,
+    ListType,
+    RefType,
+    RelationSchema,
+    SetType,
+    TupleType,
+    iter_schema_paths,
+)
+from repro.nf2.types import type_depth
+
+ATTR_NAMES = st.sampled_from(
+    ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"]
+)
+
+
+def attribute_types(max_depth: int, allow_refs: bool):
+    """Recursive strategy for NF² attribute types."""
+    leaves = st.sampled_from(["str", "int", "float", "bool"]).map(AtomicType)
+    if allow_refs:
+        leaves = st.one_of(leaves, st.just(RefType("library")))
+
+    def extend(children):
+        tuples = st.lists(
+            st.tuples(ATTR_NAMES, children), min_size=1, max_size=3,
+            unique_by=lambda pair: pair[0],
+        ).map(lambda attrs: TupleType(attrs))
+        return st.one_of(children.map(SetType), children.map(ListType), tuples)
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+def schemas(allow_refs: bool = True):
+    return st.lists(
+        st.tuples(ATTR_NAMES, attribute_types(4, allow_refs)),
+        min_size=1,
+        max_size=4,
+        unique_by=lambda pair: pair[0],
+    ).map(
+        lambda attrs: RelationSchema(
+            "subject",
+            TupleType([("subject_id", AtomicType("str"))] + list(attrs)),
+        )
+    )
+
+
+def make_catalog(schema: RelationSchema) -> Catalog:
+    database = Database("db1")
+    catalog = Catalog(database)
+    library = RelationSchema(
+        "library",
+        TupleType([("lib_id", AtomicType("str")), ("data", AtomicType("str"))]),
+        segment="seg_lib",
+    )
+    database.create_relations([library, schema])
+    return catalog
+
+
+class TestGraphInvariants:
+    @given(schemas())
+    @settings(max_examples=120, deadline=None)
+    def test_builds_and_counts_nodes(self, schema):
+        catalog = make_catalog(schema)
+        graph = build_object_graph(catalog, "subject")
+        paths = list(iter_schema_paths(schema.object_type))
+        # db + segment + relation + one node per schema path
+        assert graph.lockable_unit_count() == 3 + len(paths)
+
+    @given(schemas())
+    @settings(max_examples=120, deadline=None)
+    def test_every_path_resolves_to_right_kind(self, schema):
+        catalog = make_catalog(schema)
+        graph = build_object_graph(catalog, "subject")
+        for path, attr_type in iter_schema_paths(schema.object_type):
+            node = graph.node_at(path)
+            if path == ():
+                assert node.kind == HELU
+            elif attr_type.kind in ("set", "list"):
+                assert node.kind == HOLU
+            elif attr_type.kind == "tuple":
+                assert node.kind == HELU
+            else:
+                assert node.kind == BLU
+
+    @given(schemas())
+    @settings(max_examples=100, deadline=None)
+    def test_reference_nodes_target_library(self, schema):
+        catalog = make_catalog(schema)
+        graph = build_object_graph(catalog, "subject")
+        for node in graph.reference_nodes():
+            assert node.ref_target == "library"
+        expected = "library" in schema.referenced_relations()
+        assert bool(graph.reference_nodes()) == expected
+
+    @given(schemas())
+    @settings(max_examples=100, deadline=None)
+    def test_depth_tracks_type_depth(self, schema):
+        catalog = make_catalog(schema)
+        graph = build_object_graph(catalog, "subject")
+        assert graph.depth() == 3 + type_depth(schema.object_type)
+
+    @given(schemas())
+    @settings(max_examples=60, deadline=None)
+    def test_grouping_never_increases_units(self, schema):
+        catalog = make_catalog(schema)
+        fine = build_object_graph(catalog, "subject", group_atomic_blus=False)
+        grouped = build_object_graph(catalog, "subject", group_atomic_blus=True)
+        assert grouped.lockable_unit_count() <= fine.lockable_unit_count()
+
+    @given(schemas())
+    @settings(max_examples=60, deadline=None)
+    def test_render_mentions_every_unit_kind_present(self, schema):
+        catalog = make_catalog(schema)
+        graph = build_object_graph(catalog, "subject")
+        text = graph.render()
+        kinds = {node.kind for node in graph.iter_nodes()}
+        for kind in kinds:
+            assert kind in text
+
+
+class TestUnitInvariants:
+    @given(schemas(allow_refs=True))
+    @settings(max_examples=60, deadline=None)
+    def test_library_objects_classify_as_inner_iff_referenced(self, schema):
+        from repro.graphs.units import UnitMap, object_resource
+        from repro.nf2 import make_tuple
+
+        catalog = make_catalog(schema)
+        catalog.database.insert("library", make_tuple(lib_id="l1", data="d"))
+        units = UnitMap(catalog)
+        resource = object_resource(catalog, "library", "l1")
+        referenced = "library" in schema.referenced_relations()
+        assert units.is_entry_point(resource) == referenced
+        if referenced:
+            assert units.superunit_path(resource) == [
+                ("db1",),
+                ("db1", "seg_lib"),
+                ("db1", "seg_lib", "library"),
+            ]

@@ -1,0 +1,114 @@
+"""Deadlock detection: cycle finding, SCCs, victim selection."""
+
+import pytest
+
+from repro.locking.deadlock import DeadlockDetector, all_cycle_members, find_cycle
+from repro.locking.lock_table import LockTable
+from repro.locking.modes import S, X
+
+
+class TestFindCycle:
+    def test_no_cycle(self):
+        assert find_cycle([("a", "b"), ("b", "c")]) is None
+
+    def test_two_cycle(self):
+        cycle = find_cycle([("a", "b"), ("b", "a")])
+        assert set(cycle) == {"a", "b"}
+
+    def test_three_cycle(self):
+        cycle = find_cycle([("a", "b"), ("b", "c"), ("c", "a")])
+        assert set(cycle) == {"a", "b", "c"}
+
+    def test_cycle_in_larger_graph(self):
+        edges = [("x", "a"), ("a", "b"), ("b", "c"), ("c", "b"), ("c", "d")]
+        cycle = find_cycle(edges)
+        assert set(cycle) == {"b", "c"}
+
+    def test_self_loop(self):
+        cycle = find_cycle([("a", "a")])
+        assert cycle == ["a"]
+
+    def test_empty_graph(self):
+        assert find_cycle([]) is None
+
+    def test_deterministic(self):
+        edges = [("a", "b"), ("b", "a"), ("c", "d"), ("d", "c")]
+        assert find_cycle(edges) == find_cycle(edges)
+
+
+class TestAllCycleMembers:
+    def test_single_scc(self):
+        members = all_cycle_members([("a", "b"), ("b", "a"), ("b", "c")])
+        assert members == {"a", "b"}
+
+    def test_two_disjoint_cycles(self):
+        edges = [("a", "b"), ("b", "a"), ("c", "d"), ("d", "c")]
+        assert all_cycle_members(edges) == {"a", "b", "c", "d"}
+
+    def test_acyclic(self):
+        assert all_cycle_members([("a", "b"), ("b", "c"), ("a", "c")]) == set()
+
+
+class TestDetectorOnLockTable:
+    def make_deadlock(self):
+        table = LockTable()
+        table.request("t1", ("ra",), X)
+        table.request("t2", ("rb",), X)
+        table.request("t1", ("rb",), X)  # t1 waits on t2
+        table.request("t2", ("ra",), X)  # t2 waits on t1 -> cycle
+        return table
+
+    def test_detects_classic_deadlock(self):
+        table = self.make_deadlock()
+        detector = DeadlockDetector(table)
+        cycle = detector.check()
+        assert cycle is not None
+        assert set(cycle) == {"t1", "t2"}
+        assert detector.deadlocks_found == 1
+
+    def test_no_false_positive(self):
+        table = LockTable()
+        table.request("t1", ("ra",), X)
+        table.request("t2", ("ra",), S)  # waits, but no cycle
+        detector = DeadlockDetector(table)
+        assert detector.check() is None
+
+    def test_victim_is_youngest(self):
+        table = self.make_deadlock()
+        ages = {"t1": 1, "t2": 2}
+        detector = DeadlockDetector(table, age_of=lambda t: ages[t])
+        cycle = detector.check()
+        assert detector.pick_victim(cycle) == "t2"
+
+    def test_victim_tie_broken_deterministically(self):
+        table = self.make_deadlock()
+        detector = DeadlockDetector(table)
+        cycle = detector.check()
+        assert detector.pick_victim(cycle) == detector.pick_victim(cycle)
+
+    def test_three_party_deadlock(self):
+        table = LockTable()
+        for txn, resource in (("t1", "ra"), ("t2", "rb"), ("t3", "rc")):
+            table.request(txn, (resource,), X)
+        table.request("t1", ("rb",), X)
+        table.request("t2", ("rc",), X)
+        table.request("t3", ("ra",), X)
+        detector = DeadlockDetector(table)
+        cycle = detector.check()
+        assert set(cycle) == {"t1", "t2", "t3"}
+
+    def test_breaking_cycle_resolves(self):
+        table = self.make_deadlock()
+        detector = DeadlockDetector(table)
+        cycle = detector.check()
+        victim = detector.pick_victim(cycle)
+        table.release_all(victim)
+        assert detector.check() is None
+
+    def test_detections_counter(self):
+        table = LockTable()
+        detector = DeadlockDetector(table)
+        detector.check()
+        detector.check()
+        assert detector.detections == 2
+        assert detector.deadlocks_found == 0

@@ -1,0 +1,146 @@
+"""Run-time lock escalation and de-escalation (future-work feature)."""
+
+import pytest
+
+from repro.errors import LockConflictError, LockError
+from repro.locking.escalation import (
+    Escalator,
+    children_held,
+    descendants_held,
+    parent_resource,
+)
+from repro.locking.manager import LockManager
+from repro.locking.modes import IS, IX, S, SIX, X
+
+
+PARENT = ("db", "seg", "rel", "c1", "robots")
+
+
+def child(i):
+    return PARENT + ("r%d" % i,)
+
+
+@pytest.fixture
+def manager():
+    return LockManager()
+
+
+class TestHierarchyHelpers:
+    def test_parent_resource(self):
+        assert parent_resource(("a", "b")) == ("a",)
+        assert parent_resource(("a",)) is None
+
+    def test_children_held(self, manager):
+        manager.acquire("t1", PARENT, IS)
+        manager.acquire("t1", child(1), S)
+        manager.acquire("t1", child(2), S)
+        manager.acquire("t1", child(1) + ("deep",), S)
+        assert sorted(children_held(manager, "t1", PARENT)) == [child(1), child(2)]
+
+    def test_descendants_held(self, manager):
+        manager.acquire("t1", child(1), S)
+        manager.acquire("t1", child(1) + ("deep",), S)
+        assert len(descendants_held(manager, "t1", PARENT)) == 2
+
+
+class TestEscalation:
+    def test_threshold_validation(self, manager):
+        with pytest.raises(LockError):
+            Escalator(manager, threshold=0)
+
+    def test_should_escalate_at_threshold(self, manager):
+        escalator = Escalator(manager, threshold=3)
+        manager.acquire("t1", PARENT, IS)
+        for i in range(3):
+            manager.acquire("t1", child(i), S)
+        assert escalator.should_escalate("t1", PARENT)
+
+    def test_should_not_escalate_below_threshold(self, manager):
+        escalator = Escalator(manager, threshold=3)
+        manager.acquire("t1", child(0), S)
+        assert not escalator.should_escalate("t1", PARENT)
+
+    def test_escalation_mode_read_children(self, manager):
+        escalator = Escalator(manager, threshold=1)
+        manager.acquire("t1", PARENT, IS)
+        manager.acquire("t1", child(0), S)
+        assert escalator.escalation_mode("t1", PARENT) is S
+
+    def test_escalation_mode_write_children(self, manager):
+        escalator = Escalator(manager, threshold=1)
+        manager.acquire("t1", PARENT, IX)
+        manager.acquire("t1", child(0), S)
+        manager.acquire("t1", child(1), X)
+        assert escalator.escalation_mode("t1", PARENT) is X
+
+    def test_escalation_mode_intention_children_map_up(self, manager):
+        escalator = Escalator(manager, threshold=1)
+        manager.acquire("t1", child(0), IS)
+        assert escalator.escalation_mode("t1", PARENT) is S
+        manager.acquire("t1", child(1), IX)
+        assert escalator.escalation_mode("t1", PARENT) is X
+
+    def test_escalation_mode_without_children_raises(self, manager):
+        with pytest.raises(LockError):
+            Escalator(manager).escalation_mode("t1", PARENT)
+
+    def test_escalate_replaces_fine_locks(self, manager):
+        escalator = Escalator(manager, threshold=2)
+        manager.acquire("t1", PARENT, IS)
+        for i in range(3):
+            manager.acquire("t1", child(i), S)
+        request = escalator.escalate("t1", PARENT)
+        assert request.granted
+        assert manager.held_mode("t1", PARENT) is S
+        assert children_held(manager, "t1", PARENT) == []
+        assert escalator.escalations == 1
+
+    def test_escalate_conflicts_with_sibling_reader(self, manager):
+        """The run-time hazard of section 4.5: escalation blocks on siblings."""
+        escalator = Escalator(manager, threshold=1)
+        manager.acquire("t1", PARENT, IX)
+        manager.acquire("t1", child(0), X)
+        manager.acquire("t2", PARENT, IS)
+        manager.acquire("t2", child(1), S)  # sibling holds a read lock
+        with pytest.raises(LockConflictError):
+            escalator.escalate("t1", PARENT, wait=False)
+
+    def test_escalated_lock_covers_new_children_implicitly(self, manager):
+        escalator = Escalator(manager, threshold=1)
+        manager.acquire("t1", PARENT, IX)
+        manager.acquire("t1", child(0), X)
+        escalator.escalate("t1", PARENT)
+        # another transaction cannot sneak a lock under the escalated X
+        assert manager.held_mode("t1", PARENT) is X
+        request = manager.acquire("t2", PARENT, IS)
+        assert not request.granted
+
+
+class TestDeescalation:
+    def test_deescalate_opens_siblings(self, manager):
+        escalator = Escalator(manager)
+        manager.acquire("t1", PARENT, X)
+        blocked = manager.acquire("t2", PARENT, IS)
+        assert not blocked.granted
+        escalator.deescalate("t1", PARENT, [(child(0), X)])
+        assert manager.held_mode("t1", PARENT) is IX
+        assert manager.held_mode("t1", child(0)) is X
+        # the sibling reader can now proceed under the parent
+        assert blocked.granted or manager.acquire("t2", PARENT, IS).granted
+
+    def test_deescalate_read_lock(self, manager):
+        escalator = Escalator(manager)
+        manager.acquire("t1", PARENT, S)
+        escalator.deescalate("t1", PARENT, [(child(0), S), (child(1), S)])
+        assert manager.held_mode("t1", PARENT) is IS
+        assert manager.held_mode("t1", child(1)) is S
+        assert escalator.deescalations == 1
+
+    def test_deescalate_requires_held_parent(self, manager):
+        with pytest.raises(LockError):
+            Escalator(manager).deescalate("t1", PARENT, [(child(0), S)])
+
+    def test_deescalate_rejects_foreign_grains(self, manager):
+        manager.acquire("t1", PARENT, X)
+        with pytest.raises(LockError):
+            Escalator(manager).deescalate("t1", PARENT, [(("elsewhere",), S)])

@@ -1,0 +1,153 @@
+"""Lock modes: the GLPT76 compatibility matrix and restrictiveness lattice."""
+
+import pytest
+
+from repro.locking.modes import (
+    ALL_MODES,
+    IS,
+    IX,
+    PAPER_MODES,
+    S,
+    SIX,
+    X,
+    LockMode,
+    compatible,
+    covers,
+    intention_of,
+    supremum,
+)
+
+
+class TestCompatibility:
+    """The classic matrix, row by row (section 3.1 semantics)."""
+
+    @pytest.mark.parametrize(
+        "held, requested, expected",
+        [
+            (IS, IS, True), (IS, IX, True), (IS, S, True), (IS, SIX, True), (IS, X, False),
+            (IX, IS, True), (IX, IX, True), (IX, S, False), (IX, SIX, False), (IX, X, False),
+            (S, IS, True), (S, IX, False), (S, S, True), (S, SIX, False), (S, X, False),
+            (SIX, IS, True), (SIX, IX, False), (SIX, S, False), (SIX, SIX, False), (SIX, X, False),
+            (X, IS, False), (X, IX, False), (X, S, False), (X, SIX, False), (X, X, False),
+        ],
+    )
+    def test_matrix(self, held, requested, expected):
+        assert compatible(held, requested) is expected
+
+    def test_matrix_is_symmetric(self):
+        for a in ALL_MODES:
+            for b in ALL_MODES:
+                assert compatible(a, b) == compatible(b, a)
+
+    def test_x_conflicts_with_everything(self):
+        assert all(not compatible(X, mode) for mode in ALL_MODES)
+
+    def test_is_compatible_with_all_but_x(self):
+        assert all(compatible(IS, m) for m in ALL_MODES if m is not X)
+
+
+class TestSupremum:
+    def test_idempotent(self):
+        for mode in ALL_MODES:
+            assert supremum(mode, mode) is mode
+
+    def test_commutative(self):
+        for a in ALL_MODES:
+            for b in ALL_MODES:
+                assert supremum(a, b) is supremum(b, a)
+
+    def test_associative(self):
+        for a in ALL_MODES:
+            for b in ALL_MODES:
+                for c in ALL_MODES:
+                    assert supremum(supremum(a, b), c) is supremum(a, supremum(b, c))
+
+    def test_ix_join_s_is_six(self):
+        # the classic conversion case: read lock + write intention
+        assert supremum(IX, S) is SIX
+
+    def test_x_is_top(self):
+        for mode in ALL_MODES:
+            assert supremum(mode, X) is X
+
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [(IS, IX, IX), (IS, S, S), (IS, X, X), (IX, X, X), (S, SIX, SIX)],
+    )
+    def test_selected_pairs(self, a, b, expected):
+        assert supremum(a, b) is expected
+
+
+class TestCovers:
+    def test_reflexive(self):
+        for mode in ALL_MODES:
+            assert covers(mode, mode)
+
+    def test_ix_covers_is(self):
+        assert covers(IX, IS)
+
+    def test_s_covers_is_but_not_ix(self):
+        # "at least IS" is satisfied by S; "at least IX" is not
+        assert covers(S, IS)
+        assert not covers(S, IX)
+
+    def test_ix_does_not_cover_s(self):
+        assert not covers(IX, S)
+
+    def test_x_covers_everything(self):
+        for mode in ALL_MODES:
+            assert covers(X, mode)
+
+    def test_antisymmetric(self):
+        for a in ALL_MODES:
+            for b in ALL_MODES:
+                if covers(a, b) and covers(b, a):
+                    assert a is b
+
+    def test_transitive(self):
+        for a in ALL_MODES:
+            for b in ALL_MODES:
+                for c in ALL_MODES:
+                    if covers(a, b) and covers(b, c):
+                        assert covers(a, c)
+
+
+class TestIntentionOf:
+    def test_read_modes_need_is_parents(self):
+        assert intention_of(S) is IS
+        assert intention_of(IS) is IS
+
+    def test_write_modes_need_ix_parents(self):
+        assert intention_of(X) is IX
+        assert intention_of(IX) is IX
+        assert intention_of(SIX) is IX
+
+
+class TestModeProperties:
+    def test_intention_flags(self):
+        assert IS.is_intention and IX.is_intention
+        assert not any(m.is_intention for m in (S, SIX, X))
+
+    def test_exclusive_class(self):
+        assert all(m.is_exclusive_class for m in (IX, SIX, X))
+        assert not any(m.is_exclusive_class for m in (IS, S))
+
+    def test_paper_modes_exclude_six(self):
+        assert SIX not in PAPER_MODES
+        assert set(PAPER_MODES) == {IS, IX, S, X}
+
+    def test_string_forms(self):
+        assert str(X) == "X" and repr(IS) == "IS"
+
+    def test_enum_roundtrip(self):
+        for mode in ALL_MODES:
+            assert LockMode(mode.value) is mode
+
+    def test_compatibility_consistent_with_covers(self):
+        # a stronger lock can only conflict with more, never less
+        for held in ALL_MODES:
+            for weaker in ALL_MODES:
+                if covers(held, weaker):
+                    for other in ALL_MODES:
+                        if compatible(held, other):
+                            assert compatible(weaker, other)

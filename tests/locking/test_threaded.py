@@ -1,0 +1,105 @@
+"""Threaded lock manager: blocking semantics with real threads.
+
+Small-scale only — correctness of blocking/waking/deadlock handling, never
+throughput (see DESIGN.md on the GIL).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockError, LockTimeoutError
+from repro.locking.manager import ThreadedLockManager
+from repro.locking.modes import S, X
+
+
+RA, RB = ("ra",), ("rb",)
+
+
+class TestBlockingAcquire:
+    def test_blocks_until_release(self):
+        tlm = ThreadedLockManager()
+        tlm.acquire("t1", RA, X)
+        order = []
+
+        def second():
+            tlm.acquire("t2", RA, S, timeout=5.0)
+            order.append("t2-granted")
+
+        thread = threading.Thread(target=second)
+        thread.start()
+        time.sleep(0.15)
+        order.append("releasing")
+        tlm.release("t1", RA)
+        thread.join(timeout=5.0)
+        assert order == ["releasing", "t2-granted"]
+
+    def test_timeout(self):
+        tlm = ThreadedLockManager()
+        tlm.acquire("t1", RA, X)
+        with pytest.raises(LockTimeoutError):
+            tlm.acquire("t2", RA, S, timeout=0.2)
+
+    def test_deadlock_victim_raises(self):
+        tlm = ThreadedLockManager()
+        tlm.acquire("t1", RA, X)
+        tlm.acquire("t2", RB, X)
+        errors = []
+
+        def t1_path():
+            try:
+                tlm.acquire("t1", RB, X, timeout=5.0)
+                tlm.release_all("t1")
+            except (DeadlockError, LockTimeoutError) as err:
+                errors.append(("t1", type(err).__name__))
+                tlm.release_all("t1")
+
+        def t2_path():
+            try:
+                tlm.acquire("t2", RA, X, timeout=5.0)
+                tlm.release_all("t2")
+            except (DeadlockError, LockTimeoutError) as err:
+                errors.append(("t2", type(err).__name__))
+                tlm.release_all("t2")
+
+        threads = [threading.Thread(target=t1_path), threading.Thread(target=t2_path)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert len(errors) >= 1
+        assert any(kind == "DeadlockError" for _, kind in errors)
+
+    def test_concurrent_readers(self):
+        tlm = ThreadedLockManager()
+        granted = []
+
+        def reader(name):
+            tlm.acquire(name, RA, S, timeout=5.0)
+            granted.append(name)
+
+        threads = [threading.Thread(target=reader, args=("r%d" % i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert len(granted) == 4
+
+    def test_release_all_notifies(self):
+        tlm = ThreadedLockManager()
+        tlm.acquire("t1", RA, X)
+        tlm.acquire("t1", RB, X)
+        results = []
+
+        def waiter():
+            tlm.acquire("t2", RA, X, timeout=5.0)
+            tlm.acquire("t2", RB, X, timeout=5.0)
+            results.append("done")
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.1)
+        tlm.release_all("t1")
+        thread.join(timeout=5.0)
+        assert results == ["done"]

@@ -1,0 +1,114 @@
+"""Secondary indexes: maintenance on insert/delete/replace, uniqueness."""
+
+import pytest
+
+from repro.errors import IntegrityError, SchemaError
+from repro.nf2 import Index, make_tuple, validate_indexable
+from repro.workloads import build_cells_database
+
+
+@pytest.fixture
+def db():
+    database, _ = build_cells_database(figure7=True)
+    return database
+
+
+class TestIndexBasics:
+    def test_name(self):
+        assert Index("effectors", "tool").name == "effectors#tool"
+
+    def test_add_and_lookup(self):
+        index = Index("effectors", "tool")
+        index.add("welder", "@e:1")
+        index.add("welder", "@e:2")
+        assert sorted(index.lookup("welder")) == ["@e:1", "@e:2"]
+        assert index.lookup("missing") == []
+
+    def test_remove(self):
+        index = Index("effectors", "tool")
+        index.add("welder", "@e:1")
+        index.remove("welder", "@e:1")
+        assert index.lookup("welder") == []
+        assert len(index) == 0
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(IntegrityError):
+            Index("effectors", "tool").remove("welder", "@e:1")
+
+    def test_unique_rejects_duplicates(self):
+        index = Index("effectors", "eff_id", unique=True)
+        index.add("e1", "@e:1")
+        with pytest.raises(IntegrityError):
+            index.add("e1", "@e:2")
+
+    def test_entry_count_and_values(self):
+        index = Index("effectors", "tool")
+        index.add("a", "@1")
+        index.add("a", "@2")
+        index.add("b", "@3")
+        assert index.entry_count() == 3
+        assert index.values() == ["a", "b"]
+
+
+class TestValidation:
+    def test_atomic_attribute_ok(self, db):
+        validate_indexable(db.relation("effectors").schema, "tool")
+
+    def test_missing_attribute_rejected(self, db):
+        with pytest.raises(SchemaError):
+            validate_indexable(db.relation("effectors").schema, "nope")
+
+    def test_collection_attribute_rejected(self, db):
+        with pytest.raises(SchemaError):
+            validate_indexable(db.relation("cells").schema, "robots")
+
+    def test_hash_in_relation_name_rejected(self):
+        from repro.nf2 import AtomicType, RelationSchema, TupleType
+
+        with pytest.raises(SchemaError):
+            RelationSchema("bad#name", TupleType([("x_id", AtomicType("str"))]))
+
+
+class TestDatabaseIntegration:
+    def test_create_index_backfills(self, db):
+        index = db.create_index("effectors", "tool")
+        assert index.entry_count() == 3
+        e1 = db.get("effectors", "e1")
+        assert index.lookup("t1") == [e1.surrogate]
+
+    def test_duplicate_index_rejected(self, db):
+        db.create_index("effectors", "tool")
+        with pytest.raises(SchemaError):
+            db.create_index("effectors", "tool")
+
+    def test_insert_maintains(self, db):
+        index = db.create_index("effectors", "tool")
+        obj = db.insert("effectors", make_tuple(eff_id="e4", tool="t4"))
+        assert index.lookup("t4") == [obj.surrogate]
+
+    def test_unique_index_blocks_duplicate_insert(self, db):
+        db.create_index("effectors", "tool", unique=True)
+        with pytest.raises(IntegrityError):
+            db.insert("effectors", make_tuple(eff_id="e4", tool="t1"))
+
+    def test_delete_maintains(self, db):
+        index = db.create_index("effectors", "tool")
+        db.insert("effectors", make_tuple(eff_id="e4", tool="t4"))
+        db.relation("effectors").delete("e4")
+        assert index.lookup("t4") == []
+
+    def test_replace_maintains(self, db):
+        index = db.create_index("effectors", "tool")
+        relation = db.relation("effectors")
+        replacement = relation.get("e1").snapshot()
+        replacement.root["tool"] = "t1-new"
+        relation.replace(replacement)
+        assert index.lookup("t1") == []
+        assert index.lookup("t1-new") == [relation.get("e1").surrogate]
+
+    def test_replace_without_value_change_keeps_index(self, db):
+        index = db.create_index("effectors", "tool")
+        relation = db.relation("effectors")
+        replacement = relation.get("e1").snapshot()
+        relation.replace(replacement)
+        assert index.lookup("t1") == [relation.get("e1").surrogate]

@@ -1,0 +1,202 @@
+"""Path expressions: parsing, formatting, schema/instance resolution."""
+
+import pytest
+
+from repro.errors import PathError
+from repro.nf2.paths import (
+    STAR,
+    AttrStep,
+    ElemStep,
+    format_path,
+    iter_schema_paths,
+    parse_path,
+    resolve_type,
+    resolve_value,
+    schema_path,
+)
+from repro.nf2.types import AtomicType, ListType, RefType, SetType, TupleType
+from repro.nf2.values import ListValue, SetValue, TupleValue
+
+
+ROBOT = TupleType(
+    [
+        ("robot_id", AtomicType("str")),
+        ("trajectory", AtomicType("str")),
+        ("effectors", SetType(RefType("effectors"))),
+    ]
+)
+CELL = TupleType(
+    [
+        ("cell_id", AtomicType("str")),
+        (
+            "c_objects",
+            SetType(
+                TupleType(
+                    [("obj_id", AtomicType("int")), ("obj_name", AtomicType("str"))]
+                )
+            ),
+        ),
+        ("robots", ListType(ROBOT)),
+    ]
+)
+
+
+class TestParse:
+    def test_empty(self):
+        assert parse_path("") == ()
+
+    def test_single_attribute(self):
+        assert parse_path("robots") == (AttrStep("robots"),)
+
+    def test_attribute_with_key(self):
+        assert parse_path("robots[r1]") == (AttrStep("robots"), ElemStep("r1"))
+
+    def test_nested(self):
+        assert parse_path("robots[r1].trajectory") == (
+            AttrStep("robots"),
+            ElemStep("r1"),
+            AttrStep("trajectory"),
+        )
+
+    def test_star(self):
+        assert parse_path("robots[*]") == (AttrStep("robots"), STAR)
+
+    def test_double_brackets(self):
+        assert parse_path("grid[a][b]") == (
+            AttrStep("grid"),
+            ElemStep("a"),
+            ElemStep("b"),
+        )
+
+    def test_unbalanced_bracket_rejected(self):
+        with pytest.raises(PathError):
+            parse_path("robots]r1[")
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(PathError):
+            parse_path("robots..x")
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(PathError):
+            parse_path("[r1]")
+
+
+class TestFormat:
+    @pytest.mark.parametrize(
+        "text",
+        ["robots", "robots[r1]", "robots[r1].trajectory", "c_objects[3].obj_name"],
+    )
+    def test_roundtrip(self, text):
+        assert format_path(parse_path(text)) == text
+
+    def test_star_format(self):
+        assert format_path(parse_path("robots[*]")) == "robots[*]"
+
+
+class TestSchemaPath:
+    def test_keys_become_stars(self):
+        assert schema_path(parse_path("robots[r1].trajectory")) == (
+            AttrStep("robots"),
+            STAR,
+            AttrStep("trajectory"),
+        )
+
+    def test_idempotent(self):
+        p = schema_path(parse_path("robots[*]"))
+        assert schema_path(p) == p
+
+
+class TestResolveType:
+    def test_root(self):
+        assert resolve_type(CELL, ()) is CELL
+
+    def test_attribute(self):
+        assert resolve_type(CELL, parse_path("cell_id")) == AtomicType("str")
+
+    def test_collection_element(self):
+        assert resolve_type(CELL, parse_path("robots[*]")) == ROBOT
+
+    def test_deep(self):
+        t = resolve_type(CELL, parse_path("robots[*].effectors"))
+        assert isinstance(t, SetType)
+
+    def test_missing_attribute(self):
+        with pytest.raises(PathError):
+            resolve_type(CELL, parse_path("nope"))
+
+    def test_element_step_on_atomic(self):
+        with pytest.raises(PathError):
+            resolve_type(CELL, parse_path("cell_id[*]"))
+
+    def test_attr_step_on_collection(self):
+        with pytest.raises(PathError):
+            resolve_type(CELL, parse_path("robots.trajectory"))
+
+
+class TestResolveValue:
+    def make_cell(self):
+        return TupleValue(
+            cell_id="c1",
+            c_objects=SetValue(
+                [
+                    TupleValue(obj_id=1, obj_name="on1"),
+                    TupleValue(obj_id=2, obj_name="on2"),
+                ]
+            ),
+            robots=ListValue(
+                [
+                    TupleValue(
+                        robot_id="r1", trajectory="tr1", effectors=SetValue()
+                    ),
+                ]
+            ),
+        )
+
+    def test_root(self):
+        cell = self.make_cell()
+        assert resolve_value(cell, CELL, ()) is cell
+
+    def test_attribute(self):
+        assert resolve_value(self.make_cell(), CELL, parse_path("cell_id")) == "c1"
+
+    def test_element_by_key(self):
+        robot = resolve_value(self.make_cell(), CELL, parse_path("robots[r1]"))
+        assert robot["trajectory"] == "tr1"
+
+    def test_element_by_int_key(self):
+        obj = resolve_value(self.make_cell(), CELL, parse_path("c_objects[2]"))
+        assert obj["obj_name"] == "on2"
+
+    def test_deep_attribute(self):
+        value = resolve_value(
+            self.make_cell(), CELL, parse_path("robots[r1].trajectory")
+        )
+        assert value == "tr1"
+
+    def test_missing_element(self):
+        with pytest.raises(PathError):
+            resolve_value(self.make_cell(), CELL, parse_path("robots[r9]"))
+
+    def test_attr_step_on_collection_value(self):
+        with pytest.raises(PathError):
+            resolve_value(self.make_cell(), CELL, parse_path("robots.trajectory"))
+
+
+class TestIterSchemaPaths:
+    def test_includes_root_and_all_nodes(self):
+        paths = dict(iter_schema_paths(CELL))
+        assert () in paths
+        assert parse_path("cell_id") in paths
+        assert parse_path("c_objects") in paths
+        assert (AttrStep("c_objects"), STAR) in paths
+        assert (AttrStep("robots"), STAR, AttrStep("effectors"), STAR) in paths
+
+    def test_preorder_root_first(self):
+        first_path, first_type = next(iter(iter_schema_paths(CELL)))
+        assert first_path == ()
+        assert first_type is CELL
+
+    def test_count_matches_structure(self):
+        # root, cell_id, c_objects, c_objects.*, obj_id, obj_name,
+        # robots, robots.*, robot_id, trajectory, effectors, effectors.*
+        assert len(list(iter_schema_paths(CELL))) == 12

@@ -1,0 +1,114 @@
+"""Relation schemas and schema-closure validation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.nf2.schema import RelationSchema, check_schema_closure
+from repro.nf2.types import AtomicType, RefType, SetType, TupleType
+from repro.workloads import cells_schema, effectors_schema
+
+
+def simple(name, attrs, **kwargs):
+    return RelationSchema(name, TupleType(attrs), **kwargs)
+
+
+class TestRelationSchema:
+    def test_requires_name(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", TupleType([("a_id", AtomicType("str"))]))
+
+    def test_requires_tuple_type(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", AtomicType("str"))
+
+    def test_requires_key(self):
+        with pytest.raises(SchemaError):
+            simple("r", [("name", AtomicType("str"))])
+
+    def test_key_from_convention(self):
+        schema = simple("r", [("r_id", AtomicType("str"))])
+        assert schema.key == "r_id"
+
+    def test_explicit_key(self):
+        schema = RelationSchema(
+            "r", TupleType([("name", AtomicType("str"))]), key="name"
+        )
+        assert schema.key == "name"
+
+    def test_segment_default_and_override(self):
+        assert simple("r", [("r_id", AtomicType("str"))]).segment == "seg1"
+        assert (
+            simple("r", [("r_id", AtomicType("str"))], segment="segX").segment
+            == "segX"
+        )
+
+    def test_referenced_relations(self):
+        schema = simple(
+            "robots",
+            [("r_id", AtomicType("str")), ("eff", SetType(RefType("effectors")))],
+        )
+        assert schema.referenced_relations() == {"effectors"}
+
+    def test_depth_of_figure1_cells(self):
+        # tuple -> robots list -> robot tuple -> effectors set -> ref
+        assert cells_schema().depth() == 5
+
+    def test_depth_of_effectors(self):
+        assert effectors_schema().depth() == 2
+
+
+class TestSchemaClosure:
+    def test_paper_schemas_close(self):
+        by_name = check_schema_closure([cells_schema(), effectors_schema()])
+        assert set(by_name) == {"cells", "effectors"}
+
+    def test_duplicate_names_rejected(self):
+        a = simple("r", [("r_id", AtomicType("str"))])
+        b = simple("r", [("r_id", AtomicType("str"))])
+        with pytest.raises(SchemaError):
+            check_schema_closure([a, b])
+
+    def test_unknown_reference_target_rejected(self):
+        lonely = simple(
+            "robots",
+            [("r_id", AtomicType("str")), ("eff", RefType("effectors"))],
+        )
+        with pytest.raises(SchemaError):
+            check_schema_closure([lonely])
+
+    def test_self_reference_rejected(self):
+        # recursive complex objects are out of scope (paper section 2)
+        recursive = simple(
+            "folders",
+            [("f_id", AtomicType("str")), ("sub", SetType(RefType("folders")))],
+        )
+        with pytest.raises(SchemaError) as err:
+            check_schema_closure([recursive])
+        assert "recursive" in str(err.value)
+
+    def test_mutual_cycle_rejected(self):
+        a = simple("a", [("a_id", AtomicType("str")), ("b", RefType("b"))])
+        b = simple("b", [("b_id", AtomicType("str")), ("a", RefType("a"))])
+        with pytest.raises(SchemaError):
+            check_schema_closure([a, b])
+
+    def test_chain_is_fine(self):
+        # a -> b -> c : common data may again contain common data
+        a = simple("a", [("a_id", AtomicType("str")), ("b", RefType("b"))])
+        b = simple("b", [("b_id", AtomicType("str")), ("c", RefType("c"))])
+        c = simple("c", [("c_id", AtomicType("str"))])
+        assert set(check_schema_closure([a, b, c])) == {"a", "b", "c"}
+
+    def test_diamond_is_fine(self):
+        top = simple(
+            "top",
+            [
+                ("top_id", AtomicType("str")),
+                ("l", RefType("left")),
+                ("r", RefType("right")),
+            ],
+        )
+        left = simple("left", [("left_id", AtomicType("str")), ("s", RefType("shared"))])
+        right = simple("right", [("right_id", AtomicType("str")), ("s", RefType("shared"))])
+        shared = simple("shared", [("shared_id", AtomicType("str"))])
+        assert len(check_schema_closure([top, left, right, shared])) == 4

@@ -1,0 +1,33 @@
+"""Surrogate generation (MeLo83-style)."""
+
+from repro.nf2.surrogate import SurrogateGenerator
+
+
+class TestSurrogateGenerator:
+    def test_unique_within_relation(self):
+        gen = SurrogateGenerator()
+        seen = {gen.next_for("cells") for _ in range(100)}
+        assert len(seen) == 100
+
+    def test_unique_across_relations(self):
+        gen = SurrogateGenerator()
+        a = gen.next_for("cells")
+        b = gen.next_for("effectors")
+        assert a != b
+        # counters are shared: the numeric suffixes never collide
+        assert a.rsplit(":", 1)[1] != b.rsplit(":", 1)[1]
+
+    def test_relation_name_embedded(self):
+        gen = SurrogateGenerator()
+        assert gen.next_for("cells").startswith("@cells:")
+
+    def test_independent_generators_may_collide(self):
+        # surrogates are unique per database, not globally
+        assert SurrogateGenerator().next_for("x") == SurrogateGenerator().next_for("x")
+
+    def test_fork_state_continues_monotonically(self):
+        gen = SurrogateGenerator()
+        gen.next_for("a")
+        position = gen.fork_state()
+        following = gen.next_for("a")
+        assert int(following.rsplit(":", 1)[1]) > position

@@ -1,0 +1,240 @@
+"""Attribute types: validation, derivation-relevant structure, helpers."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.nf2.types import (
+    ATOMIC_DOMAINS,
+    AtomicType,
+    ListType,
+    RefType,
+    SetType,
+    TupleType,
+    referenced_relations,
+    type_depth,
+)
+from repro.nf2.values import ListValue, Reference, SetValue, TupleValue
+
+
+class TestAtomicType:
+    def test_known_domains(self):
+        for domain in ATOMIC_DOMAINS:
+            assert AtomicType(domain).domain == domain
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            AtomicType("blob")
+
+    def test_validate_str(self):
+        AtomicType("str").validate("hello")
+
+    def test_validate_str_rejects_int(self):
+        with pytest.raises(SchemaError):
+            AtomicType("str").validate(3)
+
+    def test_validate_int(self):
+        AtomicType("int").validate(42)
+
+    def test_validate_int_rejects_bool(self):
+        # bool is a subclass of int in Python; domains must stay disjoint
+        with pytest.raises(SchemaError):
+            AtomicType("int").validate(True)
+
+    def test_validate_float_accepts_int(self):
+        AtomicType("float").validate(3)
+        AtomicType("float").validate(3.5)
+
+    def test_validate_float_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            AtomicType("float").validate(False)
+
+    def test_validate_bool(self):
+        AtomicType("bool").validate(True)
+
+    def test_is_atomic_and_not_reference(self):
+        t = AtomicType("int")
+        assert t.is_atomic()
+        assert not t.is_reference()
+
+    def test_no_children(self):
+        assert list(AtomicType("int").children()) == []
+
+    def test_kind(self):
+        assert AtomicType("str").kind == "atomic"
+
+    def test_equality(self):
+        assert AtomicType("str") == AtomicType("str")
+        assert AtomicType("str") != AtomicType("int")
+
+
+class TestRefType:
+    def test_target_required(self):
+        with pytest.raises(SchemaError):
+            RefType("")
+
+    def test_is_atomic_leaf_but_reference(self):
+        t = RefType("effectors")
+        assert t.is_atomic()  # leaves of the schema tree (BLUs)
+        assert t.is_reference()
+
+    def test_validate_accepts_matching_reference(self):
+        RefType("effectors").validate(Reference("effectors", "@effectors:1"))
+
+    def test_validate_rejects_wrong_relation(self):
+        with pytest.raises(SchemaError):
+            RefType("effectors").validate(Reference("cells", "@cells:1"))
+
+    def test_validate_rejects_non_reference(self):
+        with pytest.raises(SchemaError):
+            RefType("effectors").validate("e1")
+
+    def test_validate_with_resolver_detects_dangling(self):
+        ref = Reference("effectors", "@effectors:99")
+        with pytest.raises(SchemaError):
+            RefType("effectors").validate(ref, resolver=lambda rel, s: False)
+
+    def test_validate_with_resolver_accepts_existing(self):
+        ref = Reference("effectors", "@effectors:1")
+        RefType("effectors").validate(ref, resolver=lambda rel, s: True)
+
+
+class TestCollectionTypes:
+    def test_set_needs_attribute_type(self):
+        with pytest.raises(SchemaError):
+            SetType("int")
+
+    def test_list_needs_attribute_type(self):
+        with pytest.raises(SchemaError):
+            ListType(42)
+
+    def test_set_validates_elements(self):
+        t = SetType(AtomicType("int"))
+        t.validate(SetValue([1, 2, 3]))
+        with pytest.raises(SchemaError):
+            t.validate(SetValue([1, "x"]))
+
+    def test_set_rejects_list_value(self):
+        with pytest.raises(SchemaError):
+            SetType(AtomicType("int")).validate(ListValue([1]))
+
+    def test_list_rejects_set_value(self):
+        with pytest.raises(SchemaError):
+            ListType(AtomicType("int")).validate(SetValue([1]))
+
+    def test_children_yield_star(self):
+        t = SetType(AtomicType("int"))
+        children = list(t.children())
+        assert children == [("*", AtomicType("int"))]
+
+    def test_kinds(self):
+        assert SetType(AtomicType("int")).kind == "set"
+        assert ListType(AtomicType("int")).kind == "list"
+
+    def test_nested_collections(self):
+        t = SetType(ListType(AtomicType("int")))
+        t.validate(SetValue([ListValue([1, 2]), ListValue([])]))
+
+
+class TestTupleType:
+    def make(self):
+        return TupleType(
+            [
+                ("robot_id", AtomicType("str")),
+                ("trajectory", AtomicType("str")),
+            ]
+        )
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            TupleType([("a", AtomicType("int")), ("a", AtomicType("int"))])
+
+    def test_key_from_id_suffix(self):
+        assert self.make().key == "robot_id"
+
+    def test_explicit_key(self):
+        t = TupleType(
+            [("name", AtomicType("str")), ("x", AtomicType("int"))], key="name"
+        )
+        assert t.key == "name"
+
+    def test_explicit_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            TupleType([("a", AtomicType("int"))], key="missing")
+
+    def test_no_key_is_allowed(self):
+        t = TupleType([("a", AtomicType("int"))])
+        assert t.key is None
+
+    def test_key_must_be_atomic(self):
+        with pytest.raises(SchemaError):
+            TupleType(
+                [("grp_id", SetType(AtomicType("int")))],
+            )
+
+    def test_reference_key_rejected(self):
+        with pytest.raises(SchemaError):
+            TupleType([("part_id", RefType("parts"))])
+
+    def test_validate_matching(self):
+        self.make().validate(TupleValue(robot_id="r1", trajectory="tr1"))
+
+    def test_validate_missing_attribute(self):
+        with pytest.raises(SchemaError):
+            self.make().validate(TupleValue(robot_id="r1"))
+
+    def test_validate_extra_attribute(self):
+        with pytest.raises(SchemaError):
+            self.make().validate(
+                TupleValue(robot_id="r1", trajectory="t", extra=1)
+            )
+
+    def test_validate_wrong_type(self):
+        with pytest.raises(SchemaError):
+            self.make().validate(TupleValue(robot_id="r1", trajectory=7))
+
+    def test_attribute_type_lookup(self):
+        t = self.make()
+        assert t.attribute_type("trajectory") == AtomicType("str")
+        with pytest.raises(SchemaError):
+            t.attribute_type("missing")
+
+    def test_children_in_order(self):
+        names = [name for name, _ in self.make().children()]
+        assert names == ["robot_id", "trajectory"]
+
+    def test_non_attribute_type_rejected(self):
+        with pytest.raises(SchemaError):
+            TupleType([("a", "int")])
+
+
+class TestHelpers:
+    def test_referenced_relations_direct(self):
+        t = TupleType([("e_id", AtomicType("str")), ("r", RefType("effectors"))])
+        assert referenced_relations(t) == {"effectors"}
+
+    def test_referenced_relations_nested(self):
+        t = TupleType(
+            [
+                ("a_id", AtomicType("str")),
+                ("xs", SetType(ListType(RefType("parts")))),
+                ("y", RefType("materials")),
+            ]
+        )
+        assert referenced_relations(t) == {"parts", "materials"}
+
+    def test_referenced_relations_empty(self):
+        t = TupleType([("a_id", AtomicType("str"))])
+        assert referenced_relations(t) == set()
+
+    def test_type_depth_atomic(self):
+        assert type_depth(AtomicType("int")) == 1
+
+    def test_type_depth_nested(self):
+        t = TupleType(
+            [
+                ("x_id", AtomicType("str")),
+                ("ys", SetType(TupleType([("z_id", AtomicType("int"))]))),
+            ]
+        )
+        # tuple -> set -> tuple -> atomic
+        assert type_depth(t) == 4

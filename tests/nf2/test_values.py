@@ -1,0 +1,165 @@
+"""Instance values: containers, references, reference scans."""
+
+import pytest
+
+from repro.errors import IntegrityError, PathError
+from repro.nf2.values import (
+    ComplexObject,
+    ListValue,
+    Reference,
+    SetValue,
+    TupleValue,
+    collect_references,
+    value_kind,
+)
+
+
+class TestReference:
+    def test_equality_by_relation_and_surrogate(self):
+        assert Reference("effectors", "@e:1") == Reference("effectors", "@e:1")
+        assert Reference("effectors", "@e:1") != Reference("effectors", "@e:2")
+        assert Reference("effectors", "@e:1") != Reference("parts", "@e:1")
+
+    def test_hashable(self):
+        assert len({Reference("a", "1"), Reference("a", "1"), Reference("a", "2")}) == 2
+
+    def test_not_equal_to_other_types(self):
+        assert Reference("a", "1") != "a:1"
+
+
+class TestTupleValue:
+    def test_getitem_and_contains(self):
+        t = TupleValue(a=1, b="x")
+        assert t["a"] == 1
+        assert "b" in t
+        assert "c" not in t
+
+    def test_missing_attribute_raises_path_error(self):
+        with pytest.raises(PathError):
+            TupleValue(a=1)["b"]
+
+    def test_setitem(self):
+        t = TupleValue(a=1)
+        t["a"] = 2
+        assert t["a"] == 2
+
+    def test_get_default(self):
+        assert TupleValue(a=1).get("b", 9) == 9
+
+    def test_equality(self):
+        assert TupleValue(a=1, b=2) == TupleValue(b=2, a=1)
+        assert TupleValue(a=1) != TupleValue(a=2)
+
+    def test_from_dict_preserves_items(self):
+        t = TupleValue.from_dict({"x": 1, "y": 2})
+        assert dict(t.items()) == {"x": 1, "y": 2}
+
+    def test_len(self):
+        assert len(TupleValue(a=1, b=2)) == 2
+
+
+class TestSetValue:
+    def test_add_and_len(self):
+        s = SetValue()
+        s.add(1)
+        s.add(2)
+        assert len(s) == 2
+
+    def test_equality_order_insensitive(self):
+        assert SetValue([1, 2, 3]) == SetValue([3, 1, 2])
+
+    def test_equality_multiset_semantics(self):
+        assert SetValue([1, 1, 2]) != SetValue([1, 2, 2])
+
+    def test_not_equal_to_list_value(self):
+        assert SetValue([1]) != ListValue([1])
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(IntegrityError):
+            SetValue([1]).remove(2)
+
+    def test_find(self):
+        s = SetValue([1, 4, 9])
+        assert s.find(lambda x: x > 3) == 4
+        assert s.find(lambda x: x > 100) is None
+
+    def test_find_by_key(self):
+        s = SetValue([TupleValue(obj_id=1, n="a"), TupleValue(obj_id=2, n="b")])
+        assert s.find_by_key("obj_id", 2)["n"] == "b"
+        assert s.find_by_key("obj_id", 3) is None
+
+    def test_bool(self):
+        assert not SetValue()
+        assert SetValue([1])
+
+
+class TestListValue:
+    def test_order_sensitive_equality(self):
+        assert ListValue([1, 2]) == ListValue([1, 2])
+        assert ListValue([1, 2]) != ListValue([2, 1])
+
+    def test_indexing_and_insert(self):
+        l = ListValue([1, 3])
+        l.insert(1, 2)
+        assert l[1] == 2
+        assert l.index(3) == 2
+
+    def test_iteration_order(self):
+        assert list(ListValue([3, 1, 2])) == [3, 1, 2]
+
+
+class TestComplexObject:
+    def test_reference_points_back(self):
+        obj = ComplexObject("cells", "@cells:1", "c1", TupleValue(cell_id="c1"))
+        ref = obj.reference()
+        assert ref.relation == "cells"
+        assert ref.surrogate == "@cells:1"
+
+    def test_snapshot_is_deep(self):
+        root = TupleValue(cell_id="c1", xs=SetValue([TupleValue(obj_id=1)]))
+        obj = ComplexObject("cells", "@cells:1", "c1", root)
+        snap = obj.snapshot()
+        root["cell_id"] = "changed"
+        root["xs"].add(TupleValue(obj_id=2))
+        assert snap.root["cell_id"] == "c1"
+        assert len(snap.root["xs"]) == 1
+
+
+class TestCollectReferences:
+    def test_finds_nested_references_in_tree_order(self):
+        r1, r2, r3 = (
+            Reference("effectors", "@e:1"),
+            Reference("effectors", "@e:2"),
+            Reference("parts", "@p:1"),
+        )
+        tree = TupleValue(
+            a=SetValue([r1, TupleValue(inner=ListValue([r2]))]),
+            b=r3,
+        )
+        found = collect_references(tree)
+        assert set(found) == {r1, r2, r3}
+        assert len(found) == 3
+
+    def test_empty_tree(self):
+        assert collect_references(TupleValue(a=1, b=SetValue([2, 3]))) == []
+
+    def test_duplicate_references_reported_each_time(self):
+        r = Reference("effectors", "@e:1")
+        tree = SetValue([r, r])
+        assert collect_references(tree) == [r, r]
+
+
+class TestValueKind:
+    @pytest.mark.parametrize(
+        "value, kind",
+        [
+            (TupleValue(a=1), "tuple"),
+            (SetValue(), "set"),
+            (ListValue(), "list"),
+            (Reference("x", "1"), "ref"),
+            (3, "atomic"),
+            ("s", "atomic"),
+        ],
+    )
+    def test_kinds(self, value, kind):
+        assert value_kind(value) == kind

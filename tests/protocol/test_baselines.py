@@ -1,0 +1,215 @@
+"""Baseline protocols: System R (tuple/relation), XSQL, naive DAG."""
+
+import pytest
+
+import repro
+from repro.graphs.units import component_resource, object_resource
+from repro.locking.modes import IS, IX, S, X
+from repro.nf2 import parse_path
+from repro.protocol import (
+    NaiveDAGProtocol,
+    SystemRRelationProtocol,
+    SystemRTupleProtocol,
+    XSQLProtocol,
+)
+from repro.workloads import build_cells_database
+
+
+def stack_with(protocol_cls, figure7=True, **db_kwargs):
+    database, catalog = build_cells_database(figure7=figure7, **db_kwargs)
+    return repro.make_stack(database, catalog, protocol_cls=protocol_cls)
+
+
+class TestSystemRTuple:
+    """Figure 2(a): every flat tuple is locked individually."""
+
+    def test_reading_cell_locks_every_tuple(self):
+        stack = stack_with(SystemRTupleProtocol)
+        cell = object_resource(stack.catalog, "cells", "c1")
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, cell, S)
+        locks = stack.manager.locks_of(txn)
+        # root tuple + 1 c_object + 2 robots = 4 tuples in cells ...
+        cells_tuples = [r for r, m in locks.items() if m is S and r[2] == "cells"]
+        assert len(cells_tuples) == 4
+        # ... + 2 referenced effector tuples in their own relation
+        effector_tuples = [r for r, m in locks.items() if m is S and r[2] == "effectors"]
+        assert len(effector_tuples) == 3
+
+    def test_lock_count_grows_linearly_with_object_size(self):
+        small = stack_with(SystemRTupleProtocol, figure7=False, n_objects=5, n_robots=2)
+        large = stack_with(SystemRTupleProtocol, figure7=False, n_objects=50, n_robots=2)
+        for stack in (small, large):
+            txn = stack.txns.begin()
+            cell = object_resource(stack.catalog, "cells", "c1")
+            stack.protocol.request(txn, cell, S)
+        assert large.protocol.locks_requested > small.protocol.locks_requested + 40
+
+    def test_intention_chain_on_relation(self):
+        stack = stack_with(SystemRTupleProtocol)
+        cell = object_resource(stack.catalog, "cells", "c1")
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, cell, S)
+        assert stack.manager.held_mode(txn, ("db1", "seg1", "cells")) is IS
+        assert stack.manager.held_mode(txn, ("db1", "seg2", "effectors")) is IS
+
+    def test_tuple_conflicts_detected(self):
+        stack = stack_with(SystemRTupleProtocol)
+        cell = object_resource(stack.catalog, "cells", "c1")
+        t1 = stack.txns.begin()
+        stack.protocol.request(t1, cell + ("robots", "r1"), X)
+        t2 = stack.txns.begin()
+        granted = stack.protocol.request(t2, cell + ("robots", "r1"), S, wait=True)
+        assert not granted[-1].granted
+
+    def test_different_tuples_concurrent(self):
+        stack = stack_with(SystemRTupleProtocol)
+        cell = object_resource(stack.catalog, "cells", "c1")
+        t1 = stack.txns.begin()
+        t2 = stack.txns.begin()
+        # r1 writes touch e1/e2 tuples; the c_objects reader touches none
+        g1 = stack.protocol.request(t1, cell + ("robots", "r1"), X)
+        g2 = stack.protocol.request(t2, cell + ("c_objects",), S)
+        assert all(r.granted for r in g1 + g2)
+
+    def test_intention_demand_passthrough(self):
+        stack = stack_with(SystemRTupleProtocol)
+        txn = stack.txns.begin()
+        granted = stack.protocol.request(txn, ("db1", "seg1", "cells"), IX)
+        assert all(r.granted for r in granted)
+        assert stack.manager.held_mode(txn, ("db1", "seg1", "cells")) is IX
+
+
+class TestSystemRRelation:
+    def test_any_access_locks_whole_relation(self):
+        stack = stack_with(SystemRRelationProtocol)
+        cell = object_resource(stack.catalog, "cells", "c1")
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, cell + ("robots", "r1"), X)
+        assert stack.manager.held_mode(txn, ("db1", "seg1", "cells")) is X
+
+    def test_referenced_relations_locked_too(self):
+        stack = stack_with(SystemRRelationProtocol)
+        cell = object_resource(stack.catalog, "cells", "c1")
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, cell, S)
+        assert stack.manager.held_mode(txn, ("db1", "seg2", "effectors")) is S
+
+    def test_serializes_everything_on_the_relation(self):
+        stack = stack_with(SystemRRelationProtocol)
+        cell = object_resource(stack.catalog, "cells", "c1")
+        t1 = stack.txns.begin()
+        stack.protocol.request(t1, cell + ("robots", "r1"), X)
+        t2 = stack.txns.begin()
+        granted = stack.protocol.request(t2, cell + ("c_objects",), S, wait=True)
+        assert not granted[-1].granted  # even disjoint parts conflict
+
+    def test_cheap_lock_count(self):
+        stack = stack_with(SystemRRelationProtocol)
+        cell = object_resource(stack.catalog, "cells", "c1")
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, cell, S)
+        # db, seg1, cells, seg2, effectors = 5 explicit locks at most
+        assert stack.protocol.locks_requested <= 5
+
+
+class TestXSQL:
+    """Figure 2(b): one lock per complex object, common data included."""
+
+    def test_component_demand_locks_whole_object(self):
+        stack = stack_with(XSQLProtocol)
+        cell = object_resource(stack.catalog, "cells", "c1")
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, cell + ("robots", "r1"), X)
+        assert stack.manager.held_mode(txn, cell) is X
+
+    def test_referenced_objects_locked_same_mode(self):
+        stack = stack_with(XSQLProtocol)
+        cell = object_resource(stack.catalog, "cells", "c1")
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, cell, X)
+        for key in ("e1", "e2", "e3"):
+            assert stack.manager.held_mode(
+                txn, ("db1", "seg2", "effectors", key)
+            ) is X
+
+    def test_granule_oriented_problem_q1_q2_serialize(self):
+        """Section 3.2.1: Q1 (read c_objects) and Q2 (update robot r1)
+        access different parts of c1 but conflict under XSQL."""
+        stack = stack_with(XSQLProtocol)
+        cell = object_resource(stack.catalog, "cells", "c1")
+        q1 = stack.txns.begin(name="Q1")
+        stack.protocol.request(q1, cell + ("c_objects",), S)
+        q2 = stack.txns.begin(name="Q2")
+        granted = stack.protocol.request(q2, cell + ("robots", "r1"), X, wait=True)
+        assert not granted[-1].granted  # unnecessary serialization
+
+    def test_cheap_lock_count(self):
+        stack = stack_with(XSQLProtocol)
+        cell = object_resource(stack.catalog, "cells", "c1")
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, cell + ("c_objects",), S)
+        # ancestors + object + 3 referenced objects + their chains
+        assert stack.protocol.locks_requested <= 10
+
+    def test_different_objects_concurrent(self):
+        stack = stack_with(XSQLProtocol, figure7=False, n_cells=2, refs_per_robot=0)
+        t1 = stack.txns.begin()
+        t2 = stack.txns.begin()
+        c1 = object_resource(stack.catalog, "cells", "c1")
+        c2 = object_resource(stack.catalog, "cells", "c2")
+        g1 = stack.protocol.request(t1, c1, X)
+        g2 = stack.protocol.request(t2, c2, X)
+        assert all(r.granted for r in g1 + g2)
+
+
+class TestNaiveDAG:
+    """Section 3.2.2: all-parents locking on shared data."""
+
+    def test_x_on_shared_locks_referencing_objects(self):
+        stack = stack_with(NaiveDAGProtocol)
+        e2 = object_resource(stack.catalog, "effectors", "e2")
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, e2, X)
+        cell = object_resource(stack.catalog, "cells", "c1")
+        assert stack.manager.held_mode(txn, cell) is IX
+
+    def test_x_on_shared_performs_reverse_scan(self):
+        stack = stack_with(NaiveDAGProtocol)
+        stack.database.reset_scan_cost()
+        e2 = object_resource(stack.catalog, "effectors", "e2")
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, e2, X)
+        assert stack.database.scan_cost > 0  # "very time-consuming task"
+
+    def test_scan_cost_grows_with_database_size(self):
+        small = stack_with(NaiveDAGProtocol, figure7=False, n_cells=2, n_effectors=4)
+        large = stack_with(NaiveDAGProtocol, figure7=False, n_cells=20, n_effectors=4)
+        for stack in (small, large):
+            stack.database.reset_scan_cost()
+            e1 = object_resource(stack.catalog, "effectors", "e1")
+            txn = stack.txns.begin()
+            stack.protocol.request(txn, e1, X)
+        assert large.database.scan_cost > small.database.scan_cost
+
+    def test_s_on_shared_is_cheap(self):
+        stack = stack_with(NaiveDAGProtocol)
+        stack.database.reset_scan_cost()
+        e2 = object_resource(stack.catalog, "effectors", "e2")
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, e2, S)
+        assert stack.database.scan_cost == 0  # one parent path suffices
+
+    def test_conflict_with_robot_writer_detected(self):
+        """The expensive rule does make the protocol correct: the IX on
+        the referencing robot's object collides with from-the-side use."""
+        stack = stack_with(NaiveDAGProtocol)
+        cell = object_resource(stack.catalog, "cells", "c1")
+        robot_writer = stack.txns.begin(name="robot-writer")
+        stack.protocol.request(robot_writer, cell + ("robots", "r1"), X)
+        librarian = stack.txns.begin(name="librarian")
+        e1 = object_resource(stack.catalog, "effectors", "e1")
+        granted = stack.protocol.request(librarian, e1, X, wait=True)
+        # librarian must IX-lock cell c1 (a parent) — blocked by the X..IX
+        # conflict on the robot path
+        assert not all(r.granted for r in granted)

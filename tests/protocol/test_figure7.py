@@ -1,0 +1,139 @@
+"""Figure 7 reproduced exactly: the locks held by queries Q2 and Q3.
+
+The paper's worked example (section 4.4.2.2): Q2 X-locks robot r1 of cell
+c1, Q3 X-locks robot r2; both reference effector e2, neither may modify
+the effectors library, so rule 4' gives both an S lock on the shared
+effectors and they run concurrently.
+"""
+
+import pytest
+
+from repro.graphs.units import component_resource, object_resource
+from repro.locking.modes import IS, IX, S, X
+from repro.nf2 import parse_path
+
+
+@pytest.fixture
+def scene(figure7_stack):
+    stack = figure7_stack
+    cell = object_resource(stack.catalog, "cells", "c1")
+    t2 = stack.txns.begin(principal="user2", name="Q2")
+    t3 = stack.txns.begin(principal="user3", name="Q3")
+    return stack, cell, t2, t3
+
+
+def q2_locks(stack, cell, t2):
+    r1 = component_resource(cell, parse_path("robots[r1]"))
+    stack.protocol.request(t2, r1, X)
+    return stack.manager.locks_of(t2)
+
+
+def q3_locks(stack, cell, t3):
+    r2 = component_resource(cell, parse_path("robots[r2]"))
+    stack.protocol.request(t3, r2, X)
+    return stack.manager.locks_of(t3)
+
+
+class TestQ2LockSet:
+    """Every lock of Figure 7's left-hand transaction, node by node."""
+
+    def test_exact_lock_set(self, scene):
+        stack, cell, t2, _ = scene
+        locks = q2_locks(stack, cell, t2)
+        assert locks == {
+            ("db1",): IX,
+            ("db1", "seg1"): IX,
+            ("db1", "seg1", "cells"): IX,
+            ("db1", "seg1", "cells", "c1"): IX,
+            ("db1", "seg1", "cells", "c1", "robots"): IX,
+            ("db1", "seg1", "cells", "c1", "robots", "r1"): X,
+            ("db1", "seg2"): IS,
+            ("db1", "seg2", "effectors"): IS,
+            ("db1", "seg2", "effectors", "e1"): S,
+            ("db1", "seg2", "effectors", "e2"): S,
+        }
+
+    def test_no_lock_on_unreferenced_effector(self, scene):
+        stack, cell, t2, _ = scene
+        locks = q2_locks(stack, cell, t2)
+        assert ("db1", "seg2", "effectors", "e3") not in locks
+
+    def test_no_lock_on_c_objects(self, scene):
+        stack, cell, t2, _ = scene
+        locks = q2_locks(stack, cell, t2)
+        assert cell + ("c_objects",) not in locks
+
+
+class TestQ3LockSet:
+    def test_exact_lock_set(self, scene):
+        stack, cell, _, t3 = scene
+        locks = q3_locks(stack, cell, t3)
+        assert locks == {
+            ("db1",): IX,
+            ("db1", "seg1"): IX,
+            ("db1", "seg1", "cells"): IX,
+            ("db1", "seg1", "cells", "c1"): IX,
+            ("db1", "seg1", "cells", "c1", "robots"): IX,
+            ("db1", "seg1", "cells", "c1", "robots", "r2"): X,
+            ("db1", "seg2"): IS,
+            ("db1", "seg2", "effectors"): IS,
+            ("db1", "seg2", "effectors", "e2"): S,
+            ("db1", "seg2", "effectors", "e3"): S,
+        }
+
+
+class TestConcurrency:
+    def test_q2_and_q3_run_concurrently(self, scene):
+        """The paper's punchline: 'Rule 4' allows Q2 and Q3 to run
+        concurrently, although both queries touch effector e2.'"""
+        stack, cell, t2, t3 = scene
+        q2_locks(stack, cell, t2)
+        # Q3's whole plan must grant immediately, no waiting
+        r2 = component_resource(cell, parse_path("robots[r2]"))
+        granted = stack.protocol.request(t3, r2, X)
+        assert all(request.granted for request in granted)
+
+    def test_shared_effector_held_in_s_by_both(self, scene):
+        stack, cell, t2, t3 = scene
+        q2_locks(stack, cell, t2)
+        q3_locks(stack, cell, t3)
+        e2 = ("db1", "seg2", "effectors", "e2")
+        assert stack.manager.holders(e2) == {t2: S, t3: S}
+
+    def test_library_writer_blocked_while_q2_active(self, scene):
+        """A transaction updating effector e2 directly must wait."""
+        stack, cell, t2, _ = scene
+        q2_locks(stack, cell, t2)
+        librarian = stack.txns.begin(name="librarian")
+        e2 = object_resource(stack.catalog, "effectors", "e2")
+        granted = stack.protocol.request(librarian, e2, X, wait=True)
+        assert not granted[-1].granted  # X on e2 queues behind the S locks
+
+    def test_after_commit_all_released(self, scene):
+        stack, cell, t2, t3 = scene
+        q2_locks(stack, cell, t2)
+        q3_locks(stack, cell, t3)
+        stack.txns.commit(t2)
+        stack.txns.commit(t3)
+        assert stack.manager.lock_count() == 0
+
+
+class TestWithoutRule4Prime:
+    """Under plain rule 4 both queries would X-lock e2 and serialize."""
+
+    def test_rule4_serializes_q2_q3(self, figure7):
+        import repro
+        from repro.protocol import HerrmannProtocol
+
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog, rule4prime=False)
+        cell = object_resource(catalog, "cells", "c1")
+        t2 = stack.txns.begin(name="Q2")
+        t3 = stack.txns.begin(name="Q3")
+        stack.protocol.request(t2, component_resource(cell, parse_path("robots[r1]")), X)
+        e2 = ("db1", "seg2", "effectors", "e2")
+        assert stack.manager.held_mode(t2, e2) is X  # rule 4: X propagates X
+        granted = stack.protocol.request(
+            t3, component_resource(cell, parse_path("robots[r2]")), X, wait=True
+        )
+        assert not all(request.granted for request in granted)

@@ -1,0 +1,123 @@
+"""The protocol-oriented problem (section 3.2.2): from-the-side access.
+
+Two transactions reach the shared effector e2 via *different* graphs
+(robot r1 and robot r2).  Implicit locks along one path are invisible on
+the other path; the straightforward DAG protocol therefore misses the
+conflict ("the database could be transformed into an inconsistent state"),
+while the paper's protocol detects it through the explicit entry-point
+locks of downward propagation.
+"""
+
+import pytest
+
+import repro
+from repro.graphs.units import component_resource, object_resource
+from repro.locking.modes import S, X
+from repro.nf2 import parse_path
+from repro.protocol import HerrmannProtocol, NaiveDAGUnsafeProtocol
+
+
+E2 = ("db1", "seg2", "effectors", "e2")
+
+
+def robot_resource(catalog, robot_id):
+    cell = object_resource(catalog, "cells", "c1")
+    return component_resource(cell, parse_path("robots[%s]" % robot_id))
+
+
+class TestUnsafeBaselineMissesConflict:
+    def test_both_writers_granted_on_shared_data(self, figure7):
+        """T1 'X-locks' e2 implicitly via r1; T2 does the same via r2.
+        The unsafe protocol grants both — a lost update waiting to happen."""
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog, protocol_cls=NaiveDAGUnsafeProtocol)
+        t1 = stack.txns.begin(name="T1")
+        t2 = stack.txns.begin(name="T2")
+        g1 = stack.protocol.request(t1, robot_resource(catalog, "r1"), X)
+        g2 = stack.protocol.request(t2, robot_resource(catalog, "r2"), X)
+        assert all(r.granted for r in g1)
+        assert all(r.granted for r in g2)  # conflict NOT detected
+        # neither transaction holds any lock on e2: the shared node is
+        # completely invisible to conflict testing
+        assert stack.manager.holders(E2) == {}
+
+    def test_lost_update_scenario_reproduced(self, figure7):
+        """Drive the actual data race: both transactions read-modify-write
+        the shared effector believing their object locks cover it."""
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog, protocol_cls=NaiveDAGUnsafeProtocol)
+        t1 = stack.txns.begin(name="T1")
+        t2 = stack.txns.begin(name="T2")
+        stack.protocol.request(t1, robot_resource(catalog, "r1"), X)
+        stack.protocol.request(t2, robot_resource(catalog, "r2"), X)
+        effector = database.get("effectors", "e2")
+        # t1 and t2 both read tool, both write back an increment -> one
+        # update is lost (classic write-write anomaly)
+        read_t1 = effector.root["tool"]
+        read_t2 = effector.root["tool"]
+        effector.root["tool"] = read_t1 + "+t1"
+        effector.root["tool"] = read_t2 + "+t2"
+        assert "+t1" not in effector.root["tool"]  # t1's update vanished
+
+    def test_reader_via_other_graph_sees_no_lock(self, figure7):
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog, protocol_cls=NaiveDAGUnsafeProtocol)
+        writer = stack.txns.begin(name="writer")
+        stack.protocol.request(writer, robot_resource(catalog, "r1"), X)
+        # from-the-side reader asks about e2's visible locks
+        assert stack.protocol.visible_mode_for_others(E2) == []
+
+
+class TestPaperProtocolDetectsConflict:
+    def test_entry_point_locks_collide(self, figure7):
+        """Under the paper's protocol a *library maintainer* updating e2
+        conflicts with a robot-writer whose downward propagation S-locked
+        e2 — regardless of the access path."""
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog)
+        stack.authorization.grant_modify("robot-user", "cells")
+        stack.authorization.grant_modify("librarian", "effectors")
+        writer = stack.txns.begin(principal="robot-user", name="writer")
+        stack.protocol.request(writer, robot_resource(catalog, "r1"), X)
+        librarian = stack.txns.begin(principal="librarian", name="librarian")
+        e2 = object_resource(catalog, "effectors", "e2")
+        granted = stack.protocol.request(librarian, e2, X, wait=True)
+        assert not granted[-1].granted  # conflict detected and queued
+
+    def test_conflict_via_two_robot_graphs_with_rule4(self, figure7):
+        """Without authorization info (plain rule 4), two robot-writers
+        X-propagate onto e2 and serialize — conflict detected, unlike the
+        unsafe baseline."""
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog, rule4prime=False)
+        t1 = stack.txns.begin(name="T1")
+        t2 = stack.txns.begin(name="T2")
+        g1 = stack.protocol.request(t1, robot_resource(catalog, "r1"), X)
+        assert all(r.granted for r in g1)
+        g2 = stack.protocol.request(t2, robot_resource(catalog, "r2"), X, wait=True)
+        assert not all(r.granted for r in g2)
+
+    def test_from_the_side_read_sees_writer(self, figure7):
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog, rule4prime=False)
+        writer = stack.txns.begin(name="writer")
+        stack.protocol.request(writer, robot_resource(catalog, "r1"), X)
+        visible = stack.protocol.visible_mode_for_others(E2)
+        assert (writer, X) in visible
+
+    def test_degree3_no_lost_update(self, figure7):
+        """With the paper's protocol the second writer blocks, so the
+        read-modify-write interleaving of the unsafe test cannot occur."""
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog, rule4prime=False)
+        t1 = stack.txns.begin(name="T1")
+        stack.protocol.request(t1, robot_resource(catalog, "r1"), X)
+        effector = database.get("effectors", "e2")
+        effector.root["tool"] = effector.root["tool"] + "+t1"
+        t2 = stack.txns.begin(name="T2")
+        granted = stack.protocol.request(t2, robot_resource(catalog, "r2"), X, wait=True)
+        assert not granted[-1].granted
+        # t2 only proceeds after t1 commits; its read then sees t1's write
+        stack.txns.commit(t1)
+        assert granted[-1].granted  # woken by the commit's release
+        assert "+t1" in database.get("effectors", "e2").root["tool"]

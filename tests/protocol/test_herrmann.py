@@ -1,0 +1,319 @@
+"""The paper's protocol, rule by rule (section 4.4.2.1)."""
+
+import pytest
+
+from repro.errors import AuthorizationError, ProtocolError
+from repro.graphs.units import component_resource, object_resource
+from repro.locking.modes import IS, IX, S, X
+from repro.nf2 import parse_path
+from repro.protocol.base import PlannedLock
+
+
+@pytest.fixture
+def stack(figure7_stack):
+    return figure7_stack
+
+
+@pytest.fixture
+def cell(stack):
+    return object_resource(stack.catalog, "cells", "c1")
+
+
+def plan_modes(plan):
+    return [(step.resource, step.mode) for step in plan]
+
+
+class TestRule1And2Ancestors:
+    """IS/IX on a non-root node needs intention locks on immediate parents."""
+
+    def test_is_demand_plans_is_ancestors(self, stack, cell):
+        txn = stack.txns.begin()
+        plan = stack.protocol.plan_request(txn, cell, IS)
+        assert plan_modes(plan) == [
+            (("db1",), IS),
+            (("db1", "seg1"), IS),
+            (("db1", "seg1", "cells"), IS),
+            (cell, IS),
+        ]
+
+    def test_ix_demand_plans_ix_ancestors(self, stack, cell):
+        txn = stack.txns.begin(principal="user2")
+        plan = stack.protocol.plan_request(txn, cell, IX)
+        assert all(mode is IX for _, mode in plan_modes(plan))
+
+    def test_outer_root_needs_no_other_locks(self, stack):
+        txn = stack.txns.begin()
+        plan = stack.protocol.plan_request(txn, ("db1",), IS)
+        assert plan_modes(plan) == [(("db1",), IS)]
+
+    def test_requests_run_root_to_leaf(self, stack, cell):
+        """Rule 5: locks are requested starting at the root."""
+        txn = stack.txns.begin()
+        target = component_resource(cell, parse_path("robots[r1].trajectory"))
+        plan = stack.protocol.plan_request(txn, target, S)
+        resources = [
+            step.resource for step in plan if step.resource[0] == "db1"
+            and step.resource[:2] != ("db1", "seg2")
+            and (len(step.resource) < 3 or step.resource[2] != "effectors")
+        ]
+        for earlier, later in zip(resources, resources[1:]):
+            assert len(earlier) < len(later)
+
+
+class TestRule3And4Targets:
+    def test_s_on_component(self, stack, cell):
+        txn = stack.txns.begin()
+        target = component_resource(cell, parse_path("c_objects"))
+        stack.protocol.request(txn, target, S)
+        locks = stack.manager.locks_of(txn)
+        assert locks[target] is S
+        assert locks[cell] is IS
+
+    def test_x_on_component_needs_ix_parents(self, stack, cell):
+        txn = stack.txns.begin(principal="user2")
+        target = component_resource(cell, parse_path("robots[r1].trajectory"))
+        stack.protocol.request(txn, target, X)
+        locks = stack.manager.locks_of(txn)
+        assert locks[target] is X
+        assert locks[cell] is IX
+        assert locks[cell + ("robots", "r1")] is IX
+
+    def test_already_held_steps_are_skipped(self, stack, cell):
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, cell, IS)
+        plan = stack.protocol.plan_request(txn, cell + ("c_objects",), S)
+        # db/seg/rel/cell already IS-locked: only the target remains
+        assert plan_modes(plan) == [(cell + ("c_objects",), S)]
+
+    def test_empty_plan_when_fully_covered(self, stack, cell):
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, cell + ("c_objects",), S)
+        plan = stack.protocol.plan_request(txn, cell + ("c_objects",), S)
+        assert len(plan) == 0
+
+
+class TestEntryPointRules:
+    """The inner-unit cases: upward propagation and via-reference checks."""
+
+    def test_direct_access_to_common_data(self, stack):
+        """A library transaction reads effector e1 top-down."""
+        txn = stack.txns.begin()
+        e1 = object_resource(stack.catalog, "effectors", "e1")
+        stack.protocol.request(txn, e1, S)
+        locks = stack.manager.locks_of(txn)
+        assert locks[e1] is S
+        assert locks[("db1", "seg2", "effectors")] is IS
+
+    def test_upward_propagation_for_component_in_inner_unit(self, stack):
+        txn = stack.txns.begin()
+        e1 = object_resource(stack.catalog, "effectors", "e1")
+        stack.protocol.request(txn, e1 + ("tool",), S)
+        locks = stack.manager.locks_of(txn)
+        assert locks[e1 + ("tool",)] is S
+        assert locks[e1] is IS  # within-unit ancestor
+        assert locks[("db1", "seg2", "effectors")] is IS  # superunit path
+
+    def test_via_reference_requires_referencing_lock(self, stack, cell):
+        """Rule: the node which references the entry point must be locked."""
+        txn = stack.txns.begin()
+        e1 = object_resource(stack.catalog, "effectors", "e1")
+        via = cell + ("robots", "r1", "effectors")
+        with pytest.raises(ProtocolError):
+            stack.protocol.plan_request(txn, e1, S, via=via)
+
+    def test_via_reference_with_explicit_lock(self, stack, cell):
+        txn = stack.txns.begin()
+        via = cell + ("robots", "r1", "effectors")
+        stack.protocol.request(txn, via, S)  # locks referencing node (and e1/e2!)
+        e1 = object_resource(stack.catalog, "effectors", "e1")
+        plan = stack.protocol.plan_request(txn, e1, S, via=via)
+        # downward propagation already S-locked e1; nothing left to do
+        assert len(plan) == 0
+
+    def test_via_reference_with_implicit_lock(self, stack, cell):
+        """An X on robot r1 implicitly covers the effectors set below it."""
+        txn = stack.txns.begin(principal="user2")
+        robot = cell + ("robots", "r1")
+        stack.protocol.request(txn, robot, X)
+        via = robot + ("effectors",)
+        e1 = object_resource(stack.catalog, "effectors", "e1")
+        # implicit X on the referencing node satisfies the rule
+        plan = stack.protocol.plan_request(txn, e1, S, via=via)
+        assert len(plan) == 0  # already S-locked by downward propagation
+
+
+class TestDownwardPropagation:
+    def test_s_propagates_s(self, stack, cell):
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, cell, S)
+        locks = stack.manager.locks_of(txn)
+        for key in ("e1", "e2", "e3"):
+            assert locks[("db1", "seg2", "effectors", key)] is S
+
+    def test_propagation_covers_only_reachable(self, stack, cell):
+        txn = stack.txns.begin()
+        target = cell + ("robots", "r2")
+        stack.protocol.request(txn, target, S)
+        locks = stack.manager.locks_of(txn)
+        assert ("db1", "seg2", "effectors", "e1") not in locks
+        assert locks[("db1", "seg2", "effectors", "e2")] is S
+
+    def test_intention_demands_do_not_propagate(self, stack, cell):
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, cell, IS)
+        locks = stack.manager.locks_of(txn)
+        assert not any(res[2:3] == ("effectors",) for res in locks)
+
+    def test_transitive_propagation_through_nested_common_data(self, partlib_stack):
+        stack = partlib_stack
+        assembly = object_resource(stack.catalog, "assemblies", "a1")
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, assembly, S)
+        locks = stack.manager.locks_of(txn)
+        touched_relations = {res[2] for res in locks if len(res) >= 3}
+        assert "parts" in touched_relations
+        assert "materials" in touched_relations
+
+    def test_non_transitive_mode(self, partlib):
+        import repro
+
+        database, catalog = partlib
+        stack = repro.make_stack(database, catalog, transitive_propagation=False)
+        assembly = object_resource(catalog, "assemblies", "a1")
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, assembly, S)
+        locks = stack.manager.locks_of(txn)
+        touched_relations = {res[2] for res in locks if len(res) >= 3}
+        assert "parts" in touched_relations
+        assert "materials" not in touched_relations
+
+    def test_x_with_rule4prime_mixed_rights(self, partlib_stack):
+        """Modifiable inner units get X, non-modifiable get S (rule 4')."""
+        stack = partlib_stack
+        stack.authorization.grant_modify("builder", "assemblies")
+        stack.authorization.grant_modify("builder", "parts")
+        stack.authorization.grant_read("builder", "materials")
+        txn = stack.txns.begin(principal="builder")
+        assembly = object_resource(stack.catalog, "assemblies", "a1")
+        stack.protocol.request(txn, assembly, X)
+        locks = stack.manager.locks_of(txn)
+        part_locks = [m for r, m in locks.items() if len(r) == 4 and r[2] == "parts"]
+        material_locks = [
+            m for r, m in locks.items() if len(r) == 4 and r[2] == "materials"
+        ]
+        assert part_locks and all(m is X for m in part_locks)
+        assert material_locks and all(m is S for m in material_locks)
+
+    def test_downward_path_intention_matches_propagated_mode(self, partlib_stack):
+        stack = partlib_stack
+        stack.authorization.grant_modify("builder", "assemblies")
+        stack.authorization.grant_modify("builder", "parts")
+        stack.authorization.grant_read("builder", "materials")
+        txn = stack.txns.begin(principal="builder")
+        assembly = object_resource(stack.catalog, "assemblies", "a1")
+        stack.protocol.request(txn, assembly, X)
+        locks = stack.manager.locks_of(txn)
+        assert locks[("db1", "seg_parts", "parts")] is IX
+        assert locks[("db1", "seg_materials", "materials")] is IS
+
+
+class TestAuthorizationChecks:
+    def test_x_without_modify_right_rejected(self, stack):
+        txn = stack.txns.begin(principal="user2")  # may modify cells only
+        e1 = object_resource(stack.catalog, "effectors", "e1")
+        with pytest.raises(AuthorizationError):
+            stack.protocol.plan_request(txn, e1, X)
+
+    def test_ix_without_modify_right_rejected(self, stack):
+        txn = stack.txns.begin(principal="user2")
+        with pytest.raises(AuthorizationError):
+            stack.protocol.plan_request(txn, ("db1", "seg2", "effectors"), IX)
+
+    def test_s_always_allowed_by_protocol(self, stack):
+        txn = stack.txns.begin(principal="user2")
+        e1 = object_resource(stack.catalog, "effectors", "e1")
+        granted = stack.protocol.request(txn, e1, S)
+        assert all(request.granted for request in granted)
+
+    def test_rule4prime_requires_authorization_manager(self, stack):
+        from repro.protocol import HerrmannProtocol
+
+        with pytest.raises(ProtocolError):
+            HerrmannProtocol(
+                stack.manager, stack.catalog, authorization=None, rule4prime=True
+            )
+
+
+class TestImplicitLockVisibility:
+    def test_explicit_holds(self, stack, cell):
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, cell, S)
+        assert stack.protocol.effectively_holds(txn, cell, S)
+        assert stack.protocol.effectively_holds(txn, cell, IS)
+
+    def test_implicit_s_from_ancestor(self, stack, cell):
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, cell, S)
+        below = cell + ("robots", "r1")
+        assert stack.protocol.effectively_holds(txn, below, S)
+        assert not stack.protocol.effectively_holds(txn, below, X)
+
+    def test_implicit_x_from_ancestor(self, stack, cell):
+        txn = stack.txns.begin(principal="user2")
+        stack.protocol.request(txn, cell, X)
+        below = cell + ("robots", "r2", "trajectory")
+        assert stack.protocol.effectively_holds(txn, below, X)
+
+    def test_intention_locks_do_not_propagate_implicitly(self, stack, cell):
+        txn = stack.txns.begin(principal="user2")
+        stack.protocol.request(txn, cell, IX)
+        below = cell + ("robots",)
+        assert not stack.protocol.effectively_holds(txn, below, S)
+
+    def test_implicit_locks_do_not_cross_dashed_edges(self, stack, cell):
+        """An X on cell c1 does NOT implicitly lock effector e1 — only the
+        explicit downward-propagation lock covers it."""
+        txn = stack.txns.begin(principal="user2")
+        robot = cell + ("robots", "r1")
+        stack.protocol.request(txn, robot, X)
+        e1 = ("db1", "seg2", "effectors", "e1")
+        # effectively_holds(S) is True — but via the EXPLICIT S lock placed
+        # by downward propagation, not via any implicit crossing:
+        assert stack.manager.held_mode(txn, e1) is S
+        # visible_mode_for_others on e1 reports the explicit S only
+        visible = stack.protocol.visible_mode_for_others(e1)
+        assert (txn, S) in visible
+
+    def test_visible_mode_for_others_includes_implicit(self, stack, cell):
+        txn = stack.txns.begin(principal="user2")
+        stack.protocol.request(txn, cell, X)
+        below = cell + ("robots", "r1")
+        visible = stack.protocol.visible_mode_for_others(below)
+        assert (txn, X) in visible
+
+
+class TestViaReferenceWriteRules:
+    def test_x_via_reference_needs_ix_on_referencing_node(self, stack, cell):
+        """Rule 2/4 entry-point case: an (I)X demand via a reference needs
+        the referencing node (at least) IX locked — IS is not enough."""
+        from repro.errors import ProtocolError
+        from repro.locking.modes import IS
+
+        stack.authorization.grant_modify("lib", "effectors")
+        txn = stack.txns.begin(principal="lib")
+        via = cell + ("robots", "r1", "effectors")
+        stack.protocol.request(txn, via, IS)
+        e1 = object_resource(stack.catalog, "effectors", "e1")
+        with pytest.raises(ProtocolError):
+            stack.protocol.plan_request(txn, e1, X, via=via)
+
+    def test_x_via_reference_with_ix_held(self, stack, cell):
+        stack.authorization.grant_modify("lib", "effectors")
+        stack.authorization.grant_modify("lib", "cells")
+        txn = stack.txns.begin(principal="lib")
+        via = cell + ("robots", "r1", "effectors")
+        stack.protocol.request(txn, via, IX)
+        e1 = object_resource(stack.catalog, "effectors", "e1")
+        granted = stack.protocol.request(txn, e1, X, via=via)
+        assert all(r.granted for r in granted)
+        assert stack.manager.held_mode(txn, e1) is X

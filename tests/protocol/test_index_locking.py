@@ -1,0 +1,217 @@
+"""Index lockable units and equality-phantom protection (§5 future work)."""
+
+import pytest
+
+from repro.errors import LockConflictError
+from repro.graphs.units import (
+    UnitMap,
+    index_entry_resource,
+    index_resource,
+    is_index_resource,
+    object_resource,
+)
+from repro.locking.modes import IS, IX, S, X
+from repro.nf2 import make_set, make_list, make_tuple
+
+
+@pytest.fixture
+def stack(figure7_stack):
+    figure7_stack.database.create_index("effectors", "tool")
+    figure7_stack.database.create_index("cells", "cell_id", unique=True)
+    return figure7_stack
+
+
+class TestIndexResources:
+    def test_index_resource_shape(self, stack):
+        resource = index_resource(stack.catalog, "effectors", "tool")
+        assert resource == ("db1", "seg2", "effectors#tool")
+        assert is_index_resource(resource)
+
+    def test_entry_resource(self, stack):
+        entry = index_entry_resource(stack.catalog, "effectors", "tool", "t1")
+        assert entry == ("db1", "seg2", "effectors#tool", "t1")
+
+    def test_units_resolve_index(self, stack):
+        units = UnitMap(stack.catalog)
+        index = units.resolve(index_resource(stack.catalog, "effectors", "tool"))
+        assert index.name == "effectors#tool"
+        surrogates = units.resolve(
+            index_entry_resource(stack.catalog, "effectors", "tool", "t1")
+        )
+        assert len(surrogates) == 1
+
+    def test_index_nodes_are_not_entry_points(self, stack):
+        units = UnitMap(stack.catalog)
+        entry = index_entry_resource(stack.catalog, "effectors", "tool", "t1")
+        assert not units.is_entry_point(entry)
+        assert units.unit_root(entry) == ("db1",)
+
+    def test_no_propagation_from_index_nodes(self, stack):
+        units = UnitMap(stack.catalog)
+        resource = index_resource(stack.catalog, "effectors", "tool")
+        assert units.entry_points_below(resource) == []
+
+
+class TestIndexLockPlans:
+    def test_entry_lock_carries_intention_chain(self, stack):
+        txn = stack.txns.begin()
+        entry = index_entry_resource(stack.catalog, "effectors", "tool", "t1")
+        stack.protocol.request(txn, entry, S)
+        locks = stack.manager.locks_of(txn)
+        assert locks[entry] is S
+        assert locks[("db1", "seg2", "effectors#tool")] is IS
+        assert locks[("db1", "seg2")] is IS
+
+    def test_entry_write_needs_modify_right(self, stack):
+        from repro.errors import AuthorizationError
+
+        outsider = stack.txns.begin(principal="user2")  # modifies cells only
+        entry = index_entry_resource(stack.catalog, "effectors", "tool", "t9")
+        with pytest.raises(AuthorizationError):
+            stack.protocol.plan_request(outsider, entry, X)
+
+    def test_different_entries_concurrent(self, stack):
+        stack.authorization.grant_modify("lib", "effectors")
+        t1 = stack.txns.begin(principal="lib")
+        t2 = stack.txns.begin(principal="lib")
+        e_a = index_entry_resource(stack.catalog, "effectors", "tool", "a")
+        e_b = index_entry_resource(stack.catalog, "effectors", "tool", "b")
+        g1 = stack.protocol.request(t1, e_a, X)
+        g2 = stack.protocol.request(t2, e_b, X)
+        assert all(r.granted for r in g1 + g2)
+
+
+class TestPhantomProtection:
+    """The equality-predicate phantom, prevented by index-entry locks."""
+
+    def test_reader_blocks_inserter_of_searched_value(self, stack):
+        """A query for cell_id='c9' finds nothing but locks the entry; the
+        insert of cell c9 must wait -> repeated reads stay empty."""
+        reader = stack.txns.begin(name="reader")
+        rows = stack.executor.execute(
+            reader, "SELECT c FROM c IN cells WHERE c.cell_id = 'c9' FOR READ"
+        )
+        assert rows == []
+        entry = index_entry_resource(stack.catalog, "cells", "cell_id", "c9")
+        assert stack.manager.held_mode(reader, entry) is S
+
+        inserter = stack.txns.begin(principal="user2", name="inserter")
+        with pytest.raises(LockConflictError):
+            stack.txns.insert_object(
+                inserter,
+                "cells",
+                make_tuple(cell_id="c9", c_objects=make_set(), robots=make_list()),
+            )
+        # degree-3: the reader re-reads and still sees nothing
+        again = stack.executor.execute(
+            reader, "SELECT c FROM c IN cells WHERE c.cell_id = 'c9' FOR READ"
+        )
+        assert again == []
+
+    def test_insert_proceeds_after_reader_commit(self, stack):
+        reader = stack.txns.begin()
+        stack.executor.execute(
+            reader, "SELECT c FROM c IN cells WHERE c.cell_id = 'c9' FOR READ"
+        )
+        stack.txns.commit(reader)
+        inserter = stack.txns.begin(principal="user2")
+        stack.txns.insert_object(
+            inserter,
+            "cells",
+            make_tuple(cell_id="c9", c_objects=make_set(), robots=make_list()),
+        )
+        assert stack.database.relation("cells").contains_key("c9")
+
+    def test_unindexed_attribute_still_phantom_prone(self, figure7_stack):
+        """Without the index there is no entry to lock — the phantom the
+        paper defers is demonstrable."""
+        stack = figure7_stack  # note: no indexes created here
+        reader = stack.txns.begin()
+        rows = stack.executor.execute(
+            reader, "SELECT c FROM c IN cells WHERE c.cell_id = 'c9' FOR READ"
+        )
+        assert rows == []
+        inserter = stack.txns.begin(principal="user2")
+        stack.txns.insert_object(
+            inserter,
+            "cells",
+            make_tuple(cell_id="c9", c_objects=make_set(), robots=make_list()),
+        )
+        stack.txns.commit(inserter)
+        again = stack.executor.execute(
+            reader, "SELECT c FROM c IN cells WHERE c.cell_id = 'c9' FOR READ"
+        )
+        assert len(again) == 1  # the phantom appeared
+
+    def test_delete_also_locks_entry(self, stack):
+        stack.authorization.grant_modify("lib", "effectors")
+        reader = stack.txns.begin()
+        entry = index_entry_resource(stack.catalog, "effectors", "tool", "t3")
+        stack.protocol.request(reader, entry, S)
+        deleter = stack.txns.begin(principal="lib")
+        with pytest.raises(LockConflictError):
+            stack.txns.delete_object(deleter, "effectors", "e3")
+
+    def test_update_locks_old_and_new_entries(self, stack):
+        stack.authorization.grant_modify("lib", "effectors")
+        txn = stack.txns.begin(principal="lib")
+        stack.txns.update_component(txn, "effectors", "e1", "tool", "t1-new")
+        locks = stack.manager.locks_of(txn)
+        old_entry = index_entry_resource(stack.catalog, "effectors", "tool", "t1")
+        new_entry = index_entry_resource(stack.catalog, "effectors", "tool", "t1-new")
+        assert locks[old_entry] is X
+        assert locks[new_entry] is X
+        # index stays in step and rolls back with the transaction
+        index = stack.database.relation("effectors").indexes["tool"]
+        assert index.lookup("t1-new")
+        stack.txns.abort(txn)
+        assert not index.lookup("t1-new")
+        assert index.lookup("t1")
+
+    def test_key_update_via_component_rejected(self, stack):
+        from repro.errors import TransactionError
+
+        stack.authorization.grant_modify("lib", "effectors")
+        txn = stack.txns.begin(principal="lib")
+        with pytest.raises(TransactionError):
+            stack.txns.update_component(txn, "effectors", "e1", "eff_id", "e1b")
+
+
+class TestIndexAssistedEvaluation:
+    def test_nonkey_equality_uses_index(self, stack):
+        # "tool" is indexed by the fixture; query by it
+        assert "tool" in stack.database.relation("effectors").indexes
+        txn = stack.txns.begin()
+        rows = stack.executor.execute(
+            txn, "SELECT e FROM e IN effectors WHERE e.tool = 't2' FOR READ"
+        )
+        assert [row.object.key for row in rows] == ["e2"]
+
+    def test_index_and_scan_agree(self, figure7_stack):
+        """Same query with and without an index returns the same rows."""
+        unindexed = figure7_stack
+        txn = unindexed.txns.begin()
+        scan_rows = unindexed.executor.execute(
+            txn, "SELECT e FROM e IN effectors WHERE e.tool = 't2' FOR READ"
+        )
+
+        import repro
+        from repro.workloads import build_cells_database
+
+        database, catalog = build_cells_database(figure7=True)
+        database.create_index("effectors", "tool")
+        indexed = repro.make_stack(database, catalog)
+        txn2 = indexed.txns.begin()
+        index_rows = indexed.executor.execute(
+            txn2, "SELECT e FROM e IN effectors WHERE e.tool = 't2' FOR READ"
+        )
+        assert [r.object.key for r in scan_rows] == [r.object.key for r in index_rows]
+
+    def test_negative_nonkey_lookup_locks_entry(self, stack):
+        txn = stack.txns.begin()
+        rows = stack.executor.execute(
+            txn, "SELECT e FROM e IN effectors WHERE e.tool = 'missing' FOR READ"
+        )
+        assert rows == []
+        entry = index_entry_resource(stack.catalog, "effectors", "tool", "missing")
+        assert stack.manager.held_mode(txn, entry) is S

@@ -1,0 +1,181 @@
+"""The lock-request optimizer: anticipation of lock escalations (§4.5)."""
+
+import pytest
+
+from repro.catalog import Statistics
+from repro.errors import QueryError
+from repro.nf2.paths import STAR, parse_path, schema_path
+from repro.locking.modes import S, X
+from repro.protocol.optimizer import AccessIntent, LockRequestOptimizer
+from repro.workloads import build_cells_database
+
+
+@pytest.fixture
+def stats():
+    database, _ = build_cells_database(
+        n_cells=10, n_objects=20, n_robots=4, n_effectors=6
+    )
+    return Statistics(database).refresh()
+
+
+@pytest.fixture
+def optimizer(stats):
+    return LockRequestOptimizer(stats, escalation_threshold=10, fraction_threshold=0.75)
+
+
+ROBOTS_STAR = schema_path(parse_path("robots[*]"))
+C_OBJECTS_STAR = schema_path(parse_path("c_objects[*]"))
+
+
+class TestAccessIntent:
+    def test_selectivity_count_must_match_stars(self):
+        with pytest.raises(QueryError):
+            AccessIntent("cells", ROBOTS_STAR, selectivities=[0.5, 0.5])
+
+    def test_default_selectivities_are_full(self):
+        intent = AccessIntent("cells", ROBOTS_STAR)
+        assert intent.selectivities == [1.0]
+
+    def test_selectivity_bounds(self):
+        with pytest.raises(QueryError):
+            AccessIntent("cells", ROBOTS_STAR, selectivities=[0.0])
+        with pytest.raises(QueryError):
+            AccessIntent("cells", (), object_selectivity=1.5)
+
+    def test_mode_from_write_flag(self):
+        assert AccessIntent("cells", (), write=True).mode is X
+        assert AccessIntent("cells", ()).mode is S
+
+    def test_instance_paths_normalized(self):
+        intent = AccessIntent("cells", parse_path("robots[r1]"))
+        assert intent.path == ROBOTS_STAR
+
+
+class TestGranuleChoice:
+    def test_selective_access_stays_fine(self, optimizer):
+        """Q2-style: one robot out of four -> per-element annotation."""
+        intent = AccessIntent(
+            "cells",
+            ROBOTS_STAR,
+            write=True,
+            object_selectivity=0.1,
+            selectivities=[0.25],
+        )
+        [graph] = optimizer.plan_query([intent]).values()
+        [annotation] = graph.annotations
+        assert annotation.path == ROBOTS_STAR
+        assert annotation.mode is X
+
+    def test_full_collection_access_coarsens(self, optimizer):
+        """Q1-style: all c_objects -> lock the set, not each element."""
+        intent = AccessIntent(
+            "cells",
+            C_OBJECTS_STAR,
+            object_selectivity=0.1,
+            selectivities=[1.0],
+        )
+        [graph] = optimizer.plan_query([intent]).values()
+        [annotation] = graph.annotations
+        assert annotation.path == parse_path("c_objects")
+        assert "anticipated escalation" in annotation.reason
+
+    def test_count_pressure_coarsens(self, optimizer, stats):
+        """Selectivity below the fraction threshold but too many expected
+        fine locks -> anticipate the escalation."""
+        stats.observe_fanout("cells", parse_path("c_objects"), 500.0)
+        intent = AccessIntent(
+            "cells",
+            C_OBJECTS_STAR,
+            object_selectivity=0.1,
+            selectivities=[0.5],  # 250 expected locks > threshold 10
+        )
+        [graph] = optimizer.plan_query([intent]).values()
+        [annotation] = graph.annotations
+        assert annotation.path == parse_path("c_objects")
+        assert optimizer.anticipated >= 1
+
+    def test_relation_level_for_full_scans(self, optimizer):
+        intent = AccessIntent("cells", (), object_selectivity=1.0)
+        [graph] = optimizer.plan_query([intent]).values()
+        [annotation] = graph.annotations
+        assert annotation.relation_level
+
+    def test_single_object_relation_not_escalated(self):
+        database, _ = build_cells_database(figure7=True)
+        stats = Statistics(database).refresh()
+        optimizer = LockRequestOptimizer(stats)
+        intent = AccessIntent("cells", (), object_selectivity=1.0)
+        [graph] = optimizer.plan_query([intent]).values()
+        [annotation] = graph.annotations
+        assert not annotation.relation_level  # nothing to save
+
+    def test_object_level_for_whole_object_intent(self, optimizer):
+        intent = AccessIntent("cells", (), object_selectivity=0.1)
+        [graph] = optimizer.plan_query([intent]).values()
+        [annotation] = graph.annotations
+        assert annotation.path == ()
+        assert not annotation.relation_level
+
+    def test_deep_path_cut_at_first_pressured_level(self, optimizer, stats):
+        stats.observe_fanout("cells", parse_path("robots"), 4.0)
+        stats.observe_fanout("cells", parse_path("robots[*].effectors"), 50.0)
+        intent = AccessIntent(
+            "cells",
+            schema_path(parse_path("robots[*].effectors[*]")),
+            object_selectivity=0.1,
+            selectivities=[0.25, 0.5],  # robots selective, effectors not
+        )
+        [graph] = optimizer.plan_query([intent]).values()
+        [annotation] = graph.annotations
+        # cut inside the robot: per-robot effectors set
+        assert annotation.path == schema_path(parse_path("robots[*].effectors"))
+
+    def test_mode_preserved_through_coarsening(self, optimizer):
+        intent = AccessIntent(
+            "cells", C_OBJECTS_STAR, write=True, object_selectivity=0.1
+        )
+        [graph] = optimizer.plan_query([intent]).values()
+        assert graph.annotations[0].mode is X
+
+
+class TestMultiIntentMerging:
+    def test_covered_fine_annotation_dropped(self, optimizer):
+        coarse = AccessIntent("cells", (), write=True, object_selectivity=0.1)
+        fine = AccessIntent(
+            "cells",
+            ROBOTS_STAR,
+            write=False,
+            object_selectivity=0.1,
+            selectivities=[0.25],
+        )
+        [graph] = optimizer.plan_query([coarse, fine]).values()
+        # X on the whole object covers the S on one robot
+        assert len(graph.annotations) == 1
+        assert graph.annotations[0].path == ()
+
+    def test_disjoint_paths_kept(self, optimizer):
+        a = AccessIntent(
+            "cells", ROBOTS_STAR, object_selectivity=0.1, selectivities=[0.25]
+        )
+        b = AccessIntent(
+            "cells",
+            C_OBJECTS_STAR,
+            object_selectivity=0.1,
+            selectivities=[0.04],
+        )
+        [graph] = optimizer.plan_query([a, b]).values()
+        assert len(graph.annotations) == 2
+
+    def test_multiple_relations_get_separate_graphs(self, optimizer):
+        a = AccessIntent("cells", (), object_selectivity=0.1)
+        b = AccessIntent("effectors", (), object_selectivity=0.1)
+        graphs = optimizer.plan_query([a, b])
+        assert set(graphs) == {"cells", "effectors"}
+
+    def test_write_anywhere_escalates_relation_to_x(self, optimizer):
+        reader = AccessIntent("cells", (), object_selectivity=1.0)
+        writer = AccessIntent("cells", ROBOTS_STAR, write=True, object_selectivity=1.0)
+        [graph] = optimizer.plan_query([reader, writer]).values()
+        [annotation] = graph.annotations
+        assert annotation.relation_level
+        assert annotation.mode is X

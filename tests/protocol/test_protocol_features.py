@@ -1,0 +1,141 @@
+"""Protocol-level features: early release (rule 5), explain, SIX
+conversions, propagate switch."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.graphs.units import component_resource, object_resource
+from repro.locking.modes import IS, IX, S, SIX, X
+from repro.nf2 import parse_path
+
+
+@pytest.fixture
+def stack(figure7_stack):
+    return figure7_stack
+
+
+@pytest.fixture
+def cell(stack):
+    return object_resource(stack.catalog, "cells", "c1")
+
+
+class TestEarlyRelease:
+    """Rule 5: locks released in leaf-to-root order before EOT."""
+
+    def test_leaf_release_allowed(self, stack, cell):
+        txn = stack.txns.begin()
+        target = cell + ("c_objects",)
+        stack.protocol.request(txn, target, S)
+        stack.protocol.release_early(txn, target)
+        assert stack.manager.held_mode(txn, target) is None
+        # ancestors remain
+        assert stack.manager.held_mode(txn, cell) is IS
+
+    def test_root_before_leaf_rejected(self, stack, cell):
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, cell + ("c_objects",), S)
+        with pytest.raises(ProtocolError):
+            stack.protocol.release_early(txn, cell)
+
+    def test_bottom_up_full_release(self, stack, cell):
+        txn = stack.txns.begin()
+        stack.protocol.request(txn, cell + ("c_objects",), S)
+        order = sorted(stack.manager.locks_of(txn), key=len, reverse=True)
+        for resource in order:
+            stack.protocol.release_early(txn, resource)
+        assert stack.manager.lock_count() == 0
+
+    def test_release_unheld_rejected(self, stack, cell):
+        txn = stack.txns.begin()
+        with pytest.raises(ProtocolError):
+            stack.protocol.release_early(txn, cell)
+
+    def test_early_release_wakes_waiters(self, stack, cell):
+        reader = stack.txns.begin()
+        target = cell + ("c_objects",)
+        stack.protocol.request(reader, target, S)
+        writer = stack.txns.begin(principal="user2")
+        pending = stack.protocol.request(writer, target, X, wait=True)
+        woken = stack.protocol.release_early(reader, target)
+        assert pending[-1] in woken
+
+
+class TestExplain:
+    def test_explain_q2(self, stack, cell):
+        txn = stack.txns.begin(principal="user2")
+        lines = stack.protocol.explain(
+            txn, component_resource(cell, parse_path("robots[r1]")), X
+        )
+        text = "\n".join(lines)
+        assert "IX" in text and "X" in text and "S" in text
+        assert "downward" in text
+        assert "db1/seg2/effectors/e1" in text
+
+    def test_explain_does_not_lock(self, stack, cell):
+        txn = stack.txns.begin()
+        stack.protocol.explain(txn, cell, S)
+        assert stack.manager.lock_count() == 0
+
+
+class TestSIXConversion:
+    """Read-whole-then-update-part produces SIX on the object node."""
+
+    def test_s_then_child_x_yields_six(self, stack, cell):
+        txn = stack.txns.begin(principal="user2")
+        stack.protocol.request(txn, cell, S)
+        stack.protocol.request(txn, cell + ("robots", "r1"), X)
+        assert stack.manager.held_mode(txn, cell) is SIX
+
+    def test_six_blocks_other_readers(self, stack, cell):
+        txn = stack.txns.begin(principal="user2")
+        stack.protocol.request(txn, cell, S)
+        stack.protocol.request(txn, cell + ("robots", "r1"), X)
+        other = stack.txns.begin()
+        granted = stack.protocol.request(other, cell, S, wait=True)
+        assert not granted[-1].granted
+
+    def test_six_admits_is_readers(self, stack, cell):
+        txn = stack.txns.begin(principal="user2")
+        stack.protocol.request(txn, cell, S)
+        stack.protocol.request(txn, cell + ("robots", "r1"), X)
+        other = stack.txns.begin()
+        # a reader of a *different* robot gets IS on the object — allowed
+        granted = stack.protocol.request(
+            other, cell + ("robots", "r2", "trajectory"), S, wait=True
+        )
+        assert all(r.granted for r in granted)
+
+
+class TestPropagateSwitch:
+    def test_no_propagation_plan_skips_common_data(self, stack, cell):
+        txn = stack.txns.begin(principal="user2")
+        plan = stack.protocol.plan_request(
+            txn, cell + ("robots", "r1"), X, propagate=False
+        )
+        assert all(
+            len(step.resource) < 2 or step.resource[1] != "seg2" for step in plan
+        )
+
+    def test_no_propagation_does_not_block_on_library_reader(self, stack, cell):
+        librarian = stack.txns.begin(name="librarian")
+        e1 = object_resource(stack.catalog, "effectors", "e1")
+        stack.protocol.request(librarian, e1, S)
+        deleter = stack.txns.begin(principal="user2")
+        plan = stack.protocol.plan_request(
+            deleter, cell + ("robots", "r1"), X, propagate=False
+        )
+        granted = stack.protocol.execute_plan(deleter, plan)
+        assert all(r.granted for r in granted)
+
+    def test_propagation_default_still_blocks(self, stack, cell):
+        librarian = stack.txns.begin(name="librarian")
+        e1 = object_resource(stack.catalog, "effectors", "e1")
+        # librarian X on e1 blocks the propagating robot-writer
+        stack.authorization.grant_modify("libw", "effectors")
+        libw = stack.txns.begin(principal="libw")
+        stack.protocol.request(libw, e1, X)
+        writer = stack.txns.begin(principal="user2")
+        granted = stack.protocol.request(
+            writer, cell + ("robots", "r1"), X, wait=True
+        )
+        assert not all(r.granted for r in granted)

@@ -1,0 +1,91 @@
+"""Query analysis: access intents and selectivity estimation."""
+
+import pytest
+
+from repro.catalog import Statistics
+from repro.errors import QueryError
+from repro.nf2.paths import STAR, AttrStep, parse_path, schema_path
+from repro.query.analyzer import DEFAULT_NONKEY_SELECTIVITY, QueryAnalyzer
+from repro.query.parser import parse_query
+from repro.workloads import Q1, Q2, build_cells_database
+
+
+@pytest.fixture
+def analyzer():
+    database, catalog = build_cells_database(
+        n_cells=10, n_objects=5, n_robots=4, n_effectors=6
+    )
+    return QueryAnalyzer(catalog, Statistics(database).refresh())
+
+
+class TestIntents:
+    def test_q1_intent(self, analyzer):
+        [intent] = analyzer.analyze(parse_query(Q1))
+        assert intent.relation == "cells"
+        assert intent.path == schema_path(parse_path("c_objects[*]"))
+        assert not intent.write
+        assert intent.object_selectivity == pytest.approx(0.1)  # 1 of 10
+        assert intent.selectivities == [1.0]  # no predicate on o
+
+    def test_q2_intent(self, analyzer):
+        [intent] = analyzer.analyze(parse_query(Q2))
+        assert intent.write
+        assert intent.path == schema_path(parse_path("robots[*]"))
+        assert intent.selectivities == [pytest.approx(0.25)]  # 1 of 4 robots
+
+    def test_projection_extends_path(self, analyzer):
+        query = parse_query(
+            "SELECT r.trajectory FROM c IN cells, r IN c.robots "
+            "WHERE c.cell_id = 'c1' AND r.robot_id = 'r1_1' FOR READ"
+        )
+        [intent] = analyzer.analyze(query)
+        assert intent.path == schema_path(parse_path("robots[*].trajectory"))
+
+    def test_whole_relation_scan(self, analyzer):
+        [intent] = analyzer.analyze(parse_query("SELECT c FROM c IN cells FOR READ"))
+        assert intent.path == ()
+        assert intent.object_selectivity == 1.0
+
+    def test_nonkey_predicate_selectivity(self, analyzer):
+        query = parse_query(
+            "SELECT c FROM c IN cells WHERE c.cell_id = 'c1' "
+            "AND c.cell_id = 'c2' FOR READ"
+        )
+        [intent] = analyzer.analyze(query)
+        assert intent.object_selectivity <= 0.1
+
+    def test_nonkey_element_predicate(self, analyzer):
+        query = parse_query(
+            "SELECT r FROM c IN cells, r IN c.robots "
+            "WHERE r.trajectory = 'x' FOR READ"
+        )
+        [intent] = analyzer.analyze(query)
+        assert intent.selectivities == [DEFAULT_NONKEY_SELECTIVITY]
+
+    def test_unkeyed_collection_counts_as_full_access(self):
+        """Reference sets have unkeyed elements -> selectivity 1.0."""
+        database, catalog = build_cells_database(figure7=True)
+        analyzer = QueryAnalyzer(catalog, Statistics(database).refresh())
+        query = parse_query(
+            "SELECT e FROM c IN cells, r IN c.robots, e IN r.effectors FOR READ"
+        )
+        [intent] = analyzer.analyze(query)
+        assert intent.selectivities[-1] == 1.0
+
+    def test_delete_counts_as_write(self, analyzer):
+        [intent] = analyzer.analyze(
+            parse_query("SELECT c FROM c IN cells WHERE c.cell_id = 'c1' FOR DELETE")
+        )
+        assert intent.write
+
+
+class TestErrors:
+    def test_range_over_non_collection(self, analyzer):
+        query = parse_query("SELECT x FROM c IN cells, x IN c.cell_id FOR READ")
+        with pytest.raises(QueryError):
+            analyzer.analyze(query)
+
+    def test_binding_through_missing_attribute(self, analyzer):
+        query = parse_query("SELECT x FROM c IN cells, x IN c.nope FOR READ")
+        with pytest.raises(Exception):
+            analyzer.analyze(query)

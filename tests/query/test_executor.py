@@ -1,0 +1,133 @@
+"""Query execution: binding, locking per query-specific graph, results."""
+
+import pytest
+
+import repro
+from repro.errors import AuthorizationError, LockConflictError
+from repro.graphs.units import object_resource
+from repro.locking.modes import IS, IX, S, X
+from repro.workloads import Q1, Q2, Q3, build_cells_database
+
+
+class TestFigure3Execution:
+    def test_q1_returns_c_objects(self, figure7_stack):
+        txn = figure7_stack.txns.begin()
+        rows = figure7_stack.executor.execute(txn, Q1)
+        assert [row.value["obj_name"] for row in rows] == ["on1"]
+
+    def test_q1_locks_c_objects_set(self, figure7_stack):
+        txn = figure7_stack.txns.begin()
+        figure7_stack.executor.execute(txn, Q1)
+        cell = object_resource(figure7_stack.catalog, "cells", "c1")
+        locks = figure7_stack.manager.locks_of(txn)
+        assert locks[cell + ("c_objects",)] is S
+        assert locks[cell] is IS
+
+    def test_q2_locks_robot_r1_exclusively(self, figure7_stack):
+        txn = figure7_stack.txns.begin(principal="user2")
+        rows = figure7_stack.executor.execute(txn, Q2)
+        assert [row.value["robot_id"] for row in rows] == ["r1"]
+        cell = object_resource(figure7_stack.catalog, "cells", "c1")
+        locks = figure7_stack.manager.locks_of(txn)
+        assert locks[cell + ("robots", "r1")] is X
+        assert locks[("db1", "seg2", "effectors", "e1")] is S
+
+    def test_q1_q2_q3_concurrent(self, figure7_stack):
+        """The paper's headline scenario at query level."""
+        t1 = figure7_stack.txns.begin()
+        t2 = figure7_stack.txns.begin(principal="user2")
+        t3 = figure7_stack.txns.begin(principal="user3")
+        figure7_stack.executor.execute(t1, Q1)
+        figure7_stack.executor.execute(t2, Q2)
+        figure7_stack.executor.execute(t3, Q3)  # no LockConflictError raised
+
+    def test_conflicting_updates_blocked(self, figure7_stack):
+        t2 = figure7_stack.txns.begin(principal="user2")
+        figure7_stack.executor.execute(t2, Q2)
+        other = figure7_stack.txns.begin(principal="user3")
+        with pytest.raises(LockConflictError):
+            figure7_stack.executor.execute(other, Q2)
+
+
+class TestBindingEvaluation:
+    def test_no_match_returns_empty(self, figure7_stack):
+        txn = figure7_stack.txns.begin()
+        rows = figure7_stack.executor.execute(
+            txn, "SELECT c FROM c IN cells WHERE c.cell_id = 'missing' FOR READ"
+        )
+        assert rows == []
+
+    def test_full_scan(self, synthetic_stack):
+        txn = synthetic_stack.txns.begin()
+        rows = synthetic_stack.executor.execute(
+            txn, "SELECT c FROM c IN cells FOR READ"
+        )
+        assert len(rows) == 4
+
+    def test_projection(self, figure7_stack):
+        txn = figure7_stack.txns.begin()
+        rows = figure7_stack.executor.execute(
+            txn,
+            "SELECT r.trajectory FROM c IN cells, r IN c.robots "
+            "WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR READ",
+        )
+        assert [row.value for row in rows] == ["tr1"]
+
+    def test_nested_iteration(self, figure7_stack):
+        txn = figure7_stack.txns.begin()
+        rows = figure7_stack.executor.execute(
+            txn,
+            "SELECT e FROM c IN cells, r IN c.robots, e IN r.effectors FOR READ",
+        )
+        assert len(rows) == 4  # r1 -> e1,e2; r2 -> e2,e3
+
+    def test_result_rows_carry_addresses(self, figure7_stack):
+        txn = figure7_stack.txns.begin()
+        [row] = figure7_stack.executor.execute(txn, Q2)
+        from repro.nf2 import format_path
+
+        assert format_path(row.steps) == "robots[r1]"
+        assert row.object.key == "c1"
+
+
+class TestRelationLevelEscalation:
+    def test_full_scan_of_large_relation_locks_relation(self, synthetic_stack):
+        txn = synthetic_stack.txns.begin()
+        synthetic_stack.executor.execute(txn, "SELECT c FROM c IN cells FOR READ")
+        locks = synthetic_stack.manager.locks_of(txn)
+        assert locks[("db1", "seg1", "cells")] is S
+
+    def test_relation_lock_propagates_to_all_shared_effectors(self, synthetic_stack):
+        txn = synthetic_stack.txns.begin()
+        synthetic_stack.executor.execute(txn, "SELECT c FROM c IN cells FOR READ")
+        locks = synthetic_stack.manager.locks_of(txn)
+        effector_locks = [r for r in locks if len(r) == 4 and r[2] == "effectors"]
+        assert effector_locks  # downward propagation from the relation lock
+
+
+class TestAuthorizationEnforcement:
+    def test_read_without_right_rejected(self, figure7_stack):
+        figure7_stack.authorization.restrict("outsider")
+        txn = figure7_stack.txns.begin(principal="outsider")
+        with pytest.raises(AuthorizationError):
+            figure7_stack.executor.execute(txn, Q1)
+
+    def test_update_without_modify_right_rejected(self, figure7_stack):
+        figure7_stack.authorization.grant_read("reader", "cells")
+        txn = figure7_stack.txns.begin(principal="reader")
+        with pytest.raises(AuthorizationError):
+            figure7_stack.executor.execute(txn, Q2)
+
+
+class TestLockRequirements:
+    def test_requirements_do_not_lock(self, figure7_stack):
+        txn = figure7_stack.txns.begin(principal="user2")
+        rows, demands = figure7_stack.executor.lock_requirements(txn, Q2)
+        assert rows and demands
+        assert figure7_stack.manager.lock_count() == 0
+
+    def test_requirements_match_execution(self, figure7_stack):
+        txn = figure7_stack.txns.begin(principal="user2")
+        _, demands = figure7_stack.executor.lock_requirements(txn, Q2)
+        cell = object_resource(figure7_stack.catalog, "cells", "c1")
+        assert (cell + ("robots", "r1"), X) in demands

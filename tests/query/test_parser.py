@@ -1,0 +1,134 @@
+"""Parser for the HDBL-like subset; Figure 3's queries verbatim."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.ast import AccessKind
+from repro.query.parser import parse_query
+from repro.workloads import Q1, Q2, Q3
+
+
+class TestFigure3Queries:
+    def test_q1(self):
+        query = parse_query(Q1)
+        assert query.select_var == "o"
+        assert query.access == AccessKind.READ
+        assert [b.var for b in query.bindings] == ["c", "o"]
+        root = query.binding_of("c")
+        assert root.from_relation and root.relation == "cells"
+        nested = query.binding_of("o")
+        assert nested.base_var == "c" and nested.path == ("c_objects",)
+        [predicate] = query.predicates
+        assert predicate.var == "c"
+        assert predicate.path == ("cell_id",)
+        assert predicate.value == "c1"
+
+    def test_q2(self):
+        query = parse_query(Q2)
+        assert query.access == AccessKind.UPDATE
+        assert len(query.predicates) == 2
+        assert query.predicates[1].value == "r1"
+
+    def test_q3(self):
+        query = parse_query(Q3)
+        assert query.predicates[1].value == "r2"
+
+    def test_chain_to_select_var(self):
+        query = parse_query(Q2)
+        chain = query.chain_to("r")
+        assert [b.var for b in chain] == ["c", "r"]
+
+    def test_root_binding(self):
+        assert parse_query(Q1).root_binding().relation == "cells"
+
+
+class TestSyntax:
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select x from x in cells for read")
+        assert query.access == AccessKind.READ
+
+    def test_projection_path(self):
+        query = parse_query(
+            "SELECT r.trajectory FROM c IN cells, r IN c.robots FOR READ"
+        )
+        assert query.select_path == ("trajectory",)
+
+    def test_integer_literal(self):
+        query = parse_query(
+            "SELECT o FROM c IN cells, o IN c.c_objects WHERE o.obj_id = 7 FOR READ"
+        )
+        assert query.predicates[0].value == 7
+
+    def test_float_literal(self):
+        query = parse_query(
+            "SELECT m FROM m IN materials WHERE m.density = 1.5 FOR READ"
+        )
+        assert query.predicates[0].value == 1.5
+
+    def test_boolean_literal(self):
+        query = parse_query("SELECT c FROM c IN chips WHERE c.placed = TRUE FOR READ")
+        assert query.predicates[0].value is True
+
+    def test_escaped_quote_in_string(self):
+        query = parse_query(
+            "SELECT c FROM c IN cells WHERE c.cell_id = 'o\\'brien' FOR READ"
+        )
+        assert query.predicates[0].value == "o'brien"
+
+    def test_for_delete(self):
+        query = parse_query("SELECT c FROM c IN cells FOR DELETE")
+        assert query.access == AccessKind.DELETE
+
+    def test_deep_binding_path(self):
+        query = parse_query(
+            "SELECT e FROM c IN cells, r IN c.robots, e IN r.effectors FOR READ"
+        )
+        assert query.binding_of("e").base_var == "r"
+
+    def test_multi_part_predicate_path(self):
+        query = parse_query(
+            "SELECT c FROM c IN cells WHERE c.meta.owner = 'x' FOR READ"
+        )
+        assert query.predicates[0].path == ("meta", "owner")
+
+
+class TestErrors:
+    def test_missing_select(self):
+        with pytest.raises(QueryError):
+            parse_query("FROM c IN cells FOR READ")
+
+    def test_missing_for_clause(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT c FROM c IN cells")
+
+    def test_bad_access_kind(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT c FROM c IN cells FOR WRITE")
+
+    def test_unbound_select_var(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT x FROM c IN cells FOR READ")
+
+    def test_unknown_predicate_var(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT c FROM c IN cells WHERE z.a = 1 FOR READ")
+
+    def test_duplicate_variable(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT c FROM c IN cells, c IN cells FOR READ")
+
+    def test_binding_from_unknown_variable(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT o FROM o IN z.c_objects, c IN cells FOR READ")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT c FROM c IN cells FOR READ garbage")
+
+    def test_predicate_needs_literal(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT c FROM c IN cells WHERE c.a = b FOR READ")
+
+    def test_untokenizable_input(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT c FROM c IN cells WHERE c.a = 1 FOR READ; DROP")

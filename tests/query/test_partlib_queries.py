@@ -1,0 +1,101 @@
+"""Query layer over the part library (nested common data)."""
+
+import pytest
+
+from repro.errors import LockConflictError
+from repro.graphs.units import object_resource
+from repro.locking.modes import IS, S, X
+
+
+class TestPartlibQueries:
+    def test_read_positions_of_assembly(self, partlib_stack):
+        txn = partlib_stack.txns.begin()
+        rows = partlib_stack.executor.execute(
+            txn,
+            "SELECT p FROM a IN assemblies, p IN a.positions "
+            "WHERE a.asm_id = 'a1' FOR READ",
+        )
+        assert len(rows) == 3
+        assert all("quantity" in row.value for row in rows)
+
+    def test_read_single_position(self, partlib_stack):
+        txn = partlib_stack.txns.begin()
+        rows = partlib_stack.executor.execute(
+            txn,
+            "SELECT p FROM a IN assemblies, p IN a.positions "
+            "WHERE a.asm_id = 'a1' AND p.pos_id = 2 FOR READ",
+        )
+        assert [row.value["pos_id"] for row in rows] == [2]
+        assembly = object_resource(partlib_stack.catalog, "assemblies", "a1")
+        locks = partlib_stack.manager.locks_of(txn)
+        assert locks[assembly + ("positions", "2")] is S
+
+    def test_position_lock_propagates_into_library_chain(self, partlib_stack):
+        """S on a position reaches its part AND the part's materials."""
+        txn = partlib_stack.txns.begin()
+        partlib_stack.executor.execute(
+            txn,
+            "SELECT p FROM a IN assemblies, p IN a.positions "
+            "WHERE a.asm_id = 'a1' AND p.pos_id = 1 FOR READ",
+        )
+        locks = partlib_stack.manager.locks_of(txn)
+        relations = {res[2] for res in locks if len(res) >= 3}
+        assert {"assemblies", "parts", "materials"} <= relations
+
+    def test_update_assembly_query(self, partlib_stack):
+        partlib_stack.authorization.grant_modify("builder", "assemblies")
+        partlib_stack.authorization.grant_read("builder", "parts")
+        partlib_stack.authorization.grant_read("builder", "materials")
+        txn = partlib_stack.txns.begin(principal="builder")
+        rows = partlib_stack.executor.execute(
+            txn,
+            "SELECT a FROM a IN assemblies WHERE a.asm_id = 'a2' FOR UPDATE",
+        )
+        assert [row.object.key for row in rows] == ["a2"]
+        assembly = object_resource(partlib_stack.catalog, "assemblies", "a2")
+        assert partlib_stack.manager.held_mode(txn, assembly) is X
+        # rule 4': the referenced parts get S, not X (builder can't modify them)
+        part_locks = [
+            mode
+            for res, mode in partlib_stack.manager.locks_of(txn).items()
+            if len(res) == 4 and res[2] == "parts"
+        ]
+        assert part_locks and all(mode is S for mode in part_locks)
+
+    def test_two_builders_sharing_parts_run_concurrently(self, partlib_stack):
+        for user in ("u1", "u2"):
+            partlib_stack.authorization.grant_modify(user, "assemblies")
+            partlib_stack.authorization.grant_read(user, "parts")
+            partlib_stack.authorization.grant_read(user, "materials")
+        t1 = partlib_stack.txns.begin(principal="u1")
+        t2 = partlib_stack.txns.begin(principal="u2")
+        partlib_stack.executor.execute(
+            t1, "SELECT a FROM a IN assemblies WHERE a.asm_id = 'a1' FOR UPDATE"
+        )
+        partlib_stack.executor.execute(
+            t2, "SELECT a FROM a IN assemblies WHERE a.asm_id = 'a2' FOR UPDATE"
+        )  # no conflict even though a1 and a2 share standard parts
+
+    def test_librarian_blocked_by_builder(self, partlib_stack):
+        partlib_stack.authorization.grant_modify("builder", "assemblies")
+        partlib_stack.authorization.grant_read("builder", "parts")
+        partlib_stack.authorization.grant_read("builder", "materials")
+        partlib_stack.authorization.grant_modify("lib", "parts")
+        partlib_stack.authorization.grant_read("lib", "materials")
+        builder = partlib_stack.txns.begin(principal="builder")
+        partlib_stack.executor.execute(
+            builder, "SELECT a FROM a IN assemblies WHERE a.asm_id = 'a1' FOR UPDATE"
+        )
+        # find a part a1 references
+        assembly = partlib_stack.database.get("assemblies", "a1")
+        part_key = partlib_stack.database.dereference(
+            assembly.root["positions"][0]["part"]
+        ).key
+        librarian = partlib_stack.txns.begin(principal="lib")
+        with pytest.raises(LockConflictError):
+            partlib_stack.protocol.request(
+                librarian,
+                object_resource(partlib_stack.catalog, "parts", part_key),
+                X,
+                wait=False,
+            )

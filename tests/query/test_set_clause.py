@@ -1,0 +1,125 @@
+"""SET clauses: mutating FOR UPDATE queries end to end."""
+
+import pytest
+
+from repro.errors import QueryError, SchemaError
+from repro.query.parser import parse_query
+
+
+class TestParsing:
+    def test_single_assignment(self):
+        query = parse_query(
+            "SELECT r FROM c IN cells, r IN c.robots "
+            "WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' "
+            "FOR UPDATE SET r.trajectory = 'tr1b'"
+        )
+        [assignment] = query.assignments
+        assert assignment.var == "r"
+        assert assignment.path == ("trajectory",)
+        assert assignment.value == "tr1b"
+
+    def test_multiple_assignments(self):
+        query = parse_query(
+            "SELECT e FROM e IN effectors WHERE e.eff_id = 'e1' "
+            "FOR UPDATE SET e.tool = 'a', e.tool = 'b'"
+        )
+        assert len(query.assignments) == 2
+
+    def test_set_requires_update(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT c FROM c IN cells FOR READ SET c.cell_id = 'x'")
+
+    def test_set_through_other_variable_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query(
+                "SELECT r FROM c IN cells, r IN c.robots "
+                "FOR UPDATE SET c.cell_id = 'x'"
+            )
+
+    def test_set_with_projection_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query(
+                "SELECT r.trajectory FROM c IN cells, r IN c.robots "
+                "FOR UPDATE SET r.trajectory = 'x'"
+            )
+
+    def test_set_needs_literal(self):
+        with pytest.raises(QueryError):
+            parse_query(
+                "SELECT c FROM c IN cells FOR UPDATE SET c.cell_id = other"
+            )
+
+
+class TestExecution:
+    def test_update_robot_trajectory(self, figure7_stack):
+        txn = figure7_stack.txns.begin(principal="user2")
+        figure7_stack.executor.execute(
+            txn,
+            "SELECT r FROM c IN cells, r IN c.robots "
+            "WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' "
+            "FOR UPDATE SET r.trajectory = 'reprogrammed'",
+        )
+        cell = figure7_stack.database.get("cells", "c1")
+        assert cell.root["robots"][0]["trajectory"] == "reprogrammed"
+
+    def test_rolls_back_on_abort(self, figure7_stack):
+        txn = figure7_stack.txns.begin(principal="user2")
+        figure7_stack.executor.execute(
+            txn,
+            "SELECT r FROM c IN cells, r IN c.robots "
+            "WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' "
+            "FOR UPDATE SET r.trajectory = 'dirty'",
+        )
+        figure7_stack.txns.abort(txn)
+        cell = figure7_stack.database.get("cells", "c1")
+        assert cell.root["robots"][0]["trajectory"] == "tr1"
+
+    def test_updates_every_selected_row(self, figure7_stack):
+        txn = figure7_stack.txns.begin(principal="user2")
+        figure7_stack.executor.execute(
+            txn,
+            "SELECT r FROM c IN cells, r IN c.robots "
+            "WHERE c.cell_id = 'c1' FOR UPDATE SET r.trajectory = 'same'",
+        )
+        cell = figure7_stack.database.get("cells", "c1")
+        assert [r["trajectory"] for r in cell.root["robots"]] == ["same", "same"]
+
+    def test_schema_violation_rejected(self, figure7_stack):
+        txn = figure7_stack.txns.begin(principal="user2")
+        with pytest.raises(SchemaError):
+            figure7_stack.executor.execute(
+                txn,
+                "SELECT r FROM c IN cells, r IN c.robots "
+                "WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' "
+                "FOR UPDATE SET r.trajectory = 7",
+            )
+
+    def test_bad_set_path_rejected(self, figure7_stack):
+        txn = figure7_stack.txns.begin(principal="user2")
+        with pytest.raises((QueryError, Exception)):
+            figure7_stack.executor.execute(
+                txn,
+                "SELECT r FROM c IN cells, r IN c.robots "
+                "WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' "
+                "FOR UPDATE SET r.nonexistent = 'x'",
+            )
+
+    def test_concurrent_reader_blocked_until_commit(self, figure7_stack):
+        stack = figure7_stack
+        writer = stack.txns.begin(principal="user2")
+        stack.executor.execute(
+            writer,
+            "SELECT r FROM c IN cells, r IN c.robots "
+            "WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' "
+            "FOR UPDATE SET r.trajectory = 'v2'",
+        )
+        from repro.errors import LockConflictError
+
+        reader = stack.txns.begin()
+        with pytest.raises(LockConflictError):
+            stack.txns.read_component(reader, "cells", "c1", "robots[r1].trajectory")
+        stack.txns.commit(writer)
+        value = stack.txns.read_component(
+            reader, "cells", "c1", "robots[r1].trajectory"
+        )
+        assert value == "v2"

@@ -1,0 +1,101 @@
+"""Deadlock policies: detection vs. wait-die vs. wound-wait."""
+
+import pytest
+
+import repro
+from repro.errors import SimulationError
+from repro.graphs.units import object_resource
+from repro.locking.modes import X
+from repro.sim import LockOp, Simulator, WorkOp
+
+
+@pytest.fixture
+def stack(figure7):
+    database, catalog = figure7
+    return repro.make_stack(database, catalog)
+
+
+def crossing_programs(stack):
+    e1 = object_resource(stack.catalog, "effectors", "e1")
+    e2 = object_resource(stack.catalog, "effectors", "e2")
+    return [
+        (0.0, [LockOp(e1, X), WorkOp(1.0), LockOp(e2, X), WorkOp(1.0)]),
+        (0.1, [LockOp(e2, X), WorkOp(1.0), LockOp(e1, X), WorkOp(1.0)]),
+    ]
+
+
+def run_policy(stack, policy):
+    simulator = Simulator(stack.protocol, lock_cost=0.0, deadlock_policy=policy)
+    for index, (at, ops) in enumerate(crossing_programs(stack)):
+        simulator.submit(ops, at=at, name="t%d" % index)
+    return simulator.run()
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self, stack):
+        with pytest.raises(SimulationError):
+            Simulator(stack.protocol, deadlock_policy="hope")
+
+    def test_wait_die_completes_without_cycles(self, figure7):
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog)
+        metrics = run_policy(stack, "wait_die")
+        assert metrics.committed == 2
+        assert metrics.deadlocks == 0  # prevention: no cycle ever forms
+        assert metrics.restarts >= 1  # the younger one died at least once
+
+    def test_wound_wait_completes_without_cycles(self, figure7):
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog)
+        metrics = run_policy(stack, "wound_wait")
+        assert metrics.committed == 2
+        assert metrics.deadlocks == 0
+        assert metrics.restarts >= 1  # the younger one got wounded
+
+    def test_detection_baseline_counts_the_cycle(self, figure7):
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog)
+        metrics = run_policy(stack, "detect")
+        assert metrics.committed == 2
+        assert metrics.deadlocks >= 1
+
+    def test_wait_die_older_waits(self, figure7):
+        """An older transaction blocked by a younger holder waits (it does
+        not die), so no needless restarts happen in a plain conflict."""
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog)
+        e1 = object_resource(catalog, "effectors", "e1")
+        simulator = Simulator(
+            stack.protocol, lock_cost=0.0, deadlock_policy="wait_die"
+        )
+        # older arrives first BUT takes the lock second
+        simulator.submit([WorkOp(1.0), LockOp(e1, X), WorkOp(1.0)], name="older")
+        simulator.submit([LockOp(e1, X), WorkOp(5.0)], at=0.1, name="younger")
+        metrics = simulator.run()
+        assert metrics.committed == 2
+        assert metrics.restarts == 0  # the older simply waited
+
+    def test_wound_wait_older_wounds_younger_holder(self, figure7):
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog)
+        e1 = object_resource(catalog, "effectors", "e1")
+        simulator = Simulator(
+            stack.protocol, lock_cost=0.0, deadlock_policy="wound_wait"
+        )
+        simulator.submit([WorkOp(1.0), LockOp(e1, X), WorkOp(1.0)], name="older")
+        simulator.submit([LockOp(e1, X), WorkOp(50.0)], at=0.1, name="younger")
+        metrics = simulator.run()
+        assert metrics.committed == 2
+        assert metrics.restarts >= 1  # the younger holder was wounded
+        # the older never waited for the younger's 50-unit work
+        assert metrics.makespan < 50.0 + 10.0
+
+    def test_ages_survive_restarts(self, figure7):
+        """Wait-die must not starve: a restarted transaction keeps its
+        original timestamp, so it eventually becomes the oldest."""
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog)
+        metrics = run_policy(stack, "wait_die")
+        # both committed despite repeated dies -> timestamps were preserved
+        assert metrics.committed == 2
+        assert metrics.restarts < 25  # well under the restart cap

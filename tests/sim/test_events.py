@@ -1,0 +1,81 @@
+"""Discrete-event engine: ordering, determinism, bounds."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(2.0, lambda: order.append("b"))
+        queue.schedule(1.0, lambda: order.append("a"))
+        queue.schedule(3.0, lambda: order.append("c"))
+        queue.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(1.0, lambda: order.append("first"))
+        queue.schedule(1.0, lambda: order.append("second"))
+        queue.run()
+        assert order == ["first", "second"]
+
+    def test_clock_advances(self):
+        queue = EventQueue()
+        times = []
+        queue.schedule(1.5, lambda: times.append(queue.now))
+        queue.schedule(4.0, lambda: times.append(queue.now))
+        queue.run()
+        assert times == [1.5, 4.0]
+        assert queue.now == 4.0
+
+    def test_events_may_schedule_events(self):
+        queue = EventQueue()
+        seen = []
+
+        def first():
+            seen.append("first")
+            queue.schedule(1.0, lambda: seen.append("second"))
+
+        queue.schedule(1.0, first)
+        queue.run()
+        assert seen == ["first", "second"]
+        assert queue.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda: None)
+        queue.run()
+        with pytest.raises(SimulationError):
+            queue.schedule_at(1.0, lambda: None)
+
+    def test_run_until_bound(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(1.0, lambda: seen.append(1))
+        queue.schedule(10.0, lambda: seen.append(10))
+        queue.run(until=5.0)
+        assert seen == [1]
+        assert queue.now == 5.0
+        assert not queue.empty()
+
+    def test_event_budget_guards_livelock(self):
+        queue = EventQueue()
+
+        def forever():
+            queue.schedule(1.0, forever)
+
+        queue.schedule(1.0, forever)
+        with pytest.raises(SimulationError):
+            queue.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert EventQueue().step() is False

@@ -1,0 +1,125 @@
+"""Canned experiment runners (the library API behind CLI and benches)."""
+
+import json
+
+import pytest
+
+from repro.sim.experiments import (
+    DEFAULT_PROTOCOLS,
+    SWEEP_AXES,
+    protocol_comparison,
+    run_one,
+    scaling_sweep,
+    sharing_sweep,
+)
+from repro.sim.workload import WorkloadSpec
+
+
+SMALL_SPEC = WorkloadSpec(n_transactions=15, seed=5)
+SMALL_DB = dict(n_cells=2, n_robots=3, n_effectors=4, seed=3)
+
+
+class TestRunOne:
+    def test_report_shape(self):
+        from repro.protocol import HerrmannProtocol
+
+        report = run_one(HerrmannProtocol, SMALL_SPEC, SMALL_DB)
+        assert report["protocol"] == "herrmann"
+        assert report["committed"] == 15
+        json.dumps(report)
+
+    def test_deterministic(self):
+        from repro.protocol import HerrmannProtocol
+
+        a = run_one(HerrmannProtocol, SMALL_SPEC, SMALL_DB)
+        b = run_one(
+            HerrmannProtocol, WorkloadSpec(n_transactions=15, seed=5), SMALL_DB
+        )
+        assert a == b
+
+
+class TestComparison:
+    def test_all_protocols_reported_in_order(self):
+        rows = protocol_comparison(spec=SMALL_SPEC, db_kwargs=SMALL_DB)
+        assert [row["protocol"] for row in rows] == [
+            cls.name for cls in DEFAULT_PROTOCOLS
+        ]
+
+    def test_herrmann_leads(self):
+        rows = protocol_comparison(spec=SMALL_SPEC, db_kwargs=SMALL_DB)
+        by_name = {row["protocol"]: row for row in rows}
+        assert by_name["herrmann"]["throughput"] >= max(
+            row["throughput"] for row in rows
+        ) - 1e-9
+
+
+class TestSweeps:
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError):
+            scaling_sweep("temperature")
+
+    def test_axis_settings_used(self):
+        rows = scaling_sweep(
+            "work_time",
+            settings=(1.0, 4.0),
+            base_spec=dict(n_transactions=12, update_fraction=0.6,
+                           whole_object_fraction=0.1, work_time=2.0,
+                           mean_interarrival=0.4, seed=9),
+            db_kwargs=SMALL_DB,
+        )
+        assert [row["setting"] for row in rows] == [1.0, 4.0]
+        assert all(row["ratio"] >= 1.0 for row in rows)
+
+    def test_default_axes_defined(self):
+        assert set(SWEEP_AXES) == {"work_time", "think_time", "update_fraction"}
+
+    def test_sharing_sweep(self):
+        rows = sharing_sweep(
+            refs_settings=(0, 2),
+            base_spec=dict(n_transactions=12, update_fraction=0.6,
+                           whole_object_fraction=0.1, work_time=2.0,
+                           mean_interarrival=0.4, seed=9),
+        )
+        assert [row["setting"] for row in rows] == [0, 2]
+        assert rows[-1]["ratio"] >= rows[0]["ratio"] * 0.8
+
+
+class TestCsvExport:
+    def test_roundtrip(self, tmp_path):
+        import csv
+
+        from repro.sim.experiments import write_csv
+
+        rows = scaling_sweep(
+            "work_time",
+            settings=(1.0,),
+            base_spec=dict(n_transactions=10, update_fraction=0.6,
+                           whole_object_fraction=0.1, work_time=2.0,
+                           mean_interarrival=0.4, seed=9),
+            db_kwargs=SMALL_DB,
+        )
+        path = tmp_path / "sweep.csv"
+        written = write_csv(rows, path)
+        assert written == 1
+        with open(path) as handle:
+            parsed = list(csv.DictReader(handle))
+        assert parsed[0]["axis"] == "work_time"
+        assert float(parsed[0]["ratio"]) >= 1.0
+
+    def test_empty_rows_rejected(self, tmp_path):
+        from repro.sim.experiments import write_csv
+
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "x.csv")
+
+    def test_sparse_rows_tolerated(self, tmp_path):
+        import csv
+
+        from repro.sim.experiments import write_csv
+
+        rows = [{"a": 1, "b": 2}, {"a": 3, "c": 4}]
+        write_csv(rows, tmp_path / "sparse.csv")
+        with open(tmp_path / "sparse.csv") as handle:
+            parsed = list(csv.DictReader(handle))
+        assert parsed[1]["c"] == "4"
+        assert parsed[1]["b"] == ""

@@ -1,0 +1,295 @@
+"""Concurrency simulator: blocking, waking, deadlocks, metrics."""
+
+import pytest
+
+import repro
+from repro.graphs.units import component_resource, object_resource
+from repro.locking.modes import S, X
+from repro.nf2 import parse_path
+from repro.sim import LockOp, QueryOp, Simulator, ThinkOp, WorkOp
+from repro.workloads import Q1, Q2, build_cells_database
+
+
+@pytest.fixture
+def stack(figure7):
+    database, catalog = figure7
+    return repro.make_stack(database, catalog)
+
+
+@pytest.fixture
+def cell(stack):
+    return object_resource(stack.catalog, "cells", "c1")
+
+
+def run_sim(stack, programs, **kwargs):
+    simulator = Simulator(stack.protocol, **kwargs)
+    for index, (at, ops) in enumerate(programs):
+        simulator.submit(ops, at=at, name="t%d" % index)
+    return simulator.run()
+
+
+class TestBasicExecution:
+    def test_single_transaction_commits(self, stack, cell):
+        metrics = run_sim(stack, [(0.0, [LockOp(cell, S), WorkOp(1.0)])])
+        assert metrics.committed == 1
+        assert metrics.aborted == 0
+
+    def test_work_time_advances_clock(self, stack, cell):
+        metrics = run_sim(
+            stack, [(0.0, [LockOp(cell, S), WorkOp(5.0)])], lock_cost=0.0
+        )
+        assert metrics.makespan == pytest.approx(5.0)
+
+    def test_lock_cost_charged_per_explicit_lock(self, stack, cell):
+        metrics = run_sim(
+            stack, [(0.0, [LockOp(cell, S)])], lock_cost=0.5
+        )
+        # S on cell plans: db, seg, rel, cell + 3 effector entries + seg2/rel2
+        assert metrics.makespan == pytest.approx(0.5 * metrics.locks_requested)
+
+    def test_locks_released_at_commit(self, stack, cell):
+        run_sim(stack, [(0.0, [LockOp(cell, X), WorkOp(1.0)])])
+        assert stack.manager.lock_count() == 0
+
+    def test_arrival_times_respected(self, stack, cell):
+        metrics = run_sim(
+            stack,
+            [(3.0, [LockOp(cell, S), WorkOp(1.0)])],
+            lock_cost=0.0,
+        )
+        assert metrics.makespan == pytest.approx(4.0)
+        # response time counts from submission
+        assert metrics.response_times[0] == pytest.approx(1.0)
+
+
+class TestBlockingAndWaking:
+    def test_reader_waits_for_writer(self, stack, cell):
+        metrics = run_sim(
+            stack,
+            [
+                (0.0, [LockOp(cell, X), WorkOp(5.0)]),
+                (1.0, [LockOp(cell, S), WorkOp(1.0)]),
+            ],
+            lock_cost=0.0,
+        )
+        assert metrics.committed == 2
+        # reader could only start its work after the writer finished
+        assert metrics.makespan == pytest.approx(6.0)
+        assert metrics.total_wait_time == pytest.approx(4.0)
+
+    def test_compatible_transactions_overlap(self, stack, cell):
+        metrics = run_sim(
+            stack,
+            [
+                (0.0, [LockOp(cell, S), WorkOp(5.0)]),
+                (0.0, [LockOp(cell, S), WorkOp(5.0)]),
+            ],
+            lock_cost=0.0,
+        )
+        assert metrics.makespan == pytest.approx(5.0)
+        assert metrics.total_wait_time == 0.0
+
+    def test_disjoint_parts_overlap_under_herrmann(self, stack, cell):
+        r1 = component_resource(cell, parse_path("robots[r1]"))
+        parts = component_resource(cell, parse_path("c_objects"))
+        metrics = run_sim(
+            stack,
+            [
+                (0.0, [LockOp(r1, X), WorkOp(5.0)]),
+                (0.0, [LockOp(parts, S), WorkOp(5.0)]),
+            ],
+            lock_cost=0.0,
+        )
+        assert metrics.makespan == pytest.approx(5.0)
+
+    def test_fifo_prevents_starvation(self, stack, cell):
+        metrics = run_sim(
+            stack,
+            [
+                (0.0, [LockOp(cell, S), WorkOp(2.0)]),
+                (0.5, [LockOp(cell, X), WorkOp(1.0)]),
+                (1.0, [LockOp(cell, S), WorkOp(1.0)]),
+            ],
+            lock_cost=0.0,
+        )
+        assert metrics.committed == 3
+        # the late reader queued behind the writer: total ordering holds
+        assert metrics.makespan >= 4.0
+
+
+class TestDeadlockHandling:
+    def programs(self, stack):
+        e1 = object_resource(stack.catalog, "effectors", "e1")
+        e2 = object_resource(stack.catalog, "effectors", "e2")
+        return [
+            (0.0, [LockOp(e1, X), WorkOp(1.0), LockOp(e2, X), WorkOp(1.0)]),
+            (0.1, [LockOp(e2, X), WorkOp(1.0), LockOp(e1, X), WorkOp(1.0)]),
+        ]
+
+    def test_deadlock_detected_and_resolved(self, stack):
+        metrics = run_sim(stack, self.programs(stack), lock_cost=0.0)
+        assert metrics.deadlocks >= 1
+        assert metrics.committed == 2  # victim restarted and finished
+
+    def test_restart_disabled_counts_abort(self, stack):
+        metrics = run_sim(
+            stack, self.programs(stack), lock_cost=0.0, restart_aborted=False
+        )
+        assert metrics.aborted >= 1
+        assert metrics.committed == 1
+
+    def test_victim_is_younger_transaction(self, stack):
+        simulator = Simulator(stack.protocol, lock_cost=0.0, restart_aborted=False)
+        runs = []
+        for index, (at, ops) in enumerate(self.programs(stack)):
+            runs.append(simulator.submit(ops, at=at, name="t%d" % index))
+        simulator.run()
+        # t1 (arriving later => younger) must be the victim
+        assert runs[0].restarts == 0
+        assert simulator.metrics.aborted == 1
+
+
+class TestQueryOps:
+    def test_query_program(self, figure7):
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog)
+        stack.authorization.grant_modify("user2", "cells")
+        simulator = Simulator(stack.protocol, executor=stack.executor)
+        simulator.submit([QueryOp(Q1, work_per_row=1.0)], name="q1")
+        simulator.submit(
+            [QueryOp(Q2, work_per_row=1.0)], name="q2", principal="user2"
+        )
+        metrics = simulator.run()
+        assert metrics.committed == 2
+        assert metrics.total_wait_time == 0.0  # Q1 and Q2 don't conflict
+
+    def test_query_op_without_executor_raises(self, stack):
+        simulator = Simulator(stack.protocol)
+        simulator.submit([QueryOp(Q1)])
+        with pytest.raises(Exception):
+            simulator.run()
+
+
+class TestScanCostCharging:
+    def test_naive_protocol_pays_scan_time(self, figure7):
+        from repro.protocol import NaiveDAGProtocol
+
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog, protocol_cls=NaiveDAGProtocol)
+        e2 = object_resource(catalog, "effectors", "e2")
+        simulator = Simulator(stack.protocol, lock_cost=0.0, scan_item_cost=1.0)
+        simulator.submit([LockOp(e2, X)])
+        metrics = simulator.run()
+        assert metrics.scan_items == 4  # whole database scanned
+        assert metrics.makespan >= 4.0  # scan time charged
+
+
+class TestMetricsReport:
+    def test_report_keys(self, stack, cell):
+        metrics = run_sim(stack, [(0.0, [LockOp(cell, S)])])
+        report = metrics.report()
+        for key in (
+            "committed",
+            "throughput",
+            "mean_response_time",
+            "p95_response_time",
+            "locks_requested",
+            "conflict_tests",
+            "max_lock_entries",
+        ):
+            assert key in report
+
+    def test_throughput_definition(self, stack, cell):
+        metrics = run_sim(
+            stack,
+            [(0.0, [LockOp(cell, S), WorkOp(2.0)]) for _ in range(2)],
+            lock_cost=0.0,
+        )
+        assert metrics.throughput == pytest.approx(
+            metrics.committed / metrics.makespan
+        )
+
+    def test_think_time_counts_into_response(self, stack, cell):
+        metrics = run_sim(
+            stack,
+            [(0.0, [LockOp(cell, S), ThinkOp(10.0)])],
+            lock_cost=0.0,
+        )
+        assert metrics.mean_response_time == pytest.approx(10.0)
+
+
+class TestCallOpsAndMutatingQueries:
+    def test_call_op_runs_with_txn(self, stack, cell):
+        from repro.sim import CallOp
+
+        seen = []
+        simulator = Simulator(stack.protocol)
+        simulator.submit([LockOp(cell, S), CallOp(lambda txn: seen.append(txn))])
+        simulator.run()
+        assert len(seen) == 1
+        assert seen[0].state == "committed" or seen[0] is not None
+
+    def test_set_query_mutates_in_simulation(self, figure7):
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog)
+        stack.authorization.grant_modify("engineer", "cells")
+        simulator = Simulator(stack.protocol, executor=stack.executor)
+        simulator.submit(
+            [QueryOp(
+                "SELECT r FROM c IN cells, r IN c.robots "
+                "WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' "
+                "FOR UPDATE SET r.trajectory = 'sim-edit'",
+                work_per_row=1.0,
+            )],
+            principal="engineer",
+        )
+        metrics = simulator.run()
+        assert metrics.committed == 1
+        cell = database.get("cells", "c1")
+        assert cell.root["robots"][0]["trajectory"] == "sim-edit"
+
+    def test_deadlock_victim_rolls_back_set_mutations(self, figure7):
+        """A restarted transaction's SET effects are undone before retry."""
+        from repro.graphs.units import object_resource
+
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog)
+        stack.authorization.grant_modify("lib", "effectors")
+        simulator = Simulator(stack.protocol, executor=stack.executor, lock_cost=0.0)
+        e1 = object_resource(catalog, "effectors", "e1")
+        e2 = object_resource(catalog, "effectors", "e2")
+        # two librarians produce a lock-order deadlock across e1/e2; each
+        # mutates via a SET query first
+        simulator.submit(
+            [
+                QueryOp(
+                    "SELECT e FROM e IN effectors WHERE e.eff_id = 'e1' "
+                    "FOR UPDATE SET e.tool = 't1-by-a'",
+                    work_per_row=1.0,
+                ),
+                LockOp(e2, X),
+                WorkOp(1.0),
+            ],
+            principal="lib",
+            name="a",
+        )
+        simulator.submit(
+            [
+                QueryOp(
+                    "SELECT e FROM e IN effectors WHERE e.eff_id = 'e2' "
+                    "FOR UPDATE SET e.tool = 't2-by-b'",
+                    work_per_row=1.0,
+                ),
+                LockOp(e1, X),
+                WorkOp(1.0),
+            ],
+            at=0.1,
+            principal="lib",
+            name="b",
+        )
+        metrics = simulator.run()
+        assert metrics.committed == 2
+        assert metrics.deadlocks >= 1
+        # after both committed (victim restarted), both edits are present
+        assert database.get("effectors", "e1").root["tool"] == "t1-by-a"
+        assert database.get("effectors", "e2").root["tool"] == "t2-by-b"

@@ -1,0 +1,139 @@
+"""Simulator edge cases: restart exhaustion, time bounds, livelock guard."""
+
+import pytest
+
+import repro
+from repro.errors import SimulationError
+from repro.graphs.units import object_resource
+from repro.locking.modes import X
+from repro.sim import LockOp, Simulator, WorkOp
+from repro.workloads import build_cells_database
+
+
+@pytest.fixture
+def stack(figure7):
+    database, catalog = figure7
+    return repro.make_stack(database, catalog)
+
+
+def deadlock_programs(stack):
+    e1 = object_resource(stack.catalog, "effectors", "e1")
+    e2 = object_resource(stack.catalog, "effectors", "e2")
+    return [
+        [LockOp(e1, X), WorkOp(1.0), LockOp(e2, X), WorkOp(1.0)],
+        [LockOp(e2, X), WorkOp(1.0), LockOp(e1, X), WorkOp(1.0)],
+    ]
+
+
+class TestRestartPolicy:
+    def test_max_restarts_exhaustion_marks_done(self, stack):
+        simulator = Simulator(stack.protocol, lock_cost=0.0, max_restarts=0)
+        for index, ops in enumerate(deadlock_programs(stack)):
+            simulator.submit(ops, at=index * 0.1)
+        metrics = simulator.run()
+        # the victim could not restart: one committed, one gave up
+        assert metrics.committed == 1
+        assert metrics.aborted == 1
+        assert metrics.restarts == 0
+
+    def test_backoff_spreads_restarts(self, stack):
+        simulator = Simulator(
+            stack.protocol, lock_cost=0.0, restart_backoff=5.0
+        )
+        for index, ops in enumerate(deadlock_programs(stack)):
+            simulator.submit(ops, at=index * 0.1)
+        metrics = simulator.run()
+        assert metrics.committed == 2
+        # the restarted transaction waited at least one backoff period
+        assert metrics.makespan >= 5.0
+
+
+class TestTimeBounds:
+    def test_run_until_leaves_unfinished(self, stack):
+        cell = object_resource(stack.catalog, "cells", "c1")
+        simulator = Simulator(stack.protocol, lock_cost=0.0)
+        run = simulator.submit([LockOp(cell, X), WorkOp(100.0)])
+        metrics = simulator.run(until=10.0)
+        assert not run.done
+        assert metrics.makespan == 10.0
+
+    def test_drained_with_unfinished_raises(self, stack):
+        """A run that can never finish (waiting on an external holder the
+        simulator does not manage) is reported as an error, not silence."""
+        cell = object_resource(stack.catalog, "cells", "c1")
+        foreign = stack.txns.begin(name="foreign")
+        stack.protocol.request(foreign, cell, X)  # never released
+        simulator = Simulator(stack.protocol, lock_cost=0.0)
+        simulator.submit([LockOp(cell, X)])
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+
+class TestProgramValidation:
+    def test_unknown_op_rejected(self, stack):
+        simulator = Simulator(stack.protocol)
+        simulator.submit(["not-an-op"])
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    def test_empty_program_commits_immediately(self, stack):
+        simulator = Simulator(stack.protocol)
+        simulator.submit([])
+        metrics = simulator.run()
+        assert metrics.committed == 1
+        assert metrics.makespan == 0.0
+
+
+class TestDeterminismUnderContention:
+    def test_same_trace_same_report(self, figure7):
+        reports = []
+        for _ in range(2):
+            database, catalog = build_cells_database(figure7=True)
+            stack = repro.make_stack(database, catalog)
+            simulator = Simulator(stack.protocol, lock_cost=0.05)
+            for index, ops in enumerate(deadlock_programs(stack)):
+                simulator.submit(ops, at=index * 0.1)
+            reports.append(simulator.run().report())
+        assert reports[0] == reports[1]
+
+
+class TestContinuousAuditing:
+    def test_audited_workload_passes(self, figure7):
+        import repro
+        from repro.sim import Simulator, WorkloadSpec, submit_workload
+        from repro.workloads import build_cells_database
+
+        database, catalog = build_cells_database(
+            n_cells=3, n_robots=3, n_effectors=4, seed=4
+        )
+        stack = repro.make_stack(database, catalog)
+        simulator = Simulator(stack.protocol)
+        simulator.audit_every = 1
+        submit_workload(
+            simulator, catalog, WorkloadSpec(n_transactions=20, seed=10),
+            authorization=stack.authorization,
+        )
+        metrics = simulator.run()
+        assert metrics.committed == 20
+
+    def test_audit_catches_forged_corruption(self, stack):
+        """Corrupt the lock table mid-run: the continuous audit raises."""
+        from repro.errors import SimulationError
+        from repro.locking.lock_table import _HeldLock
+        from repro.locking.modes import S, X
+        from repro.sim import CallOp, LockOp, WorkOp
+        from repro.graphs.units import object_resource
+
+        cell = object_resource(stack.catalog, "cells", "c1")
+
+        def corrupt(txn):
+            entry = stack.manager.table._entries[cell]
+            forged = _HeldLock()
+            forged.push(X, False)
+            entry.granted["forged"] = forged
+
+        simulator = Simulator(stack.protocol, lock_cost=0.0)
+        simulator.audit_every = 1
+        simulator.submit([LockOp(cell, S), CallOp(corrupt), WorkOp(1.0)])
+        with pytest.raises(SimulationError):
+            simulator.run()

@@ -1,0 +1,239 @@
+"""Workload generation: determinism, shapes, submission."""
+
+import pytest
+
+import repro
+from repro.sim import Simulator, WorkloadSpec, generate_programs, submit_workload
+from repro.sim.simulator import LockOp, ThinkOp, WorkOp
+from repro.workloads import build_cells_database
+
+
+@pytest.fixture
+def catalog():
+    _, catalog = build_cells_database(n_cells=4, n_robots=3, n_effectors=5)
+    return catalog
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self, catalog):
+        a = generate_programs(catalog, WorkloadSpec(seed=5))
+        b = generate_programs(catalog, WorkloadSpec(seed=5))
+        assert [(t, n, p) for t, _, n, p in a] == [(t, n, p) for t, _, n, p in b]
+        for (_, ops_a, _, _), (_, ops_b, _, _) in zip(a, b):
+            assert repr(ops_a) == repr(ops_b)
+
+    def test_different_seeds_differ(self, catalog):
+        a = generate_programs(catalog, WorkloadSpec(seed=1))
+        b = generate_programs(catalog, WorkloadSpec(seed=2))
+        assert [n for _, _, n, _ in a] != [n for _, _, n, _ in b]
+
+    def test_transaction_count(self, catalog):
+        programs = generate_programs(catalog, WorkloadSpec(n_transactions=17))
+        assert len(programs) == 17
+
+    def test_arrivals_increase(self, catalog):
+        programs = generate_programs(catalog, WorkloadSpec(n_transactions=20))
+        arrivals = [at for at, _, _, _ in programs]
+        assert arrivals == sorted(arrivals)
+
+    def test_update_fraction_zero_yields_readers(self, catalog):
+        programs = generate_programs(
+            catalog,
+            WorkloadSpec(
+                n_transactions=30,
+                update_fraction=0.0,
+                whole_object_fraction=0.0,
+                library_update_fraction=0.0,
+            ),
+        )
+        from repro.locking.modes import S
+
+        for _, ops, _, _ in programs:
+            lock_ops = [op for op in ops if isinstance(op, LockOp)]
+            assert all(op.mode is S for op in lock_ops)
+
+    def test_library_updates_target_effectors(self, catalog):
+        programs = generate_programs(
+            catalog,
+            WorkloadSpec(n_transactions=30, library_update_fraction=1.0),
+        )
+        for _, ops, name, principal in programs:
+            assert name.startswith("lib-update")
+            assert principal == "librarian"
+            assert ops[0].resource[2] == "effectors"
+
+    def test_think_time_appended(self, catalog):
+        programs = generate_programs(
+            catalog, WorkloadSpec(n_transactions=5, think_time=30.0)
+        )
+        for _, ops, _, _ in programs:
+            assert isinstance(ops[-1], ThinkOp)
+
+    def test_work_time_present(self, catalog):
+        programs = generate_programs(
+            catalog, WorkloadSpec(n_transactions=5, work_time=2.5)
+        )
+        for _, ops, _, _ in programs:
+            work_ops = [op for op in ops if type(op) is WorkOp]
+            assert work_ops and work_ops[0].duration == 2.5
+
+
+class TestSubmission:
+    def test_submit_and_run(self, catalog):
+        stack = repro.make_stack(catalog.database, catalog)
+        simulator = Simulator(stack.protocol)
+        runs = submit_workload(
+            simulator,
+            catalog,
+            WorkloadSpec(n_transactions=25, seed=9),
+            authorization=stack.authorization,
+        )
+        metrics = simulator.run()
+        assert len(runs) == 25
+        assert metrics.committed == 25
+
+    def test_same_seed_same_metrics(self, catalog):
+        reports = []
+        for _ in range(2):
+            database, cat = build_cells_database(n_cells=4, n_robots=3, n_effectors=5)
+            stack = repro.make_stack(database, cat)
+            simulator = Simulator(stack.protocol)
+            submit_workload(
+                simulator,
+                cat,
+                WorkloadSpec(n_transactions=20, seed=13),
+                authorization=stack.authorization,
+            )
+            reports.append(simulator.run().report())
+        assert reports[0] == reports[1]
+
+
+class TestClosedSystem:
+    def test_each_terminal_completes_its_jobs(self, catalog):
+        import repro
+        from repro.sim import Simulator, run_closed_system
+
+        stack = repro.make_stack(catalog.database, catalog)
+        simulator = Simulator(stack.protocol)
+        terminals = run_closed_system(
+            simulator,
+            catalog,
+            WorkloadSpec(seed=3, work_time=0.5, think_time=0.2),
+            terminals=3,
+            jobs_per_terminal=4,
+            authorization=stack.authorization,
+        )
+        metrics = simulator.run()
+        assert metrics.committed == 12
+        assert all(t.completed == 4 for t in terminals)
+
+    def test_mpl_one_is_serial(self, catalog):
+        import repro
+        from repro.sim import Simulator, run_closed_system
+
+        stack = repro.make_stack(catalog.database, catalog)
+        simulator = Simulator(stack.protocol, lock_cost=0.0)
+        run_closed_system(
+            simulator,
+            catalog,
+            WorkloadSpec(seed=3, work_time=1.0, think_time=0.5),
+            terminals=1,
+            jobs_per_terminal=5,
+            authorization=stack.authorization,
+        )
+        metrics = simulator.run()
+        assert metrics.committed == 5
+        # serial: ~5 * (work 1.0 + think 0.5) of simulated time
+        assert metrics.makespan >= 5 * 1.0 + 4 * 0.5
+        assert metrics.total_wait_time == 0.0
+
+    def test_higher_mpl_is_not_slower(self, catalog):
+        import repro
+        from repro.sim import Simulator, run_closed_system
+
+        throughputs = []
+        for mpl in (1, 6):
+            database, cat = build_cells_database(
+                n_cells=4, n_robots=3, n_effectors=5
+            )
+            stack = repro.make_stack(database, cat)
+            simulator = Simulator(stack.protocol, lock_cost=0.0)
+            run_closed_system(
+                simulator,
+                cat,
+                WorkloadSpec(seed=4, work_time=1.0, think_time=0.5),
+                terminals=mpl,
+                jobs_per_terminal=4,
+                authorization=stack.authorization,
+            )
+            throughputs.append(simulator.run().throughput)
+        assert throughputs[1] > throughputs[0]
+
+    def test_deterministic(self, catalog):
+        import repro
+        from repro.sim import Simulator, run_closed_system
+
+        reports = []
+        for _ in range(2):
+            database, cat = build_cells_database(n_cells=4, n_robots=3, n_effectors=5)
+            stack = repro.make_stack(database, cat)
+            simulator = Simulator(stack.protocol)
+            run_closed_system(
+                simulator, cat, WorkloadSpec(seed=5),
+                terminals=4, jobs_per_terminal=3,
+                authorization=stack.authorization,
+            )
+            reports.append(simulator.run().report())
+        assert reports[0] == reports[1]
+
+
+class TestQueryWorkload:
+    def test_query_programs_generated(self, catalog):
+        from repro.sim import generate_query_programs
+        from repro.sim.simulator import QueryOp
+
+        programs = generate_query_programs(catalog, WorkloadSpec(n_transactions=10, seed=2))
+        assert len(programs) == 10
+        for _, ops, name, principal in programs:
+            assert isinstance(ops[0], QueryOp)
+            assert principal == "engineer"
+
+    def test_query_workload_runs_through_executor(self, catalog):
+        import repro
+        from repro.sim import Simulator, submit_query_workload
+
+        stack = repro.make_stack(catalog.database, catalog)
+        simulator = Simulator(stack.protocol, executor=stack.executor)
+        runs = submit_query_workload(
+            simulator, catalog, WorkloadSpec(n_transactions=20, seed=8),
+            authorization=stack.authorization,
+        )
+        metrics = simulator.run()
+        assert metrics.committed == 20
+        assert metrics.locks_requested > 0
+
+    def test_update_queries_respect_rule4prime(self, catalog):
+        """Engineers (no modify right on effectors) never X-lock the
+        shared library through query workloads."""
+        import repro
+        from repro.locking import LockTrace
+        from repro.locking.modes import X
+        from repro.sim import Simulator, submit_query_workload
+
+        stack = repro.make_stack(catalog.database, catalog)
+        simulator = Simulator(stack.protocol, executor=stack.executor)
+        trace = LockTrace.attach(stack.manager)
+        submit_query_workload(
+            simulator, catalog,
+            WorkloadSpec(n_transactions=15, update_fraction=1.0, seed=3),
+            authorization=stack.authorization,
+        )
+        simulator.run()
+        effector_x = [
+            e for e in trace.events
+            if e.action == "acquire" and e.mode is X
+            and e.resource is not None and len(e.resource) >= 3
+            and e.resource[2] == "effectors"
+        ]
+        assert effector_x == []
+        trace.detach()

@@ -1,0 +1,119 @@
+"""The public API surface: imports, __all__ hygiene, version."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+PACKAGES = [
+    "repro",
+    "repro.catalog",
+    "repro.cli",
+    "repro.core",
+    "repro.errors",
+    "repro.graphs",
+    "repro.locking",
+    "repro.nf2",
+    "repro.protocol",
+    "repro.query",
+    "repro.sim",
+    "repro.txn",
+    "repro.verify",
+    "repro.workloads",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_imports(self, name):
+        importlib.import_module(name)
+
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in PACKAGES if n not in ("repro.cli", "repro.errors", "repro.verify")],
+    )
+    def test_all_entries_resolve(self, name):
+        module = importlib.import_module(name)
+        for entry in getattr(module, "__all__", ()):
+            assert hasattr(module, entry), "%s.__all__ lists missing %r" % (
+                name,
+                entry,
+            )
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_core_reexports_the_contribution(self):
+        from repro import core
+
+        for name in (
+            "HerrmannProtocol",
+            "LockRequestOptimizer",
+            "ObjectSpecificLockGraph",
+            "QuerySpecificLockGraph",
+            "UnitMap",
+        ):
+            assert hasattr(core, name)
+
+
+class TestStackWiring:
+    def test_make_stack_components(self, figure7):
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog)
+        assert stack.protocol.manager is stack.manager
+        assert stack.executor.protocol is stack.protocol
+        assert stack.txns.protocol is stack.protocol
+        assert stack.checkout.txn_manager is stack.txns
+        assert stack.protocol.authorization is stack.authorization
+
+    def test_make_stack_with_baseline(self, figure7):
+        from repro.protocol import XSQLProtocol
+
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog, protocol_cls=XSQLProtocol)
+        assert stack.protocol.name == "xsql"
+
+    def test_make_stack_builds_catalog_when_missing(self, figure7):
+        database, _ = figure7
+        stack = repro.make_stack(database)
+        assert stack.catalog.relation_names() == ["cells", "effectors"]
+
+    def test_refresh_statistics(self, figure7):
+        database, catalog = figure7
+        stack = repro.make_stack(database, catalog)
+        from repro.nf2 import make_tuple
+
+        database.insert("effectors", make_tuple(eff_id="e4", tool="t4"))
+        stack.refresh_statistics()
+        assert stack.statistics.object_count("effectors") == 4
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_lock_errors_are_lock_errors(self):
+        from repro import errors
+
+        for cls in (
+            errors.LockConflictError,
+            errors.LockTimeoutError,
+            errors.DeadlockError,
+            errors.ProtocolError,
+        ):
+            assert issubclass(cls, errors.LockError)
+
+    def test_conflict_error_payload(self):
+        from repro.errors import LockConflictError
+
+        err = LockConflictError("m", resource=("r",), requested="X", holders=[("t", "S")])
+        assert err.resource == ("r",)
+        assert err.holders == (("t", "S"),)

@@ -1,0 +1,162 @@
+"""Check-out / check-in: long locks, workstations, crash survival."""
+
+import pytest
+
+from repro.errors import CheckoutError, LockConflictError
+from repro.graphs.units import object_resource
+from repro.locking.modes import IS, IX, S, X
+from repro.txn import Workstation
+
+
+@pytest.fixture
+def ws():
+    return Workstation("ws1", principal="user2")
+
+
+@pytest.fixture
+def ws2():
+    return Workstation("ws2", principal="user3")
+
+
+class TestCheckOut:
+    def test_checkout_copies_object(self, figure7_stack, ws):
+        local = figure7_stack.checkout.check_out(ws, "cells", "c1")
+        assert ws.holds("cells", "c1")
+        assert local.root["cell_id"] == "c1"
+
+    def test_checkout_snapshot_is_private(self, figure7_stack, ws):
+        local = figure7_stack.checkout.check_out(ws, "cells", "c1")
+        local.root["robots"][0]["trajectory"] = "local-change"
+        central = figure7_stack.database.get("cells", "c1")
+        assert central.root["robots"][0]["trajectory"] == "tr1"
+
+    def test_checkout_takes_long_locks(self, figure7_stack, ws):
+        figure7_stack.checkout.check_out(ws, "cells", "c1")
+        cell = object_resource(figure7_stack.catalog, "cells", "c1")
+        holders = figure7_stack.manager.holders(cell)
+        assert list(holders.values()) == [X]
+
+    def test_checkout_propagates_to_common_data(self, figure7_stack, ws):
+        """Rule 4': X check-out of the cell S-locks the shared effectors."""
+        figure7_stack.checkout.check_out(ws, "cells", "c1")
+        e1 = ("db1", "seg2", "effectors", "e1")
+        assert list(figure7_stack.manager.holders(e1).values()) == [S]
+
+    def test_double_checkout_same_ws_rejected(self, figure7_stack, ws):
+        figure7_stack.checkout.check_out(ws, "cells", "c1")
+        with pytest.raises(CheckoutError):
+            figure7_stack.checkout.check_out(ws, "cells", "c1")
+
+    def test_conflicting_checkout_other_ws_blocked(self, figure7_stack, ws, ws2):
+        figure7_stack.checkout.check_out(ws, "cells", "c1")
+        with pytest.raises(LockConflictError):
+            figure7_stack.checkout.check_out(ws2, "cells", "c1")
+
+    def test_component_checkout_allows_concurrency(self, figure7_stack, ws, ws2):
+        """Checking out only robot r1 leaves robot r2 for another user —
+        the whole point of granules within complex objects."""
+        figure7_stack.checkout.check_out(ws, "cells", "c1", component="robots[r1]")
+        figure7_stack.checkout.check_out(ws2, "cells", "c1", component="robots[r2]")
+        assert figure7_stack.checkout.outstanding() != []
+
+    def test_read_checkout_shares(self, figure7_stack, ws, ws2):
+        figure7_stack.checkout.check_out(ws, "cells", "c1", mode=S)
+        figure7_stack.checkout.check_out(ws2, "cells", "c1", mode=S)
+
+    def test_invalid_mode_rejected(self, figure7_stack, ws):
+        with pytest.raises(CheckoutError):
+            figure7_stack.checkout.check_out(ws, "cells", "c1", mode=IX)
+
+    def test_failed_checkout_leaves_no_locks(self, figure7_stack, ws, ws2):
+        figure7_stack.checkout.check_out(ws, "cells", "c1")
+        before = figure7_stack.manager.lock_count()
+        with pytest.raises(LockConflictError):
+            figure7_stack.checkout.check_out(ws2, "cells", "c1")
+        assert figure7_stack.manager.lock_count() == before
+
+
+class TestCheckIn:
+    def test_checkin_applies_changes(self, figure7_stack, ws):
+        local = figure7_stack.checkout.check_out(ws, "cells", "c1")
+        local.root["robots"][0]["trajectory"] = "reprogrammed"
+        figure7_stack.checkout.check_in(ws, "cells", "c1")
+        central = figure7_stack.database.get("cells", "c1")
+        assert central.root["robots"][0]["trajectory"] == "reprogrammed"
+
+    def test_checkin_releases_locks(self, figure7_stack, ws):
+        figure7_stack.checkout.check_out(ws, "cells", "c1")
+        figure7_stack.checkout.check_in(ws, "cells", "c1")
+        assert figure7_stack.manager.lock_count() == 0
+        assert not ws.holds("cells", "c1")
+
+    def test_checkin_without_checkout_rejected(self, figure7_stack, ws):
+        with pytest.raises(CheckoutError):
+            figure7_stack.checkout.check_in(ws, "cells", "c1")
+
+    def test_readonly_checkin_rejected(self, figure7_stack, ws):
+        figure7_stack.checkout.check_out(ws, "cells", "c1", mode=S)
+        with pytest.raises(CheckoutError):
+            figure7_stack.checkout.check_in(ws, "cells", "c1")
+
+    def test_cancel_checkout_discards(self, figure7_stack, ws):
+        local = figure7_stack.checkout.check_out(ws, "cells", "c1")
+        local.root["robots"][0]["trajectory"] = "discarded"
+        figure7_stack.checkout.cancel_checkout(ws, "cells", "c1")
+        central = figure7_stack.database.get("cells", "c1")
+        assert central.root["robots"][0]["trajectory"] == "tr1"
+        assert figure7_stack.manager.lock_count() == 0
+
+    def test_other_ws_can_checkout_after_checkin(self, figure7_stack, ws, ws2):
+        figure7_stack.checkout.check_out(ws, "cells", "c1")
+        figure7_stack.checkout.check_in(ws, "cells", "c1")
+        figure7_stack.checkout.check_out(ws2, "cells", "c1")
+
+
+class TestCrashSurvival:
+    """Section 3.1: long locks survive shutdowns and crashes."""
+
+    def test_long_locks_survive_restart(self, figure7_stack, ws):
+        figure7_stack.checkout.check_out(ws, "cells", "c1")
+        restored = figure7_stack.checkout.simulate_crash_and_restart()
+        assert restored > 0
+        cell = object_resource(figure7_stack.catalog, "cells", "c1")
+        assert list(figure7_stack.manager.holders(cell).values()) == [X]
+
+    def test_short_locks_do_not_survive(self, figure7_stack, ws):
+        short = figure7_stack.txns.begin(name="short")
+        figure7_stack.txns.read_object(short, "effectors", "e3")
+        figure7_stack.checkout.check_out(ws, "cells", "c1")
+        figure7_stack.checkout.simulate_crash_and_restart()
+        e3 = object_resource(figure7_stack.catalog, "effectors", "e3")
+        # only the checkout's propagated S locks may remain on effectors
+        holders = figure7_stack.manager.holders(e3)
+        assert short not in holders
+
+    def test_short_transactions_rolled_back_by_crash(self, figure7_stack, ws):
+        writer = figure7_stack.txns.begin(principal="user2", name="writer")
+        figure7_stack.txns.update_component(
+            writer, "cells", "c1", "robots[r2].trajectory", "halfway"
+        )
+        figure7_stack.checkout.check_out(ws, "cells", "c1", component="robots[r1]")
+        figure7_stack.checkout.simulate_crash_and_restart()
+        central = figure7_stack.database.get("cells", "c1")
+        assert central.root["robots"][1]["trajectory"] == "tr2"  # undone
+
+    def test_checkin_works_after_restart(self, figure7_stack, ws):
+        local = figure7_stack.checkout.check_out(ws, "cells", "c1")
+        local.root["robots"][0]["trajectory"] = "post-crash"
+        figure7_stack.checkout.simulate_crash_and_restart()
+        figure7_stack.checkout.check_in(ws, "cells", "c1")
+        central = figure7_stack.database.get("cells", "c1")
+        assert central.root["robots"][0]["trajectory"] == "post-crash"
+
+    def test_restored_locks_still_block_others(self, figure7_stack, ws, ws2):
+        figure7_stack.checkout.check_out(ws, "cells", "c1")
+        figure7_stack.checkout.simulate_crash_and_restart()
+        with pytest.raises(LockConflictError):
+            figure7_stack.checkout.check_out(ws2, "cells", "c1")
+
+    def test_persisted_dump_recorded(self, figure7_stack, ws):
+        figure7_stack.checkout.check_out(ws, "cells", "c1")
+        figure7_stack.checkout.simulate_crash_and_restart()
+        assert figure7_stack.checkout.persisted_locks

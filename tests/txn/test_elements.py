@@ -1,0 +1,120 @@
+"""Element-level mutations: add/remove collection members under locks."""
+
+import pytest
+
+from repro.errors import LockConflictError, SchemaError, TransactionError
+from repro.graphs.units import object_resource
+from repro.locking.modes import S, X
+from repro.nf2 import make_set, make_tuple
+
+
+class TestAddElement:
+    def test_add_c_object(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin(principal="user2")
+        stack.txns.add_element(
+            txn, "cells", "c1", "c_objects", make_tuple(obj_id=2, obj_name="on2")
+        )
+        cell = stack.database.get("cells", "c1")
+        assert len(cell.root["c_objects"]) == 2
+
+    def test_add_takes_x_on_collection(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin(principal="user2")
+        stack.txns.add_element(
+            txn, "cells", "c1", "c_objects", make_tuple(obj_id=2, obj_name="on2")
+        )
+        cell = object_resource(stack.catalog, "cells", "c1")
+        assert stack.manager.held_mode(txn, cell + ("c_objects",)) is X
+
+    def test_add_validates_element_schema(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin(principal="user2")
+        with pytest.raises(SchemaError):
+            stack.txns.add_element(
+                txn, "cells", "c1", "c_objects", make_tuple(bad="element")
+            )
+
+    def test_add_rolls_back_on_abort(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin(principal="user2")
+        stack.txns.add_element(
+            txn, "cells", "c1", "c_objects", make_tuple(obj_id=2, obj_name="on2")
+        )
+        stack.txns.abort(txn)
+        assert len(stack.database.get("cells", "c1").root["c_objects"]) == 1
+
+    def test_add_to_atomic_rejected(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin(principal="user2")
+        with pytest.raises((TransactionError, Exception)):
+            stack.txns.add_element(txn, "cells", "c1", "cell_id", "x")
+
+    def test_add_reference_element(self, figure7_stack):
+        """Adding an effector reference to a robot's set: the new shared
+        target must exist (validation) and the set is X-locked."""
+        stack = figure7_stack
+        txn = stack.txns.begin(principal="user2")
+        e3 = stack.database.get("effectors", "e3")
+        stack.txns.add_element(
+            txn, "cells", "c1", "robots[r1].effectors", e3.reference()
+        )
+        robot = stack.database.get("cells", "c1").root["robots"][0]
+        assert len(robot["effectors"]) == 3
+
+    def test_add_blocked_by_collection_reader(self, figure7_stack):
+        stack = figure7_stack
+        reader = stack.txns.begin()
+        stack.txns.read_component(reader, "cells", "c1", "c_objects")
+        writer = stack.txns.begin(principal="user2")
+        with pytest.raises(LockConflictError):
+            stack.txns.add_element(
+                writer, "cells", "c1", "c_objects",
+                make_tuple(obj_id=9, obj_name="on9"),
+            )
+
+
+class TestRemoveElement:
+    def test_remove_and_undo(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin(principal="user2")
+        cell = stack.database.get("cells", "c1")
+        victim = cell.root["c_objects"].find_by_key("obj_id", 1)
+        stack.txns.remove_element(txn, "cells", "c1", "c_objects", victim)
+        assert len(cell.root["c_objects"]) == 0
+        stack.txns.abort(txn)
+        assert len(cell.root["c_objects"]) == 1
+
+    def test_remove_reference_releases_sharing(self, figure7_stack):
+        """Dropping the last reference makes the effector deletable."""
+        stack = figure7_stack
+        stack.authorization.grant_modify("lib", "effectors")
+        txn = stack.txns.begin(principal="user2")
+        cell = stack.database.get("cells", "c1")
+        e1_ref = stack.database.get("effectors", "e1").reference()
+        stack.txns.remove_element(
+            txn, "cells", "c1", "robots[r1].effectors", e1_ref
+        )
+        stack.txns.commit(txn)
+        librarian = stack.txns.begin(principal="lib")
+        stack.txns.delete_object(librarian, "effectors", "e1")
+        assert not stack.database.relation("effectors").contains_key("e1")
+
+    def test_remove_missing_element_raises(self, figure7_stack):
+        from repro.errors import IntegrityError
+
+        stack = figure7_stack
+        txn = stack.txns.begin(principal="user2")
+        with pytest.raises(IntegrityError):
+            stack.txns.remove_element(
+                txn, "cells", "c1", "c_objects", make_tuple(obj_id=99, obj_name="x")
+            )
+
+    def test_commit_makes_removal_durable(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin(principal="user2")
+        cell = stack.database.get("cells", "c1")
+        victim = cell.root["c_objects"].find_by_key("obj_id", 1)
+        stack.txns.remove_element(txn, "cells", "c1", "c_objects", victim)
+        stack.txns.commit(txn)
+        assert len(stack.database.get("cells", "c1").root["c_objects"]) == 0

@@ -1,0 +1,133 @@
+"""Failure injection: aborts mid-operation, partial plans, undo chains."""
+
+import pytest
+
+from repro.errors import (
+    LockConflictError,
+    SchemaError,
+    TransactionAborted,
+    TransactionError,
+)
+from repro.graphs.units import object_resource
+from repro.locking.modes import S, X
+from repro.nf2 import make_set, make_tuple
+
+
+class TestAbortMidPlan:
+    def test_conflict_leaves_partial_locks_then_abort_cleans(self, figure7_stack):
+        """A plan that conflicts mid-way leaves its earlier steps granted;
+        aborting the transaction must release every one of them."""
+        stack = figure7_stack
+        blocker = stack.txns.begin(name="blocker")
+        e1 = object_resource(stack.catalog, "effectors", "e1")
+        stack.authorization.grant_modify("libw", "effectors")
+        libw = stack.txns.begin(principal="libw")
+        stack.protocol.request(libw, e1, X)
+
+        victim = stack.txns.begin(principal="user2", name="victim")
+        cell = object_resource(stack.catalog, "cells", "c1")
+        with pytest.raises(LockConflictError):
+            # X on robot r1 propagates S onto e1 -> conflict mid-plan
+            stack.protocol.request(victim, cell + ("robots", "r1"), X, wait=False)
+        assert stack.manager.locks_of(victim)  # partial prefix held
+        stack.txns.abort(victim)
+        assert stack.manager.locks_of(victim) == {}
+
+    def test_failed_update_rolls_back_earlier_writes(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin(principal="user2")
+        stack.txns.update_component(txn, "cells", "c1", "robots[r1].trajectory", "a")
+        with pytest.raises(SchemaError):
+            stack.txns.update_component(txn, "cells", "c1", "robots[r2].trajectory", 9)
+        stack.txns.abort(txn)
+        cell = stack.database.get("cells", "c1")
+        assert cell.root["robots"][0]["trajectory"] == "tr1"
+        assert cell.root["robots"][1]["trajectory"] == "tr2"
+
+    def test_operations_after_abort_rejected(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin(principal="user2")
+        stack.txns.abort(txn)
+        with pytest.raises(TransactionAborted):
+            stack.txns.read_object(txn, "effectors", "e1")
+
+    def test_operations_after_commit_rejected(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin()
+        stack.txns.commit(txn)
+        with pytest.raises(TransactionError):
+            stack.txns.read_object(txn, "effectors", "e1")
+
+
+class TestUndoChains:
+    def test_multi_step_undo_in_reverse_order(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin(principal="user2")
+        stack.txns.update_component(txn, "cells", "c1", "robots[r1].trajectory", "v1")
+        stack.txns.update_component(txn, "cells", "c1", "robots[r1].trajectory", "v2")
+        stack.txns.update_component(txn, "cells", "c1", "robots[r1].trajectory", "v3")
+        assert txn.undo_depth() == 3
+        stack.txns.abort(txn)
+        cell = stack.database.get("cells", "c1")
+        assert cell.root["robots"][0]["trajectory"] == "tr1"
+
+    def test_insert_then_update_then_abort(self, figure7_stack):
+        stack = figure7_stack
+        stack.authorization.grant_modify("lib", "effectors")
+        txn = stack.txns.begin(principal="lib")
+        stack.txns.insert_object(txn, "effectors", make_tuple(eff_id="e9", tool="t9"))
+        stack.txns.update_component(txn, "effectors", "e9", "tool", "t9b")
+        stack.txns.abort(txn)
+        assert not stack.database.relation("effectors").contains_key("e9")
+
+    def test_delete_then_abort_restores(self, figure7_stack):
+        stack = figure7_stack
+        stack.authorization.grant_modify("lib", "effectors")
+        setup = stack.txns.begin(principal="lib")
+        stack.txns.insert_object(setup, "effectors", make_tuple(eff_id="e9", tool="t9"))
+        stack.txns.commit(setup)
+        txn = stack.txns.begin(principal="lib")
+        stack.txns.delete_object(txn, "effectors", "e9")
+        stack.txns.abort(txn)
+        assert stack.database.get("effectors", "e9").root["tool"] == "t9"
+
+    def test_commit_forgets_undo(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin(principal="user2")
+        stack.txns.update_component(txn, "cells", "c1", "robots[r1].trajectory", "z")
+        stack.txns.commit(txn)
+        assert txn.undo_depth() == 0
+        assert (
+            stack.database.get("cells", "c1").root["robots"][0]["trajectory"] == "z"
+        )
+
+
+class TestIsolationUnderFailure:
+    def test_aborted_writer_invisible_to_later_reader(self, figure7_stack):
+        stack = figure7_stack
+        writer = stack.txns.begin(principal="user2")
+        stack.txns.update_component(writer, "cells", "c1", "robots[r1].trajectory", "dirty")
+        stack.txns.abort(writer)
+        reader = stack.txns.begin()
+        value = stack.txns.read_component(reader, "cells", "c1", "robots[r1].trajectory")
+        assert value == "tr1"
+
+    def test_blocked_reader_proceeds_after_writer_abort(self, figure7_stack):
+        stack = figure7_stack
+        writer = stack.txns.begin(principal="user2")
+        stack.txns.update_component(writer, "cells", "c1", "robots[r1].trajectory", "dirty")
+        reader = stack.txns.begin()
+        cell = object_resource(stack.catalog, "cells", "c1")
+        pending = stack.protocol.request(
+            reader, cell + ("robots", "r1", "trajectory"), S, wait=True
+        )
+        assert not pending[-1].granted
+        stack.txns.abort(writer)
+        assert pending[-1].granted
+        value = stack.database.relation("cells").resolve(
+            stack.database.get("cells", "c1"),
+            __import__("repro.nf2", fromlist=["parse_path"]).parse_path(
+                "robots[r1].trajectory"
+            ),
+        )
+        assert value == "tr1"  # sees the rolled-back (original) value

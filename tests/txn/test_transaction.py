@@ -1,0 +1,77 @@
+"""Transaction objects: states, undo log, principals."""
+
+import pytest
+
+from repro.errors import TransactionAborted, TransactionError
+from repro.txn.transaction import Transaction, TxnState
+
+
+class TestLifecycle:
+    def test_starts_active(self):
+        txn = Transaction()
+        assert txn.active
+        assert txn.state == TxnState.ACTIVE
+
+    def test_names_unique_by_default(self):
+        assert Transaction().name != Transaction().name
+
+    def test_explicit_name(self):
+        assert Transaction(name="Q2").name == "Q2"
+
+    def test_ensure_active_after_commit(self):
+        txn = Transaction()
+        txn.state = TxnState.COMMITTED
+        with pytest.raises(TransactionError):
+            txn.ensure_active()
+
+    def test_ensure_active_after_abort(self):
+        txn = Transaction()
+        txn.state = TxnState.ABORTED
+        with pytest.raises(TransactionAborted):
+            txn.ensure_active()
+
+    def test_long_flag(self):
+        assert Transaction(long=True).long
+        assert not Transaction().long
+
+    def test_start_ts_monotonic(self):
+        a, b = Transaction(), Transaction()
+        assert a.start_ts < b.start_ts
+
+
+class TestPrincipals:
+    def test_defaults_to_self(self):
+        txn = Transaction()
+        assert txn.principal is txn
+
+    def test_explicit_principal(self):
+        txn = Transaction(principal="group-a")
+        assert txn.principal == "group-a"
+
+
+class TestUndoLog:
+    def test_rollback_runs_lifo(self):
+        txn = Transaction()
+        order = []
+        txn.record_undo(lambda: order.append("first"))
+        txn.record_undo(lambda: order.append("second"))
+        txn.rollback_data()
+        assert order == ["second", "first"]
+
+    def test_rollback_empties_log(self):
+        txn = Transaction()
+        txn.record_undo(lambda: None)
+        txn.rollback_data()
+        assert txn.undo_depth() == 0
+
+    def test_forget_undo(self):
+        txn = Transaction()
+        txn.record_undo(lambda: (_ for _ in ()).throw(RuntimeError))
+        txn.forget_undo()
+        txn.rollback_data()  # nothing raised
+
+    def test_record_undo_requires_active(self):
+        txn = Transaction()
+        txn.state = TxnState.COMMITTED
+        with pytest.raises(TransactionError):
+            txn.record_undo(lambda: None)

@@ -1,0 +1,206 @@
+"""Transaction manager: locked data operations, 2PL, undo on abort."""
+
+import pytest
+
+from repro.errors import (
+    IntegrityError,
+    LockConflictError,
+    TransactionError,
+)
+from repro.graphs.units import object_resource
+from repro.locking.modes import S, X
+from repro.nf2 import make_set, make_tuple
+from repro.txn.transaction import TxnState
+
+
+class TestLifecycle:
+    def test_begin_registers(self, figure7_stack):
+        txn = figure7_stack.txns.begin()
+        assert txn in figure7_stack.txns.active
+
+    def test_commit_releases_locks(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin()
+        stack.txns.read_object(txn, "effectors", "e1")
+        assert stack.manager.lock_count() > 0
+        stack.txns.commit(txn)
+        assert stack.manager.lock_count() == 0
+        assert stack.txns.committed == 1
+
+    def test_commit_twice_rejected(self, figure7_stack):
+        txn = figure7_stack.txns.begin()
+        figure7_stack.txns.commit(txn)
+        with pytest.raises(TransactionError):
+            figure7_stack.txns.commit(txn)
+
+    def test_abort_is_idempotent(self, figure7_stack):
+        txn = figure7_stack.txns.begin()
+        figure7_stack.txns.abort(txn)
+        figure7_stack.txns.abort(txn)
+        assert figure7_stack.txns.aborted == 1
+
+
+class TestReads:
+    def test_read_object_takes_s(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin()
+        obj = stack.txns.read_object(txn, "effectors", "e1")
+        assert obj.root["tool"] == "t1"
+        resource = object_resource(stack.catalog, "effectors", "e1")
+        assert stack.manager.held_mode(txn, resource) is S
+
+    def test_read_component_takes_s_on_granule(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin()
+        value = stack.txns.read_component(txn, "cells", "c1", "robots[r1].trajectory")
+        assert value == "tr1"
+        cell = object_resource(stack.catalog, "cells", "c1")
+        assert (
+            stack.manager.held_mode(txn, cell + ("robots", "r1", "trajectory")) is S
+        )
+
+    def test_read_via_reference(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin()
+        cell = object_resource(stack.catalog, "cells", "c1")
+        robot = stack.txns.read_component(txn, "cells", "c1", "robots[r1]")
+        via = cell + ("robots", "r1")
+        ref = next(iter(robot["effectors"]))
+        target = stack.txns.read_via_reference(txn, ref, via)
+        assert target.relation == "effectors"
+
+    def test_degree3_repeated_reads_equal(self, figure7_stack):
+        """Degree-3 consistency: both reads see identical data."""
+        stack = figure7_stack
+        txn = stack.txns.begin()
+        first = stack.txns.read_component(txn, "cells", "c1", "robots[r1].trajectory")
+        second = stack.txns.read_component(txn, "cells", "c1", "robots[r1].trajectory")
+        assert first == second
+        # a writer cannot intervene while the S lock is held
+        writer = stack.txns.begin(principal="user2")
+        with pytest.raises(LockConflictError):
+            stack.txns.update_component(
+                writer, "cells", "c1", "robots[r1].trajectory", "new"
+            )
+
+
+class TestWrites:
+    def test_update_component(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin(principal="user2")
+        stack.txns.update_component(txn, "cells", "c1", "robots[r1].trajectory", "tr1b")
+        assert (
+            stack.database.get("cells", "c1").root["robots"][0]["trajectory"] == "tr1b"
+        )
+
+    def test_update_validates_schema(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin(principal="user2")
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            stack.txns.update_component(txn, "cells", "c1", "robots[r1].trajectory", 7)
+
+    def test_update_rolls_back_on_abort(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin(principal="user2")
+        stack.txns.update_component(txn, "cells", "c1", "robots[r1].trajectory", "tr1b")
+        stack.txns.abort(txn)
+        assert (
+            stack.database.get("cells", "c1").root["robots"][0]["trajectory"] == "tr1"
+        )
+
+    def test_update_element_replacement(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin(principal="user2")
+        new_obj = make_tuple(obj_id=1, obj_name="renamed")
+        stack.txns.update_component(txn, "cells", "c1", "c_objects[1]", new_obj)
+        stored = stack.database.get("cells", "c1").root["c_objects"]
+        assert stored.find_by_key("obj_id", 1)["obj_name"] == "renamed"
+        stack.txns.abort(txn)
+        stored = stack.database.get("cells", "c1").root["c_objects"]
+        assert stored.find_by_key("obj_id", 1)["obj_name"] == "on1"
+
+    def test_update_whole_object_path_rejected(self, figure7_stack):
+        txn = figure7_stack.txns.begin(principal="user2")
+        with pytest.raises(TransactionError):
+            figure7_stack.txns.update_component(txn, "cells", "c1", "", None)
+
+    def test_update_object(self, figure7_stack):
+        stack = figure7_stack
+        stack.authorization.grant_modify("lib", "effectors")
+        txn = stack.txns.begin(principal="lib")
+        new_root = make_tuple(eff_id="e1", tool="welding-torch")
+        stack.txns.update_object(txn, "effectors", "e1", new_root)
+        assert stack.database.get("effectors", "e1").root["tool"] == "welding-torch"
+        stack.txns.abort(txn)
+        assert stack.database.get("effectors", "e1").root["tool"] == "t1"
+
+    def test_insert_object(self, figure7_stack):
+        stack = figure7_stack
+        stack.authorization.grant_modify("lib", "effectors")
+        txn = stack.txns.begin(principal="lib")
+        obj = stack.txns.insert_object(
+            txn, "effectors", make_tuple(eff_id="e4", tool="t4")
+        )
+        assert stack.database.relation("effectors").contains_key("e4")
+        resource = object_resource(stack.catalog, "effectors", "e4")
+        assert stack.manager.held_mode(txn, resource) is X
+        stack.txns.abort(txn)
+        assert not stack.database.relation("effectors").contains_key("e4")
+
+    def test_delete_object(self, figure7_stack):
+        stack = figure7_stack
+        stack.authorization.grant_modify("lib", "effectors")
+        # e4 unreferenced -> deletable
+        setup = stack.txns.begin(principal="lib")
+        stack.txns.insert_object(setup, "effectors", make_tuple(eff_id="e4", tool="t4"))
+        stack.txns.commit(setup)
+        txn = stack.txns.begin(principal="lib")
+        stack.txns.delete_object(txn, "effectors", "e4")
+        assert not stack.database.relation("effectors").contains_key("e4")
+        stack.txns.abort(txn)
+        assert stack.database.relation("effectors").contains_key("e4")
+
+    def test_delete_referenced_object_refused(self, figure7_stack):
+        stack = figure7_stack
+        stack.authorization.grant_modify("lib", "effectors")
+        txn = stack.txns.begin(principal="lib")
+        with pytest.raises(IntegrityError):
+            stack.txns.delete_object(txn, "effectors", "e1")
+
+    def test_semantics_aware_delete_skips_common_data_locks(self, figure7_stack):
+        """Section 4.5: deleting a robot without the right to delete
+        effectors needs no locks on common data at all."""
+        stack = figure7_stack
+        # a librarian reading e1 would block a propagating deleter
+        librarian = stack.txns.begin(name="librarian")
+        e1 = object_resource(stack.catalog, "effectors", "e1")
+        stack.protocol.request(librarian, e1, S)
+
+        deleter = stack.txns.begin(principal="user2")
+        cell = object_resource(stack.catalog, "cells", "c1")
+        plan = stack.txns._plan_without_propagation(deleter, cell + ("robots", "r1"))
+        resources = [step.resource for step in plan]
+        assert all(res[2:3] != ("effectors",) for res in resources)
+        granted = stack.protocol.execute_plan(deleter, plan)
+        assert all(request.granted for request in granted)
+
+
+class TestConflicts:
+    def test_writer_blocks_writer(self, figure7_stack):
+        stack = figure7_stack
+        t1 = stack.txns.begin(principal="user2")
+        stack.txns.update_component(t1, "cells", "c1", "robots[r1].trajectory", "a")
+        t2 = stack.txns.begin(principal="user3")
+        with pytest.raises(LockConflictError):
+            stack.txns.update_component(t2, "cells", "c1", "robots[r1].trajectory", "b")
+
+    def test_disjoint_writers_coexist(self, figure7_stack):
+        stack = figure7_stack
+        t1 = stack.txns.begin(principal="user2")
+        stack.txns.update_component(t1, "cells", "c1", "robots[r1].trajectory", "a")
+        t2 = stack.txns.begin(principal="user3")
+        stack.txns.update_component(t2, "cells", "c1", "robots[r2].trajectory", "b")
+        assert stack.database.get("cells", "c1").root["robots"][0]["trajectory"] == "a"
+        assert stack.database.get("cells", "c1").root["robots"][1]["trajectory"] == "b"

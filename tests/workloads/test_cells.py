@@ -1,0 +1,140 @@
+"""Figure 1 reproduced: the cells/effectors schemas and instances."""
+
+import pytest
+
+from repro.graphs.general import BLU, HELU, HOLU
+from repro.nf2 import (
+    AtomicType,
+    ListType,
+    RefType,
+    SetType,
+    TupleType,
+    parse_path,
+)
+from repro.workloads import (
+    Q1,
+    Q2,
+    Q3,
+    build_cells_database,
+    cells_schema,
+    effector_keys,
+    effectors_schema,
+    robot_ids,
+)
+
+
+class TestFigure1Schema:
+    """Every node of Figure 1's schema trees."""
+
+    def test_cells_relation_key(self):
+        assert cells_schema().key == "cell_id"
+        assert cells_schema().segment == "seg1"
+
+    def test_cells_attributes_in_order(self):
+        names = [name for name, _ in cells_schema().object_type.attributes]
+        assert names == ["cell_id", "c_objects", "robots"]
+
+    def test_c_objects_is_set_of_tuples(self):
+        t = cells_schema().object_type.attribute_type("c_objects")
+        assert isinstance(t, SetType)
+        assert isinstance(t.element_type, TupleType)
+        assert t.element_type.key == "obj_id"
+
+    def test_c_object_leaf_types(self):
+        element = cells_schema().object_type.attribute_type("c_objects").element_type
+        assert element.attribute_type("obj_id") == AtomicType("int")
+        assert element.attribute_type("obj_name") == AtomicType("str")
+
+    def test_robots_is_list(self):
+        t = cells_schema().object_type.attribute_type("robots")
+        assert isinstance(t, ListType)
+        assert t.element_type.key == "robot_id"
+
+    def test_robot_references_effectors(self):
+        robot = cells_schema().object_type.attribute_type("robots").element_type
+        effectors = robot.attribute_type("effectors")
+        assert isinstance(effectors, SetType)
+        assert isinstance(effectors.element_type, RefType)
+        assert effectors.element_type.target_relation == "effectors"
+
+    def test_effectors_schema(self):
+        schema = effectors_schema()
+        assert schema.key == "eff_id"
+        assert schema.segment == "seg2"
+        assert schema.object_type.attribute_type("tool") == AtomicType("str")
+
+    def test_queries_defined(self):
+        assert "FOR READ" in Q1
+        assert "FOR UPDATE" in Q2 and "'r1'" in Q2
+        assert "'r2'" in Q3
+
+
+class TestFigure7Instance:
+    def test_exact_contents(self):
+        database, _ = build_cells_database(figure7=True)
+        assert effector_keys(database) == ["e1", "e2", "e3"]
+        assert robot_ids(database, "c1") == ["r1", "r2"]
+        cell = database.get("cells", "c1")
+        assert len(cell.root["c_objects"]) == 1
+
+    def test_reference_pattern_matches_figure6(self):
+        """r1 -> {e1, e2}; r2 -> {e2, e3}."""
+        database, _ = build_cells_database(figure7=True)
+        cell = database.get("cells", "c1")
+        refs = {}
+        for robot in cell.root["robots"]:
+            targets = sorted(
+                database.dereference(ref).key for ref in robot["effectors"]
+            )
+            refs[robot["robot_id"]] = targets
+        assert refs == {"r1": ["e1", "e2"], "r2": ["e2", "e3"]}
+
+    def test_e2_is_shared(self):
+        database, _ = build_cells_database(figure7=True)
+        e2 = database.get("effectors", "e2")
+        hits = database.scan_referencing(e2.reference())
+        assert len(hits) == 2
+
+
+class TestSyntheticGenerator:
+    def test_sizes(self):
+        database, _ = build_cells_database(
+            n_cells=3, n_objects=4, n_robots=2, n_effectors=5
+        )
+        assert len(database.relation("cells")) == 3
+        assert len(database.relation("effectors")) == 5
+        cell = database.get("cells", "c2")
+        assert len(cell.root["c_objects"]) == 4
+        assert len(cell.root["robots"]) == 2
+
+    def test_refs_per_robot(self):
+        database, _ = build_cells_database(
+            n_cells=2, n_robots=2, n_effectors=6, refs_per_robot=3
+        )
+        for cell in database.relation("cells"):
+            for robot in cell.root["robots"]:
+                assert len(robot["effectors"]) == 3
+
+    def test_deterministic_given_seed(self):
+        a, _ = build_cells_database(seed=5)
+        b, _ = build_cells_database(seed=5)
+        for cell_a, cell_b in zip(a.relation("cells"), b.relation("cells")):
+            assert cell_a.root == cell_b.root
+
+    def test_refs_capped_at_library_size(self):
+        database, _ = build_cells_database(n_effectors=1, refs_per_robot=5)
+        cell = database.get("cells", "c1")
+        assert len(cell.root["robots"][0]["effectors"]) == 1
+
+    def test_catalog_classifies_effectors_as_common(self):
+        _, catalog = build_cells_database()
+        assert catalog.is_common_data("effectors")
+
+
+class TestObjectGraphOfWorkload:
+    def test_kinds_match_figure5(self):
+        _, catalog = build_cells_database(figure7=True)
+        graph = catalog.object_graph("cells")
+        assert graph.node_at(parse_path("c_objects")).kind == HOLU
+        assert graph.node_at(parse_path("robots[*]")).kind == HELU
+        assert graph.node_at(parse_path("robots[*].effectors[*]")).kind == BLU

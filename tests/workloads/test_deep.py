@@ -1,0 +1,88 @@
+"""Deep-container workload: schema depth, instances, random components."""
+
+import random
+
+import pytest
+
+from repro.graphs.units import UnitMap
+from repro.locking.modes import X
+from repro.nf2 import parse_path
+from repro.nf2.values import TupleValue
+from repro.workloads import build_deep_database, deep_schema, random_component
+
+
+class TestSchema:
+    def test_depth_one_is_flat(self):
+        schema = deep_schema(1)
+        # tuple -> children set -> leaf tuple -> atomic
+        assert schema.depth() == 4
+
+    def test_depth_grows_linearly(self):
+        assert deep_schema(4).depth() == deep_schema(2).depth() + 2 * 2
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            deep_schema(0)
+
+    def test_level_key_names(self):
+        schema = deep_schema(3)
+        element = schema.object_type.attribute_type("children").element_type
+        assert element.key == "n1_id"
+        inner = element.attribute_type("children").element_type
+        assert inner.key == "n0_id"
+        leaf = inner.attribute_type("children").element_type
+        assert leaf.key == "leaf_id"
+
+
+class TestInstances:
+    def test_object_count_and_fanout(self):
+        database, _ = build_deep_database(n_objects=3, depth=2, fanout=4)
+        assert len(database.relation("containers")) == 3
+        obj = database.get("containers", "o1")
+        assert len(obj.root["children"]) == 4
+
+    def test_leaf_reachable_at_depth(self):
+        database, catalog = build_deep_database(n_objects=1, depth=3, fanout=2)
+        relation = database.relation("containers")
+        obj = relation.get("o1")
+        leaf = relation.resolve(
+            obj, parse_path("children[1].children[2].children[1]")
+        )
+        assert isinstance(leaf, TupleValue)
+        assert leaf["leaf_id"] == 1
+
+    def test_validates_against_schema(self):
+        # insertion already validates; this is a canary for naming drift
+        for depth in (1, 2, 5):
+            build_deep_database(n_objects=1, depth=depth, fanout=2)
+
+
+class TestRandomComponent:
+    def test_resolves_for_every_depth(self):
+        for depth in (1, 2, 4):
+            database, catalog = build_deep_database(
+                n_objects=2, depth=depth, fanout=3
+            )
+            units = UnitMap(catalog)
+            rng = random.Random(0)
+            for _ in range(5):
+                resource = random_component(catalog, depth, 3, rng)
+                assert units.resolve(resource) is not None
+
+    def test_deterministic_given_rng(self):
+        database, catalog = build_deep_database(n_objects=2, depth=3, fanout=3)
+        a = random_component(catalog, 3, 3, random.Random(5))
+        b = random_component(catalog, 3, 3, random.Random(5))
+        assert a == b
+
+    def test_lockable_under_protocol(self):
+        import repro
+
+        database, catalog = build_deep_database(n_objects=1, depth=4, fanout=2)
+        stack = repro.make_stack(database, catalog)
+        txn = stack.txns.begin()
+        resource = random_component(catalog, 4, 2, random.Random(2))
+        granted = stack.protocol.request(txn, resource, X)
+        assert all(r.granted for r in granted)
+        # one intention lock per level above the target
+        assert stack.manager.held_mode(txn, resource) is X

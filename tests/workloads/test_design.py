@@ -1,0 +1,55 @@
+"""VLSI-design workload: deep disjoint hierarchy, optional shared library."""
+
+import pytest
+
+from repro.workloads import build_design_database, chips_schema
+
+
+class TestDisjointVariant:
+    def test_no_common_data(self, design_disjoint):
+        _, catalog = design_disjoint
+        assert catalog.relation_names() == ["chips"]
+        assert not catalog.is_common_data("chips")
+
+    def test_depth(self):
+        # chip tuple -> modules set -> module tuple -> cells set -> cell
+        # tuple -> gates set -> gate tuple -> atomic
+        assert chips_schema().depth() == 8
+
+    def test_sizes(self):
+        database, _ = build_design_database(
+            n_chips=2, modules_per_chip=3, cells_per_module=4, gates_per_cell=5
+        )
+        chip = database.get("chips", "chip1")
+        assert len(chip.root["modules"]) == 3
+        module = next(iter(chip.root["modules"]))
+        assert len(module["cells"]) == 4
+        cell = next(iter(module["cells"]))
+        assert len(cell["gates"]) == 5
+
+
+class TestSharedVariant:
+    def test_stdcells_are_common_data(self, design_shared):
+        _, catalog = design_shared
+        assert catalog.is_common_data("stdcells")
+        assert catalog.referencing_relations("stdcells") == ["chips"]
+
+    def test_every_cell_references_a_stdcell(self, design_shared):
+        database, _ = design_shared
+        for chip in database.relation("chips"):
+            for module in chip.root["modules"]:
+                for cell in module["cells"]:
+                    target = database.dereference(cell["std"])
+                    assert target.relation == "stdcells"
+
+    def test_disjoint_schema_has_no_std_attribute(self):
+        schema = chips_schema(shared_library=False)
+        module = schema.object_type.attribute_type("modules").element_type
+        cell = module.attribute_type("cells").element_type
+        assert "std" not in [name for name, _ in cell.attributes]
+
+    def test_deterministic(self):
+        a, _ = build_design_database(shared_library=True, seed=4)
+        b, _ = build_design_database(shared_library=True, seed=4)
+        for x, y in zip(a.relation("chips"), b.relation("chips")):
+            assert x.root == y.root

@@ -1,0 +1,53 @@
+"""Part library workload: nested common data (assemblies→parts→materials)."""
+
+import pytest
+
+from repro.workloads import build_partlib_database
+
+
+class TestSchema:
+    def test_relations_present(self, partlib):
+        database, catalog = partlib
+        assert set(catalog.relation_names()) == {"assemblies", "parts", "materials"}
+
+    def test_two_level_sharing_chain(self, partlib):
+        _, catalog = partlib
+        assert catalog.referencing_relations("parts") == ["assemblies"]
+        assert catalog.referencing_relations("materials") == ["parts"]
+
+    def test_segments_distinct(self, partlib):
+        _, catalog = partlib
+        segments = {catalog.segment_of(r) for r in catalog.relation_names()}
+        assert len(segments) == 3
+
+
+class TestInstance:
+    def test_sizes(self):
+        database, _ = build_partlib_database(
+            n_assemblies=3, positions_per_assembly=4, n_parts=5, n_materials=2
+        )
+        assert len(database.relation("assemblies")) == 3
+        assert len(database.relation("parts")) == 5
+        assert len(database.relation("materials")) == 2
+        assembly = database.get("assemblies", "a1")
+        assert len(assembly.root["positions"]) == 4
+
+    def test_references_resolve(self, partlib):
+        database, _ = partlib
+        for assembly in database.relation("assemblies"):
+            for position in assembly.root["positions"]:
+                part = database.dereference(position["part"])
+                assert part.relation == "parts"
+                for mat_ref in part.root["materials"]:
+                    assert database.dereference(mat_ref).relation == "materials"
+
+    def test_deterministic(self):
+        a, _ = build_partlib_database(seed=3)
+        b, _ = build_partlib_database(seed=3)
+        for x, y in zip(a.relation("assemblies"), b.relation("assemblies")):
+            assert x.root == y.root
+
+    def test_materials_per_part(self):
+        database, _ = build_partlib_database(n_materials=4, materials_per_part=2)
+        for part in database.relation("parts"):
+            assert len(part.root["materials"]) == 2
