@@ -3,14 +3,18 @@
 "Some additional but small overhead to determine (only once) the object-
 and query-specific lock graph before the execution of a query."  Measures
 object-specific graph construction against schema depth, the catalog's
-amortizing cache, and query-specific graph planning.
+amortizing cache, query-specific graph planning, and the incremental
+reference index against the naive per-demand reference scan (E7b).
 """
+
+import time
 
 import pytest
 
 from benchmarks._common import print_table
 from repro.catalog import Catalog, Statistics
 from repro.graphs.object_graph import build_object_graph
+from repro.graphs.units import object_resource, relation_resource
 from repro.nf2 import (
     AtomicType,
     Database,
@@ -20,7 +24,7 @@ from repro.nf2 import (
     parse_path,
 )
 from repro.protocol import AccessIntent, LockRequestOptimizer
-from repro.workloads import build_cells_database
+from repro.workloads import build_cells_database, build_partlib_database
 
 
 def deep_schema(depth):
@@ -69,6 +73,93 @@ def test_catalog_cache_amortizes(benchmark):
 
     result = benchmark(catalog.object_graph, "cells")
     assert result is catalog.object_graph("cells")
+
+
+def _propagation_workload():
+    """A transitive-reference database plus the resources S/X demands hit.
+
+    partlib's assemblies reference parts which reference materials —
+    downward propagation must close over both hops on every demand.
+    """
+    import repro
+
+    database, catalog = build_partlib_database(
+        n_assemblies=8, positions_per_assembly=4, n_parts=12,
+        n_materials=5, materials_per_part=3, seed=3,
+    )
+    stack = repro.make_stack(database, catalog)
+    resources = [
+        relation_resource(database.name, "seg1", "assemblies"),
+    ]
+    for obj in database.relation("assemblies"):
+        resources.append(object_resource(catalog, "assemblies", obj.key))
+    return stack, resources
+
+
+def _demand_loop(stack, resources, repeats):
+    units = stack.protocol.units
+    for _ in range(repeats):
+        for resource in resources:
+            units.entry_points_below(resource, transitive=True)
+
+
+def test_downward_propagation_cached_vs_naive(benchmark):
+    """E7b: reference-scan work per repeated S/X demand, index vs scan.
+
+    The same closure question is answered both ways; the rows show the
+    per-demand cost collapse the incremental index buys.  "ref-scan ops"
+    counts tree scans + transitive dereference walks on the naive path
+    and (non-memoized) per-object cache lookups on the indexed path.
+    """
+    repeats = 200
+    stack, resources = _propagation_workload()
+    database = stack.database
+    index = database.reference_index
+
+    database.use_reference_index = False
+    database.reset_ref_scan_ops()
+    t0 = time.perf_counter()
+    _demand_loop(stack, resources, repeats)
+    naive_time = time.perf_counter() - t0
+    naive_ops = database.ref_scan_ops
+
+    database.use_reference_index = True
+    index.reset_counters()
+    t0 = time.perf_counter()
+    _demand_loop(stack, resources, repeats)
+    cached_time = time.perf_counter() - t0
+    cached_ops = index.lookups
+
+    print_table(
+        "E7b: downward propagation, %d demands over %d resources"
+        % (repeats * len(resources), len(resources)),
+        ("path", "wall time (s)", "ref-scan ops", "memo hits"),
+        [
+            ("naive scan", round(naive_time, 4), naive_ops, "-"),
+            ("cached index", round(cached_time, 4), cached_ops,
+             index.memo_hits),
+        ],
+    )
+    # every result identical, at >= 3x fewer reference-scan operations
+    assert naive_ops >= 3 * max(cached_ops, 1)
+    assert cached_time < naive_time
+    benchmark.extra_info["naive_ref_scan_ops"] = naive_ops
+    benchmark.extra_info["cached_ref_scan_ops"] = cached_ops
+    benchmark.extra_info["speedup"] = round(naive_time / max(cached_time, 1e-9), 1)
+    benchmark(_demand_loop, stack, resources, 10)
+
+
+def test_reference_index_maintenance_cost(benchmark):
+    """E7c: what the index costs on the write path (one object re-scan)."""
+    stack, _ = _propagation_workload()
+    database = stack.database
+    relation = database.relation("assemblies")
+    obj = next(iter(relation))
+
+    def refresh():
+        database.reference_index.refresh_object(relation, obj)
+
+    benchmark(refresh)
 
 
 def test_query_specific_graph_planning(benchmark):

@@ -2,13 +2,28 @@
 
 Raw cost of the bookkeeping everything else sits on: grant, re-grant,
 conversion, release, queue processing, waits-for-edge extraction, and
-deadlock detection on a populated table.
+deadlock detection on a populated table — plus the fast-path ablations
+(dense mode tables vs. the defining dicts, indexed release_all vs. table
+size, memoized deadlock checks).
 """
+
+import time
 
 import pytest
 
+from benchmarks._common import print_table
 from repro.locking import LockManager, LockTable
-from repro.locking.modes import IS, IX, S, X
+from repro.locking.modes import (
+    ALL_MODES,
+    IS,
+    IX,
+    S,
+    X,
+    compatible,
+    compatible_naive,
+    supremum,
+    supremum_naive,
+)
 
 
 def test_acquire_release_cycle(benchmark):
@@ -91,6 +106,111 @@ def test_deadlock_detection_on_populated_table(benchmark):
     for i in range(50):
         manager.acquire("h%d" % i, ("r%d" % i,), X)
         manager.acquire("w%d" % i, ("r%d" % i,), S)
+
+    cycle = benchmark(manager.detect_deadlock)
+    assert cycle is None
+
+
+def test_mode_tables_vs_dicts(benchmark):
+    """E11b: dense int-indexed mode tables vs. the Enum-tuple dicts.
+
+    ``compatible``/``supremum`` run on every conflict test; the rows
+    compare the table lookup against the dict path the seed used (kept as
+    ``*_naive`` for exactly this ablation).
+    """
+    pairs = [(a, b) for a in ALL_MODES for b in ALL_MODES]
+    rounds = 2000
+
+    def sweep(comp, sup):
+        for a, b in pairs:
+            comp(a, b)
+            sup(a, b)
+
+    for comp, sup in ((compatible, supremum), (compatible_naive, supremum_naive)):
+        for a, b in pairs:
+            assert comp(a, b) == compatible_naive(a, b) or comp is compatible_naive
+            assert sup(a, b) is supremum_naive(a, b) or sup is supremum_naive
+
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        sweep(compatible_naive, supremum_naive)
+    naive_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        sweep(compatible, supremum)
+    table_time = time.perf_counter() - t0
+    print_table(
+        "E11b: %d compatible+supremum evaluations" % (rounds * len(pairs) * 2),
+        ("path", "wall time (s)"),
+        [("enum-tuple dicts", round(naive_time, 4)),
+         ("dense int tables", round(table_time, 4))],
+    )
+    benchmark.extra_info["dict_time"] = round(naive_time, 4)
+    benchmark.extra_info["table_time"] = round(table_time, 4)
+    benchmark(sweep, compatible, supremum)
+
+
+def test_release_all_scales_with_own_locks_not_table(benchmark):
+    """E11c: release_all cost vs. unrelated table size.
+
+    The seed scanned every resource entry looking for waiting requests of
+    the finishing transaction; the per-transaction waiting index makes
+    release_all proportional to the transaction's own footprint.  The
+    rows hold the footprint fixed (5 grants + 2 waits) while growing the
+    table 20x under other transactions.
+    """
+    def populate(n_entries):
+        table = LockTable()
+        for i in range(n_entries):
+            table.request("other%d" % i, ("r%d" % i,), X)
+        for i in range(5):
+            table.request("t", ("own%d" % i,), X)
+        table.request("blocker_a", ("w0",), X)
+        table.request("blocker_b", ("w1",), X)
+        table.request("t", ("w0",), X)   # waits
+        table.request("t", ("w1",), X)   # waits
+        return table
+
+    rows = []
+    timings = {}
+    for n_entries in (100, 2000):
+        reps = 200
+        elapsed = 0.0
+        for _ in range(reps):
+            table = populate(n_entries)
+            t0 = time.perf_counter()
+            table.release_all("t")
+            elapsed += time.perf_counter() - t0
+        timings[n_entries] = elapsed / reps
+        rows.append((n_entries, round(elapsed / reps * 1e6, 2)))
+    print_table(
+        "E11c: release_all of 5 grants + 2 waits vs. unrelated entries",
+        ("unrelated entries", "mean release_all (us)"),
+        rows,
+    )
+    # 20x the table must not cost anywhere near 20x the release
+    assert timings[2000] < timings[100] * 10
+    table = populate(100)
+    benchmark(table.release_all, "t")
+
+
+def test_deadlock_check_memoized_on_quiescent_table(benchmark):
+    """E11d: repeated detection between lock-table changes is O(1).
+
+    The detector keys its last answer on ``wait_graph_version``; polling
+    monitors re-check for the cost of an integer compare until the table
+    actually changes.
+    """
+    manager = LockManager()
+    for i in range(50):
+        manager.acquire("h%d" % i, ("r%d" % i,), X)
+        manager.acquire("w%d" % i, ("r%d" % i,), S)
+
+    manager.detect_deadlock()  # warm: full graph build
+    before = manager.detector.cached_checks
+    for _ in range(10):
+        assert manager.detect_deadlock() is None
+    assert manager.detector.cached_checks == before + 10
 
     cycle = benchmark(manager.detect_deadlock)
     assert cycle is None

@@ -66,6 +66,57 @@ def test_full_pipeline_with_locks(benchmark, big_stack):
     assert len(rows) == 1
 
 
+def test_repeated_pipeline_reference_index_ablation(benchmark, big_stack):
+    """Repeated FOR UPDATE pipelines: per-execution propagation cost.
+
+    Every execution plans an X demand on a robot component, which closes
+    over the reachable effector entry points.  With the reference index
+    the closure is memoized across executions; the naive scan re-walks
+    the cell's subtree every time.
+    """
+    import time
+
+    from benchmarks._common import print_table
+
+    stack = big_stack
+    stack.authorization.grant_modify("engineer", "cells")
+    stack.authorization.grant_read("engineer", "effectors")
+    database = stack.database
+    query = (
+        "SELECT r FROM c IN cells, r IN c.robots "
+        "WHERE c.cell_id = 'c7' AND r.robot_id = 'r7_3' FOR UPDATE"
+    )
+
+    def pipeline():
+        txn = stack.txns.begin(principal="engineer")
+        rows = stack.executor.execute(txn, query)
+        stack.txns.commit(txn)
+        return rows
+
+    repeats = 50
+    rows = []
+    ops = {}
+    for label, use_index in (("naive scan", False), ("cached index", True)):
+        database.use_reference_index = use_index
+        database.reset_ref_scan_ops()
+        database.reference_index.reset_counters()
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            assert len(pipeline()) == 1
+        wall = time.perf_counter() - t0
+        ops[label] = (database.reference_index.lookups if use_index
+                      else database.ref_scan_ops)
+        rows.append((label, round(wall, 4), ops[label]))
+    database.use_reference_index = True
+    print_table(
+        "pipeline x%d, naive scan vs. reference index" % repeats,
+        ("path", "wall time (s)", "ref-scan ops"),
+        rows,
+    )
+    assert ops["naive scan"] >= 3 * max(ops["cached index"], 1)
+    benchmark(pipeline)
+
+
 def test_statistics_refresh(benchmark, big_stack):
     statistics = Statistics(big_stack.database)
     benchmark(statistics.refresh)

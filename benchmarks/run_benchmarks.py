@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Run the whole benchmark suite and write BENCH_1.json.
+
+Thin wrapper over :mod:`repro.bench_runner` (also installed as the
+``repro-bench`` console script)::
+
+    python benchmarks/run_benchmarks.py
+    python benchmarks/run_benchmarks.py --json BENCH_2.json -k reference_index
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+from repro.bench_runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

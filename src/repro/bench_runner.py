@@ -1,0 +1,93 @@
+"""Console entry point for the benchmark harness (``repro-bench``).
+
+Runs the ``benchmarks/`` suite under pytest-benchmark and writes the
+machine-readable results (timings plus every ``extra_info`` metric the
+experiments attach — reference-scan op counts, simulated throughputs,
+ablation ratios) to a JSON file, ``BENCH_1.json`` by default.  The
+printed experiment tables go to stdout; pass ``--quiet`` to suppress
+them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from typing import List, Optional
+
+
+def _default_bench_dir() -> str:
+    """The benchmarks directory: next to an installed repo checkout."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    for candidate in (
+        os.path.join(os.path.dirname(os.path.dirname(here)), "benchmarks"),
+        os.path.join(os.getcwd(), "benchmarks"),
+    ):
+        if os.path.isdir(candidate):
+            return candidate
+    return "benchmarks"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run the reproduction's benchmark suite.",
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_1.json",
+        help="pytest-benchmark JSON output path (default: BENCH_1.json)",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        default=None,
+        help="benchmarks directory (default: auto-detected)",
+    )
+    parser.add_argument(
+        "-k",
+        dest="keyword",
+        default=None,
+        help="only run benchmarks matching this pytest -k expression",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the printed experiment tables",
+    )
+    args = parser.parse_args(argv)
+
+    bench_dir = args.bench_dir or _default_bench_dir()
+    if not os.path.isdir(bench_dir):
+        print("benchmarks directory not found: %s" % bench_dir, file=sys.stderr)
+        return 2
+
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        bench_dir,
+        "--benchmark-json",
+        args.json,
+        "-q",
+    ]
+    if not args.quiet:
+        command.append("-s")
+    if args.keyword:
+        command.extend(["-k", args.keyword])
+
+    env = dict(os.environ)
+    # make the src layout importable when running from a checkout
+    src = os.path.join(os.path.dirname(bench_dir), "src")
+    if os.path.isdir(src):
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH")) if p
+        )
+    result = subprocess.run(command, env=env, cwd=os.path.dirname(bench_dir) or ".")
+    if result.returncode == 0:
+        print("benchmark results written to %s" % args.json)
+    return result.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

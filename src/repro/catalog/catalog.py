@@ -17,7 +17,7 @@ the data.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.errors import SchemaError
 from repro.nf2.database import Database, Relation
@@ -36,6 +36,11 @@ class Catalog:
         self.database = database
         self._schemas: Dict[str, RelationSchema] = {}
         self._object_graphs: Dict[str, object] = {}
+        # relation -> set of relations referencing it, rebuilt lazily after
+        # schema registration.  is_common_data() sits on the hot lock path
+        # (every unit classification asks it); without this cache each call
+        # re-walked every schema's type tree.
+        self._referenced_by: Optional[Dict[str, set]] = None
         database.on_relation_created(self._register)
         for relation in database.relations():
             self._register(relation)
@@ -46,6 +51,16 @@ class Catalog:
         # catalog without a cycle; section 4.1's "constructed automatically"
         # is preserved because construction needs no data access.
         self._object_graphs.pop(relation.name, None)
+        self._referenced_by = None
+
+    def _referencing_map(self) -> Dict[str, set]:
+        if self._referenced_by is None:
+            referenced: Dict[str, set] = {}
+            for schema in self._schemas.values():
+                for target in schema.referenced_relations():
+                    referenced.setdefault(target, set()).add(schema.name)
+            self._referenced_by = referenced
+        return self._referenced_by
 
     # -- schema lookups -----------------------------------------------------
 
@@ -68,18 +83,11 @@ class Catalog:
         relation may be both a target of references and hold references
         itself (common data "may again contain common data", section 2).
         """
-        for schema in self._schemas.values():
-            if relation_name in schema.referenced_relations():
-                return True
-        return False
+        return relation_name in self._referencing_map()
 
     def referencing_relations(self, relation_name: str) -> List[str]:
         """Names of relations whose schema references ``relation_name``."""
-        return sorted(
-            schema.name
-            for schema in self._schemas.values()
-            if relation_name in schema.referenced_relations()
-        )
+        return sorted(self._referencing_map().get(relation_name, ()))
 
     # -- object-specific lock graphs (cached) --------------------------------
 

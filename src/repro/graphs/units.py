@@ -262,16 +262,27 @@ class UnitMap:
     # -- downward propagation support -------------------------------------------
 
     def entry_points_below(
-        self, resource: Resource, transitive: bool = True
+        self,
+        resource: Resource,
+        transitive: bool = True,
+        naive: Optional[bool] = None,
     ) -> List[Resource]:
         """Entry points of inner units accessible via ``resource``.
 
-        Scans the references in the instance subtree (the data a query
-        granting S/X on ``resource`` will read anyway).  With
-        ``transitive=True`` (the default) references found *inside*
+        With ``transitive=True`` (the default) references found *inside*
         referenced objects are followed as well — "common data may again
         contain common data" (section 2), and an S/X lock must make every
         transitively reachable inner unit's lock state visible.
+
+        Two implementations answer the question identically:
+
+        * the **incremental index** (default, see
+          :mod:`repro.nf2.refindex`): per-object cached reference lists
+          plus closure memoization — O(1) for repeated demands;
+        * the **naive scan** over the instance subtree, transitively
+          dereferencing every reference — the seed behaviour, kept as the
+          ablation baseline (``naive=True`` forces it; setting
+          ``Database.use_reference_index = False`` restores it globally).
         """
         if len(resource) < 3:
             raise PathError(
@@ -280,6 +291,12 @@ class UnitMap:
             )
         if is_index_resource(resource):
             return []  # index entries hold values, never references
+        if naive is None:
+            naive = not getattr(self.database, "use_reference_index", False)
+        if not naive:
+            return self.database.reference_index.entry_points_below(
+                resource, transitive=transitive
+            )
         if len(resource) == 3:
             roots = [obj.root for obj in self.database.relation(resource[2])]
         else:
@@ -288,6 +305,7 @@ class UnitMap:
         found: List[Resource] = []
         seen = set()
         pending: List[Reference] = []
+        self.database.ref_scan_ops += len(roots)
         for root in roots:
             pending.extend(_references_in(root))
         while pending:
@@ -300,6 +318,7 @@ class UnitMap:
                 found.append(entry)
             if transitive:
                 target = self.database.dereference(ref)
+                self.database.ref_scan_ops += 1
                 pending.extend(_references_in(target.root))
         return found
 

@@ -60,9 +60,11 @@ def all_cycle_members(edges: Sequence[Tuple[object, object]]) -> Set[object]:
     (Tarjan, iterative).  Used by tests and by bulk victim selection.
     """
     adjacency: Dict[object, List[object]] = {}
+    edge_set: Set[Tuple[object, object]] = set()
     for src, dst in edges:
         adjacency.setdefault(src, []).append(dst)
         adjacency.setdefault(dst, [])
+        edge_set.add((src, dst))
 
     index_counter = [0]
     indices: Dict[object, int] = {}
@@ -107,9 +109,7 @@ def all_cycle_members(edges: Sequence[Tuple[object, object]]) -> Set[object]:
                         break
                 if len(component) > 1:
                     members.update(component)
-                elif (node, node) in (
-                    (src, dst) for src, dst in edges
-                ):  # self-loop
+                elif (node, node) in edge_set:  # self-loop
                     members.add(node)
 
     for node in adjacency:
@@ -133,11 +133,22 @@ class DeadlockDetector:
         self._age_of = age_of or (lambda txn: 0)
         self.detections = 0
         self.deadlocks_found = 0
+        self.cached_checks = 0
+        # (wait_graph_version, cycle) of the last full detection; while the
+        # table is quiescent the answer cannot change, so check() is O(1).
+        self._last: Optional[Tuple[int, Optional[List[object]]]] = None
 
     def check(self) -> Optional[List[object]]:
         """Return one waits-for cycle or None."""
         self.detections += 1
-        cycle = find_cycle(self._lock_table.waits_for_edges())
+        version = getattr(self._lock_table, "wait_graph_version", None)
+        if version is not None and self._last is not None and self._last[0] == version:
+            self.cached_checks += 1
+            cycle = self._last[1]
+        else:
+            cycle = find_cycle(self._lock_table.waits_for_edges())
+            if version is not None:
+                self._last = (version, cycle)
         if cycle is not None:
             self.deadlocks_found += 1
         return cycle

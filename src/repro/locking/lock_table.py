@@ -71,34 +71,41 @@ class _HeldLock:
     """Locks one transaction holds on one resource.
 
     ``modes`` is a stack of granted modes (re-requests push); the effective
-    mode is their supremum.  ``long`` marks persistent (check-out) locks.
+    mode is their supremum, **cached** in ``mode`` and maintained
+    incrementally on push (a supremum only grows) — the seed recomputed the
+    whole fold on every conflict test.  ``long`` marks persistent
+    (check-out) locks.
     """
 
-    __slots__ = ("modes", "long")
+    __slots__ = ("modes", "long", "mode")
 
     def __init__(self):
         self.modes: List[LockMode] = []
         self.long = False
-
-    @property
-    def mode(self) -> LockMode:
-        effective = self.modes[0]
-        for m in self.modes[1:]:
-            effective = supremum(effective, m)
-        return effective
+        self.mode: Optional[LockMode] = None
 
     def push(self, mode: LockMode, long: bool):
         self.modes.append(mode)
+        self.mode = mode if self.mode is None else supremum(self.mode, mode)
         self.long = self.long or long
 
     def pop(self) -> bool:
         """Drop the most recent grant; returns True when fully released."""
         self.modes.pop()
-        return not self.modes
+        if not self.modes:
+            self.mode = None
+            return True
+        # Releases may shrink the supremum; refold over what remains (the
+        # rare path — pushes dominate).
+        effective = self.modes[0]
+        for m in self.modes[1:]:
+            effective = supremum(effective, m)
+        self.mode = effective
+        return False
 
 
 class _ResourceEntry:
-    __slots__ = ("granted", "conversions", "queue")
+    __slots__ = ("granted", "conversions", "queue", "version", "edges_cache")
 
     def __init__(self):
         # txn -> _HeldLock, in grant order (OrderedDict for determinism)
@@ -106,6 +113,10 @@ class _ResourceEntry:
         # conversion requests take priority over new requests
         self.conversions: Deque[LockRequest] = deque()
         self.queue: Deque[LockRequest] = deque()
+        #: bumped on every grant/queue/mode change; keys ``edges_cache``
+        self.version = 0
+        #: (version, waits-for edges of this entry) memo
+        self.edges_cache: Optional[Tuple[int, List[Tuple[object, object]]]] = None
 
     def empty(self) -> bool:
         return not (self.granted or self.conversions or self.queue)
@@ -127,6 +138,13 @@ class LockTable:
     def __init__(self, reader_bypass: bool = False):
         self._entries: Dict[object, _ResourceEntry] = {}
         self._txn_resources: Dict[object, Set[object]] = {}
+        #: txn -> waiting requests (conversion or queued); lets release_all
+        #: and deadlock victim handling find a transaction's waits without
+        #: scanning every resource entry
+        self._txn_waiting: Dict[object, Set[LockRequest]] = {}
+        #: global wait-graph version: bumped with every entry change, so
+        #: the deadlock detector can skip re-detection on a quiescent table
+        self.wait_graph_version = 0
         self._clock = 0
         #: ablation switch: when True, a new request compatible with every
         #: *holder* is granted even while incompatible requests queue —
@@ -179,6 +197,27 @@ class LockTable:
             out.extend(entry.queue)
         return out
 
+    def waiting_requests_of(self, txn) -> List[LockRequest]:
+        """All waiting requests of one transaction (O(1) index lookup)."""
+        return list(self._txn_waiting.get(txn, ()))
+
+    # -- wait-graph bookkeeping ----------------------------------------------
+
+    def _touch(self, entry: _ResourceEntry):
+        """Record that ``entry``'s grants/queues changed (edge cache key)."""
+        entry.version += 1
+        self.wait_graph_version += 1
+
+    def _enqueue_wait(self, request: LockRequest):
+        self._txn_waiting.setdefault(request.txn, set()).add(request)
+
+    def _dequeue_wait(self, request: LockRequest):
+        waiting = self._txn_waiting.get(request.txn)
+        if waiting is not None:
+            waiting.discard(request)
+            if not waiting:
+                del self._txn_waiting[request.txn]
+
     # -- request / release ----------------------------------------------------
 
     def request(
@@ -207,6 +246,7 @@ class LockTable:
                 return request
             if self._conversion_grantable(entry, txn, target):
                 held.push(mode, long)
+                self._touch(entry)
                 request.status = RequestStatus.GRANTED
                 self.immediate_grants += 1
                 return request
@@ -221,6 +261,8 @@ class LockTable:
                 )
             request.enqueued_at = self._clock
             entry.conversions.append(request)
+            self._enqueue_wait(request)
+            self._touch(entry)
             self.waits += 1
             return request
 
@@ -240,6 +282,8 @@ class LockTable:
             )
         request.enqueued_at = self._clock
         entry.queue.append(request)
+        self._enqueue_wait(request)
+        self._touch(entry)
         self.waits += 1
         return request
 
@@ -257,6 +301,7 @@ class LockTable:
         if held.pop():
             del entry.granted[txn]
             self._txn_resources.get(txn, set()).discard(resource)
+        self._touch(entry)
         woken = self._process_queue(entry)
         self._drop_if_empty(resource, entry)
         return woken
@@ -270,6 +315,14 @@ class LockTable:
         """
         woken: List[LockRequest] = []
         resources = list(self._txn_resources.get(txn, ()))
+        touched = set(resources)
+        # Resources the txn does not hold but waits on come from the
+        # per-transaction waiting index — the seed scanned every resource
+        # entry in the table here.
+        for request in self.waiting_requests_of(txn):
+            if request.resource not in touched:
+                touched.add(request.resource)
+                resources.append(request.resource)
         for resource in resources:
             entry = self._entries.get(resource)
             if entry is None:
@@ -278,16 +331,12 @@ class LockTable:
             if held is not None and not (keep_long and held.long):
                 del entry.granted[txn]
                 self._txn_resources[txn].discard(resource)
+                self._touch(entry)
             self._cancel_waiting(entry, txn)
             woken.extend(self._process_queue(entry))
             self._drop_if_empty(resource, entry)
         if not keep_long:
             self._txn_resources.pop(txn, None)
-        # Also cancel waits on resources the txn does not hold yet.
-        for resource, entry in list(self._entries.items()):
-            self._cancel_waiting(entry, txn)
-            woken.extend(self._process_queue(entry))
-            self._drop_if_empty(resource, entry)
         return woken
 
     def cancel(self, request: LockRequest) -> List[LockRequest]:
@@ -299,6 +348,8 @@ class LockTable:
             try:
                 queue.remove(request)
                 request.status = RequestStatus.CANCELLED
+                self._dequeue_wait(request)
+                self._touch(entry)
             except ValueError:
                 pass
         woken = self._process_queue(entry)
@@ -340,27 +391,40 @@ class LockTable:
         incompatible with the conversion target.  A queued waiter waits for
         incompatible holders and for incompatible requests queued ahead of
         it (FIFO fairness makes those real blockers too).
+
+        Edges are memoized per resource entry, keyed on the entry's version
+        counter: between two lock-table changes the deadlock detector can
+        re-read the graph for the cost of a list concatenation.
         """
         edges = []
         for entry in self._entries.values():
-            for request in entry.conversions:
-                for txn, held in entry.granted.items():
-                    if txn is request.txn or txn == request.txn:
-                        continue
-                    if not compatible(held.mode, request.target_mode):
-                        edges.append((request.txn, txn))
-            ahead: List[LockRequest] = []
-            for request in entry.queue:
-                for txn, held in entry.granted.items():
-                    if not compatible(held.mode, request.target_mode):
-                        edges.append((request.txn, txn))
-                for conv in entry.conversions:
-                    if not compatible(conv.target_mode, request.target_mode):
-                        edges.append((request.txn, conv.txn))
-                for earlier in ahead:
-                    if not compatible(earlier.target_mode, request.target_mode):
-                        edges.append((request.txn, earlier.txn))
-                ahead.append(request)
+            edges.extend(self._entry_edges(entry))
+        return edges
+
+    def _entry_edges(self, entry: _ResourceEntry) -> List[Tuple[object, object]]:
+        cached = entry.edges_cache
+        if cached is not None and cached[0] == entry.version:
+            return cached[1]
+        edges: List[Tuple[object, object]] = []
+        for request in entry.conversions:
+            for txn, held in entry.granted.items():
+                if txn == request.txn:
+                    continue
+                if not compatible(held.mode, request.target_mode):
+                    edges.append((request.txn, txn))
+        ahead: List[LockRequest] = []
+        for request in entry.queue:
+            for txn, held in entry.granted.items():
+                if not compatible(held.mode, request.target_mode):
+                    edges.append((request.txn, txn))
+            for conv in entry.conversions:
+                if not compatible(conv.target_mode, request.target_mode):
+                    edges.append((request.txn, conv.txn))
+            for earlier in ahead:
+                if not compatible(earlier.target_mode, request.target_mode):
+                    edges.append((request.txn, earlier.txn))
+            ahead.append(request)
+        entry.edges_cache = (entry.version, edges)
         return edges
 
     # -- internals -------------------------------------------------------------
@@ -391,6 +455,7 @@ class LockTable:
         held.push(request.mode, request.long)
         request.status = RequestStatus.GRANTED
         self._txn_resources.setdefault(request.txn, set()).add(request.resource)
+        self._touch(entry)
 
     def _process_queue(self, entry) -> List[LockRequest]:
         """Grant now-compatible waiters; conversions first, then FIFO."""
@@ -404,6 +469,7 @@ class LockTable:
                     # Holder aborted while waiting for conversion: treat as new.
                     entry.conversions.remove(request)
                     entry.queue.appendleft(request)
+                    self._touch(entry)
                     progressed = True
                     continue
                 target = supremum(held.mode, request.mode)
@@ -412,6 +478,8 @@ class LockTable:
                     entry.conversions.remove(request)
                     held.push(request.mode, request.long)
                     request.status = RequestStatus.GRANTED
+                    self._dequeue_wait(request)
+                    self._touch(entry)
                     woken.append(request)
                     progressed = True
             while entry.queue and not entry.conversions:
@@ -427,6 +495,7 @@ class LockTable:
                 if not grantable:
                     break
                 entry.queue.popleft()
+                self._dequeue_wait(request)
                 self._grant(entry, request)
                 woken.append(request)
                 progressed = True
@@ -438,6 +507,8 @@ class LockTable:
                 if request.txn == txn:
                     queue.remove(request)
                     request.status = RequestStatus.CANCELLED
+                    self._dequeue_wait(request)
+                    self._touch(entry)
 
     def _drop_if_empty(self, resource, entry):
         if entry.empty():

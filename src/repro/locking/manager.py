@@ -18,11 +18,12 @@ certain rules."  This module provides that component in two flavours:
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, List, Optional
 
 from repro.errors import DeadlockError, LockTimeoutError
 from repro.locking.deadlock import DeadlockDetector
-from repro.locking.lock_table import LockRequest, LockTable
+from repro.locking.lock_table import LockRequest, LockTable, RequestStatus
 from repro.locking.modes import LockMode
 
 
@@ -127,8 +128,13 @@ class ThreadedLockManager:
 
     ``acquire`` blocks the calling thread until the lock is granted, the
     optional timeout expires (:class:`LockTimeoutError`) or the waiter is
-    aborted as a deadlock victim (:class:`DeadlockError`).  Deadlock
-    detection runs inline on every blocked acquire.
+    aborted as a deadlock victim (:class:`DeadlockError`).
+
+    Waiters are woken by ``notify_all`` when a release (or a victim
+    cancellation) changes the table — no polling.  Deadlock detection runs
+    once per *enqueue*: a waits-for cycle can only close at the moment a
+    new wait edge is added, so checking then is both sufficient and far
+    cheaper than the seed's 50 ms poll-and-recheck loop.
     """
 
     def __init__(self):
@@ -152,31 +158,48 @@ class ThreadedLockManager:
             request = self._manager.acquire(txn, resource, mode, long=long)
             if request.granted:
                 return request
-            waited = 0.0
-            poll = 0.05
+            self._resolve_cycles(txn, request)
+            deadline = None if timeout is None else time.monotonic() + timeout
             while not request.granted:
-                cycle = self._manager.detect_deadlock()
-                if cycle is not None:
-                    victim = self._manager.detector.pick_victim(cycle)
-                    if victim == txn:
-                        self._manager.cancel(request)
-                        self._granted.notify_all()
-                        raise DeadlockError(
-                            "transaction %r chosen as deadlock victim" % (txn,),
-                            cycle=cycle,
-                        )
-                self._granted.wait(timeout=poll)
-                waited += poll
-                if request.status == "cancelled":
+                if request.status == RequestStatus.CANCELLED:
                     raise DeadlockError(
                         "transaction %r aborted while waiting" % (txn,)
                     )
-                if timeout is not None and waited >= timeout and not request.granted:
-                    self._manager.cancel(request)
-                    raise LockTimeoutError(
-                        "timed out waiting for %s on %r" % (mode, resource)
-                    )
+                if deadline is None:
+                    self._granted.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._manager.cancel(request)
+                        self._granted.notify_all()
+                        raise LockTimeoutError(
+                            "timed out waiting for %s on %r" % (mode, resource)
+                        )
+                    self._granted.wait(timeout=remaining)
             return request
+
+    def _resolve_cycles(self, txn, request: LockRequest):
+        """Break every cycle the wait edge just added may have closed.
+
+        Caller holds the mutex.  Every node on a waits-for cycle has an
+        outgoing edge, i.e. is waiting, so a victim always has requests to
+        cancel and each round removes edges — the loop terminates.
+        """
+        while True:
+            cycle = self._manager.detect_deadlock()
+            if cycle is None:
+                return
+            victim = self._manager.detector.pick_victim(cycle)
+            if victim == txn:
+                self._manager.cancel(request)
+                self._granted.notify_all()
+                raise DeadlockError(
+                    "transaction %r chosen as deadlock victim" % (txn,),
+                    cycle=cycle,
+                )
+            for waiting in self._manager.table.waiting_requests_of(victim):
+                self._manager.cancel(waiting)
+            self._granted.notify_all()
 
     def release(self, txn, resource):
         with self._granted:

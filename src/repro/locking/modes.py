@@ -69,11 +69,6 @@ def _fill_compatibility():
 _fill_compatibility()
 
 
-def compatible(held: LockMode, requested: LockMode) -> bool:
-    """Can ``requested`` be granted while another txn holds ``held``?"""
-    return _COMPATIBLE[(held, requested)]
-
-
 #: Supremum (least upper bound) in the restrictiveness lattice.  When a
 #: transaction already holding mode ``a`` requests mode ``b`` on the same
 #: node, it must afterwards hold ``supremum(a, b)`` (lock conversion).
@@ -106,9 +101,38 @@ def _fill_supremum():
 _fill_supremum()
 
 
+# -- int-indexed fast tables ---------------------------------------------------
+#
+# The Enum-tuple dictionaries above are the *definitions* (and remain
+# available as ``compatible_naive``/``supremum_naive`` for the ablation
+# benchmarks), but every conflict test in the lock table pays for them with
+# a tuple allocation plus two enum hashes.  The hot-path functions below
+# index precomputed dense tables by a small integer stamped onto each mode
+# member instead — one attribute load and two list subscripts per test.
+
+_MODE_ORDER = (IS, IX, S, SIX, X)
+for _i, _mode in enumerate(_MODE_ORDER):
+    _mode.code = _i
+
+_COMPAT_TABLE = [
+    [_COMPATIBLE[(a, b)] for b in _MODE_ORDER] for a in _MODE_ORDER
+]
+_SUP_TABLE = [
+    [_SUPREMUM[(a, b)] for b in _MODE_ORDER] for a in _MODE_ORDER
+]
+_COVERS_TABLE = [
+    [_SUPREMUM[(a, b)] is a for b in _MODE_ORDER] for a in _MODE_ORDER
+]
+
+
+def compatible(held: LockMode, requested: LockMode) -> bool:
+    """Can ``requested`` be granted while another txn holds ``held``?"""
+    return _COMPAT_TABLE[held.code][requested.code]
+
+
 def supremum(a: LockMode, b: LockMode) -> LockMode:
     """Least upper bound of two modes in the restrictiveness lattice."""
-    return _SUPREMUM[(a, b)]
+    return _SUP_TABLE[a.code][b.code]
 
 
 def covers(held: LockMode, required: LockMode) -> bool:
@@ -118,7 +142,17 @@ def covers(held: LockMode, required: LockMode) -> bool:
     IX satisfies a requirement of "at least IS"; a node locked in S does
     *not* satisfy "at least IX" (S grants no write intention).
     """
-    return supremum(held, required) == held
+    return _COVERS_TABLE[held.code][required.code]
+
+
+def compatible_naive(held: LockMode, requested: LockMode) -> bool:
+    """Dict-backed compatibility test (pre-optimization ablation path)."""
+    return _COMPATIBLE[(held, requested)]
+
+
+def supremum_naive(a: LockMode, b: LockMode) -> LockMode:
+    """Dict-backed supremum (pre-optimization ablation path)."""
+    return _SUPREMUM[(a, b)]
 
 
 def intention_of(mode: LockMode) -> LockMode:

@@ -20,6 +20,7 @@ from typing import Callable, Dict, Iterator, List, Tuple
 
 from repro.errors import IntegrityError, SchemaError
 from repro.nf2.paths import resolve_type, resolve_value
+from repro.nf2.refindex import ReferenceIndex
 from repro.nf2.schema import RelationSchema, check_schema_closure
 from repro.nf2.surrogate import SurrogateGenerator
 from repro.nf2.values import (
@@ -71,6 +72,7 @@ class Relation:
             index.add(root[attribute], surrogate)
         self._by_surrogate[surrogate] = obj
         self._by_key[key] = obj
+        self.database.reference_index.index_object(self, obj)
         return obj
 
     def get(self, key) -> ComplexObject:
@@ -107,7 +109,15 @@ class Relation:
         """
         obj = self.get(key)
         if not force:
-            referencing = self.database.scan_referencing(obj.reference())
+            # Referential-integrity check: the reverse-reference index
+            # answers "who references me?" in O(1); the full database scan
+            # remains only as the naive-baseline ablation.
+            if self.database.use_reference_index:
+                referencing = self.database.reference_index.referencing_objects(
+                    obj.reference()
+                )
+            else:
+                referencing = self.database.scan_referencing(obj.reference())
             if referencing:
                 raise IntegrityError(
                     "object %r of relation %r is still referenced by %d "
@@ -118,6 +128,7 @@ class Relation:
             index.remove(obj.root[attribute], obj.surrogate)
         del self._by_surrogate[obj.surrogate]
         del self._by_key[obj.key]
+        self.database.reference_index.forget_object(self, obj)
         return obj
 
     def replace(self, obj: ComplexObject):
@@ -134,7 +145,8 @@ class Relation:
         self.schema.object_type.validate(obj.root, resolver=self.database._resolves)
         stored = self._by_surrogate[obj.surrogate]
         new_key = obj.root[self.schema.key]
-        if new_key != stored.key:
+        key_changed = new_key != stored.key
+        if key_changed:
             if new_key in self._by_key:
                 raise IntegrityError(
                     "key %r already present in relation %r" % (new_key, self.name)
@@ -149,6 +161,11 @@ class Relation:
                 index.remove(old_value, stored.surrogate)
                 index.add(new_value, stored.surrogate)
         stored.root = obj.root
+        # A key change renames the entry-point resource of this object, so
+        # the reference index must invalidate even if references stand.
+        self.database.reference_index.refresh_object(
+            self, stored, key_changed=key_changed
+        )
 
     def resolve(self, obj: ComplexObject, steps):
         """Resolve an instance path within ``obj`` (see repro.nf2.paths)."""
@@ -170,6 +187,15 @@ class Database:
         #: number of objects visited by reverse-reference scans (benchmarks
         #: read and reset this to quantify the naive baseline's overhead).
         self.scan_cost = 0
+        #: subtree walks performed by *naive* downward-propagation scans
+        #: (UnitMap.entry_points_below without the index); the cached path
+        #: counts dictionary lookups on ``reference_index`` instead.
+        self.ref_scan_ops = 0
+        #: incremental reverse-reference / entry-point index (see
+        #: :mod:`repro.nf2.refindex`); ``use_reference_index`` is the
+        #: ablation flag restoring every naive scan for benchmarks.
+        self.reference_index = ReferenceIndex(self)
+        self.use_reference_index = True
         #: optional hooks fired on relation creation (catalog integration)
         self._creation_hooks: List[Callable[[Relation], None]] = []
 
@@ -288,6 +314,28 @@ class Database:
         """Return and clear the accumulated reverse-scan cost."""
         cost, self.scan_cost = self.scan_cost, 0
         return cost
+
+    def reset_ref_scan_ops(self) -> int:
+        """Return and clear the naive downward-propagation scan counter."""
+        ops, self.ref_scan_ops = self.ref_scan_ops, 0
+        return ops
+
+    # -- incremental reference-index maintenance -----------------------------
+
+    def notify_object_changed(self, relation_name: str, surrogate: str):
+        """Tell the reference index one object's tree was mutated in place.
+
+        Called by the transaction manager after component writes (and by
+        their undo actions): the object is re-scanned incrementally; memoized
+        closures are invalidated only when its reference list changed.
+        """
+        relation = self._relations.get(relation_name)
+        if relation is None:
+            return
+        obj = relation._by_surrogate.get(surrogate)
+        if obj is None:
+            return
+        self.reference_index.refresh_object(relation, obj)
 
     # -- statistics -----------------------------------------------------------
 

@@ -148,8 +148,9 @@ class HerrmannProtocol(ProtocolBase):
                 resource, transitive=self.transitive_propagation
             )
         steps: List[PlannedLock] = []
+        ancestor_set = set(ancestors(resource))
         for entry in entry_points:
-            if entry == resource or entry in set(a for a in ancestors(resource)):
+            if entry == resource or entry in ancestor_set:
                 continue
             entry_mode = self._propagated_mode(txn, entry, mode)
             entry_intention = intention_of(entry_mode)

@@ -135,6 +135,7 @@ class TransactionManager:
                     "the key attribute changes object identity; use "
                     "update_object instead of update_component"
                 )
+            notify = self._notifier(relation_name, obj.surrogate)
             old_value = parent[last.name]
             if len(steps) == 1 and last.name in relation.indexes:
                 # top-level indexed attribute: lock both entries and keep
@@ -156,9 +157,15 @@ class TransactionManager:
 
                 txn.record_undo(undo_index)
             parent[last.name] = new_value
-            txn.record_undo(lambda p=parent, n=last.name, v=old_value: p.__setitem__(n, v))
+
+            def undo_set(p=parent, n=last.name, v=old_value, note=notify):
+                p[n] = v
+                note()
+
+            txn.record_undo(undo_set)
         else:
             # element replacement inside a collection
+            notify = self._notifier(relation_name, obj.surrogate)
             old_element = relation.resolve(obj, steps)
             container = parent
             if not isinstance(container, (SetValue, ListValue)):
@@ -168,13 +175,15 @@ class TransactionManager:
             container.remove(old_element)
             container.add(new_value)
 
-            def undo(c=container, new=new_value, old=old_element):
+            def undo(c=container, new=new_value, old=old_element, note=notify):
                 c.remove(new)
                 c.add(old)
+                note()
 
             txn.record_undo(undo)
         # re-validate the object against its schema after mutation
         relation.schema.object_type.validate(obj.root, resolver=self.database._resolves)
+        notify()
         return obj
 
     def update_object(self, txn: Transaction, relation_name: str, key, new_root, wait=False):
@@ -226,9 +235,16 @@ class TransactionManager:
             raise TransactionError(
                 "add_element needs a set/list component at %r" % (path,)
             )
+        notify = self._notifier(relation_name, obj.surrogate)
         container.add(element)
-        txn.record_undo(lambda c=container, e=element: c.remove(e))
+
+        def undo_add(c=container, e=element, note=notify):
+            c.remove(e)
+            note()
+
+        txn.record_undo(undo_add)
         relation.schema.object_type.validate(obj.root, resolver=self.database._resolves)
+        notify()
         return element
 
     def remove_element(
@@ -247,9 +263,16 @@ class TransactionManager:
             raise TransactionError(
                 "remove_element needs a set/list component at %r" % (path,)
             )
+        notify = self._notifier(relation_name, obj.surrogate)
         container.remove(element)
-        txn.record_undo(lambda c=container, e=element: c.add(e))
+
+        def undo_remove(c=container, e=element, note=notify):
+            c.add(e)
+            note()
+
+        txn.record_undo(undo_remove)
         relation.schema.object_type.validate(obj.root, resolver=self.database._resolves)
+        notify()
         return element
 
     def insert_object(self, txn: Transaction, relation_name: str, root, wait=False):
@@ -318,6 +341,15 @@ class TransactionManager:
         relation.delete(key)
         txn.record_undo(lambda rel=relation, snap=snapshot: rel.insert(snap.root))
         return snapshot
+
+    def _notifier(self, relation_name: str, surrogate: str):
+        """Callable informing the reference index of an in-place write.
+
+        Shared by the forward mutation and its undo action so the index
+        stays exact on both commit and rollback paths.
+        """
+        database = self.database
+        return lambda: database.notify_object_changed(relation_name, surrogate)
 
     def _plan_without_propagation(self, txn, resource):
         """An X plan on ``resource`` without downward propagation.

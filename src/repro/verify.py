@@ -22,10 +22,17 @@ see ``tests/integration/test_verify.py``.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
-from repro.graphs.units import ancestors
+from repro.graphs.units import (
+    UnitMap,
+    ancestors,
+    object_resource,
+    relation_resource,
+)
 from repro.locking.modes import S, SIX, X, compatible, covers, intention_of
+from repro.nf2.refindex import reference_resource_parts
+from repro.nf2.values import collect_references
 
 
 class Violation:
@@ -56,6 +63,9 @@ def audit(protocol) -> List[Violation]:
     violations.extend(check_entry_point_visibility(protocol))
     violations.extend(check_waiting_consistency(protocol.manager))
     violations.extend(check_indexes(protocol.catalog.database))
+    violations.extend(
+        check_reference_index(protocol.catalog.database, protocol.catalog)
+    )
     return violations
 
 
@@ -92,6 +102,78 @@ def check_indexes(database) -> List[Violation]:
                         "missing=%r stale=%r" % (missing, stale),
                     )
                 )
+    return out
+
+
+def check_reference_index(database, catalog) -> List[Violation]:
+    """The incremental reference index must agree with a fresh scan.
+
+    6. **reference-index consistency** — for every relation and object
+       resource, and for both transitive settings, the index-backed
+       ``entry_points_below`` equals the naive instance-subtree scan
+       exactly (order included); every object's cached direct reference
+       list equals a fresh tree walk; and the reverse-edge occurrence
+       counts match a full recount.
+    """
+    out: List[Violation] = []
+    units = UnitMap(catalog)
+    index = database.reference_index
+    expected_counts: Dict[Tuple[str, str], int] = {}
+    for relation in database.relations():
+        resources = [
+            relation_resource(database.name, relation.segment, relation.name)
+        ]
+        for obj in relation:
+            resources.append(object_resource(catalog, relation.name, obj.key))
+            fresh = tuple(
+                reference_resource_parts(obj.root, relation.schema.object_type)
+            )
+            cached = index._direct.get((relation.name, obj.surrogate), ())
+            if cached != fresh:
+                out.append(
+                    Violation(
+                        "reference-index",
+                        None,
+                        (relation.name, str(obj.key)),
+                        "stale direct entries: cached=%r fresh=%r"
+                        % (cached, fresh),
+                    )
+                )
+            for ref in collect_references(obj.root):
+                target = (ref.relation, ref.surrogate)
+                expected_counts[target] = expected_counts.get(target, 0) + 1
+        for resource in resources:
+            for transitive in (False, True):
+                fast = units.entry_points_below(
+                    resource, transitive=transitive, naive=False
+                )
+                naive = units.entry_points_below(
+                    resource, transitive=transitive, naive=True
+                )
+                if fast != naive:
+                    out.append(
+                        Violation(
+                            "reference-index",
+                            None,
+                            resource,
+                            "entry points diverge (transitive=%s): "
+                            "index=%r scan=%r" % (transitive, fast, naive),
+                        )
+                    )
+    actual_counts = {
+        target: sum(sources.values())
+        for target, sources in index._referencing.items()
+    }
+    if actual_counts != expected_counts:
+        out.append(
+            Violation(
+                "reference-index",
+                None,
+                None,
+                "reverse-edge counts diverge: index=%r recount=%r"
+                % (actual_counts, expected_counts),
+            )
+        )
     return out
 
 

@@ -1,0 +1,291 @@
+"""Property tests: the incremental reference index vs fresh scans.
+
+The index (``repro.nf2.refindex``) claims exact agreement with the naive
+instance-subtree scan after *any* mutation sequence — inserts, deletes,
+whole-object replacement, in-place component writes through the
+transaction manager, and their undo paths on abort.  These tests drive
+random operation traces and call :func:`repro.verify.check_reference_index`
+after every step, plus deterministic checks of invalidation precision and
+transitive closure (common data inside common data).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.graphs.units import object_resource
+from repro.nf2 import make_set, make_tuple
+from repro.verify import check_reference_index
+from repro.workloads import (
+    build_cells_database,
+    build_deep_database,
+    build_design_database,
+    build_partlib_database,
+)
+
+
+def assert_index_consistent(database, catalog):
+    violations = check_reference_index(database, catalog)
+    assert violations == [], violations
+
+
+cells_ops = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                "insert_eff",
+                "delete_eff",
+                "update_eff",
+                "add_ref",
+                "remove_ref",
+                "update_traj",
+            ]
+        ),
+        st.integers(1, 6),  # effector key suffix
+        st.integers(0, 4),  # value suffix / element pick
+        st.booleans(),      # commit (True) or abort (False)
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+class TestCellsTraceProperty:
+    @given(cells_ops)
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_index_matches_scan_after_any_trace(self, trace):
+        database, catalog = build_cells_database(figure7=True)
+        stack = repro.make_stack(database, catalog)
+        stack.authorization.grant_modify("w", "cells")
+        stack.authorization.grant_modify("w", "effectors")
+
+        for action, key_n, value_n, commit in trace:
+            key = "e%d" % key_n
+            robot = "r%d" % (value_n % 2 + 1)
+            txn = stack.txns.begin(principal="w")
+            try:
+                if action == "insert_eff":
+                    stack.txns.insert_object(
+                        txn,
+                        "effectors",
+                        make_tuple(eff_id=key, tool="t%d" % value_n),
+                    )
+                elif action == "delete_eff":
+                    # fails with IntegrityError while referenced
+                    stack.txns.delete_object(txn, "effectors", key)
+                elif action == "update_eff":
+                    stack.txns.update_object(
+                        txn,
+                        "effectors",
+                        key,
+                        make_tuple(eff_id=key, tool="t%d" % value_n),
+                    )
+                elif action == "add_ref":
+                    eff = database.get("effectors", key)
+                    stack.txns.add_element(
+                        txn,
+                        "cells",
+                        "c1",
+                        "robots[%s].effectors" % robot,
+                        eff.reference(),
+                    )
+                elif action == "remove_ref":
+                    cell = database.get("cells", "c1")
+                    robots = {r["robot_id"]: r for r in cell.root["robots"]}
+                    refs = sorted(
+                        robots[robot]["effectors"],
+                        key=lambda r: r.surrogate,
+                    )
+                    if not refs:
+                        raise LookupError("no reference to remove")
+                    stack.txns.remove_element(
+                        txn,
+                        "cells",
+                        "c1",
+                        "robots[%s].effectors" % robot,
+                        refs[value_n % len(refs)],
+                    )
+                else:
+                    stack.txns.update_component(
+                        txn,
+                        "cells",
+                        "c1",
+                        "robots[%s].trajectory" % robot,
+                        "traj%d" % value_n,
+                    )
+            except Exception:
+                stack.txns.abort(txn)
+                assert_index_consistent(database, catalog)
+                continue
+            if commit:
+                stack.txns.commit(txn)
+            else:
+                stack.txns.abort(txn)
+            assert_index_consistent(database, catalog)
+
+
+partlib_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["relink_material", "relink_part", "delete_part"]),
+        st.integers(1, 6),
+        st.integers(1, 4),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestPartlibTransitiveProperty:
+    """assemblies -> parts -> materials: common data inside common data."""
+
+    @given(partlib_ops)
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_transitive_closure_matches_after_any_trace(self, trace):
+        database, catalog = build_partlib_database(seed=11)
+        stack = repro.make_stack(database, catalog)
+        for relation in ("assemblies", "parts", "materials"):
+            stack.authorization.grant_modify("w", relation)
+
+        for action, n, m, commit in trace:
+            txn = stack.txns.begin(principal="w")
+            try:
+                if action == "relink_material":
+                    # rewrite one part's material set (changes the second
+                    # hop of the assemblies -> parts -> materials closure)
+                    part_key = "p%d" % n
+                    mat = database.get("materials", "m%d" % (m % 3 + 1))
+                    part = database.get("parts", part_key)
+                    stack.txns.update_object(
+                        txn,
+                        "parts",
+                        part_key,
+                        make_tuple(
+                            part_id=part_key,
+                            name=part.root["name"],
+                            materials=make_set(mat.reference()),
+                        ),
+                    )
+                elif action == "relink_part":
+                    # repoint one assembly position at another part
+                    asm_key = "a%d" % (n % 4 + 1)
+                    part = database.get("parts", "p%d" % (m % 6 + 1))
+                    stack.txns.update_component(
+                        txn,
+                        "assemblies",
+                        asm_key,
+                        "positions[%d].part" % (n % 3 + 1),
+                        part.reference(),
+                    )
+                else:
+                    # fails with IntegrityError while referenced
+                    stack.txns.delete_object(txn, "parts", "p%d" % n)
+            except Exception:
+                stack.txns.abort(txn)
+                assert_index_consistent(database, catalog)
+                continue
+            if commit:
+                stack.txns.commit(txn)
+            else:
+                stack.txns.abort(txn)
+            assert_index_consistent(database, catalog)
+
+
+class TestInvalidationPrecision:
+    def test_non_reference_write_keeps_memo(self):
+        """A trajectory overwrite must not invalidate cached closures."""
+        database, catalog = build_cells_database(figure7=True)
+        stack = repro.make_stack(database, catalog)
+        stack.authorization.grant_modify("u", "cells")
+        units = stack.protocol.units
+        index = database.reference_index
+        resource = object_resource(catalog, "cells", "c1")
+
+        first = units.entry_points_below(resource, transitive=True)
+        version = index.version
+        txn = stack.txns.begin(principal="u")
+        stack.txns.update_component(
+            txn, "cells", "c1", "robots[r1].trajectory", "elsewhere"
+        )
+        stack.txns.commit(txn)
+        assert index.version == version
+
+        hits = index.memo_hits
+        assert units.entry_points_below(resource, transitive=True) == first
+        assert index.memo_hits == hits + 1
+
+    def test_reference_write_invalidates(self):
+        """Adding a reference must invalidate and surface the new entry."""
+        database, catalog = build_cells_database(figure7=True)
+        stack = repro.make_stack(database, catalog)
+        stack.authorization.grant_modify("u", "cells")
+        stack.authorization.grant_modify("u", "effectors")
+        units = stack.protocol.units
+        index = database.reference_index
+        resource = object_resource(catalog, "cells", "c1")
+
+        fresh = database.insert(
+            "effectors", make_tuple(eff_id="e9", tool="laser")
+        )
+        before = units.entry_points_below(resource, transitive=True)
+        version = index.version
+        txn = stack.txns.begin(principal="u")
+        stack.txns.add_element(
+            txn, "cells", "c1", "robots[r1].effectors", fresh.reference()
+        )
+        stack.txns.commit(txn)
+        assert index.version > version
+
+        after = units.entry_points_below(resource, transitive=True)
+        new_entry = object_resource(catalog, "effectors", "e9")
+        assert new_entry not in before
+        assert new_entry in after
+        assert_index_consistent(database, catalog)
+
+    def test_abort_restores_index(self):
+        """Undo closures must re-notify so the index rolls back too."""
+        database, catalog = build_cells_database(figure7=True)
+        stack = repro.make_stack(database, catalog)
+        stack.authorization.grant_modify("u", "cells")
+        units = stack.protocol.units
+        resource = object_resource(catalog, "cells", "c1")
+
+        before = units.entry_points_below(resource, transitive=True)
+        e3 = database.get("effectors", "e3")
+        txn = stack.txns.begin(principal="u")
+        stack.txns.add_element(
+            txn, "cells", "c1", "robots[r1].effectors", e3.reference()
+        )
+        stack.txns.abort(txn)
+        assert units.entry_points_below(resource, transitive=True) == before
+        assert_index_consistent(database, catalog)
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [
+        lambda: build_cells_database(figure7=True),
+        lambda: build_cells_database(
+            n_cells=4, n_objects=5, n_robots=3, n_effectors=6,
+            refs_per_robot=2, seed=7,
+        ),
+        lambda: build_partlib_database(seed=11),
+        lambda: build_design_database(shared_library=True),
+        lambda: build_design_database(shared_library=False),
+        lambda: build_deep_database(),
+    ],
+    ids=["figure7", "cells-synthetic", "partlib", "design-shared",
+         "design-disjoint", "deep"],
+)
+def test_every_workload_agrees(builder):
+    database, catalog = builder()
+    assert_index_consistent(database, catalog)
