@@ -1,0 +1,101 @@
+"""Schedule-exploring concurrency oracle (``repro.check``).
+
+The paper's central claim is qualitative: rules 1-5 make the general lock
+graph *safe* for non-disjoint complex objects where the straightforward
+DAG protocol is not (section 3.2.2).  Live-snapshot auditing
+(:mod:`repro.verify`) can catch a violation when it happens to occur;
+this package makes the claim *testable* by construction:
+
+* :mod:`repro.check.program` — a small operation language for
+  multi-transaction workloads (lock demands, covered data touches,
+  transaction-manager calls);
+* :mod:`repro.check.scheduler` — a deterministic interleaving controller
+  that replays workloads step by step, plus an explorer performing
+  bounded exhaustive search with DPOR-lite sleep-set pruning and seeded
+  random walks;
+* :mod:`repro.check.oracle` — per-schedule verdicts: conflict
+  serializability via precedence-graph cycle detection, two-phase
+  discipline over the lock trace, and the paper's entry-point visibility
+  obligation checked after every step;
+* :mod:`repro.check.differential` — the same workloads replayed against
+  the paper's protocol, the System R baselines and both naive-DAG horns,
+  and against the ablation paths (reference index on/off, dense vs naive
+  mode tables), asserting the safe protocols agree and the explorer
+  rediscovers the from-the-side anomaly on the unsafe one;
+* :mod:`repro.check.cli` — the ``repro-check`` command line.
+"""
+
+from repro.check.differential import (
+    SAFE_PROTOCOLS,
+    UNSAFE_PROTOCOLS,
+    VISIBILITY_OBLIGED,
+    ablation_fingerprints,
+    assert_ablations_agree,
+    assert_safe_protocols_agree,
+    differential_check,
+    explore_protocols,
+    find_unsafe_counterexample,
+    naive_mode_tables,
+)
+from repro.check.oracle import (
+    DataOp,
+    ScheduleVerdict,
+    certify,
+    precedence_edges,
+    serialization_order,
+    two_phase_violations,
+)
+from repro.check.program import (
+    Abort,
+    Call,
+    Commit,
+    Demand,
+    SharedRead,
+    SharedWrite,
+    TxnOp,
+    TxnProgram,
+)
+from repro.check.scheduler import (
+    ExplorationReport,
+    Explorer,
+    ScheduleResult,
+    ScheduleRun,
+    Workload,
+    independent,
+)
+from repro.check.workloads import WORKLOADS, build_check_partlib
+
+__all__ = [
+    "Abort",
+    "Call",
+    "Commit",
+    "DataOp",
+    "Demand",
+    "ExplorationReport",
+    "Explorer",
+    "SAFE_PROTOCOLS",
+    "ScheduleResult",
+    "ScheduleRun",
+    "ScheduleVerdict",
+    "SharedRead",
+    "SharedWrite",
+    "TxnOp",
+    "TxnProgram",
+    "UNSAFE_PROTOCOLS",
+    "VISIBILITY_OBLIGED",
+    "WORKLOADS",
+    "Workload",
+    "ablation_fingerprints",
+    "assert_ablations_agree",
+    "assert_safe_protocols_agree",
+    "build_check_partlib",
+    "certify",
+    "differential_check",
+    "explore_protocols",
+    "find_unsafe_counterexample",
+    "independent",
+    "naive_mode_tables",
+    "precedence_edges",
+    "serialization_order",
+    "two_phase_violations",
+]

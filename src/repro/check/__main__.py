@@ -1,0 +1,8 @@
+"""``python -m repro.check`` -> the repro-check command line."""
+
+import sys
+
+from repro.check.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

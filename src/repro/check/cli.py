@@ -1,0 +1,314 @@
+"""``repro-check`` — the schedule-exploration command line.
+
+Subcommands::
+
+    repro-check list                          # workloads and protocols
+    repro-check explore  -w partlib -p herrmann
+    repro-check certify  -w partlib -p herrmann
+    repro-check counterexample -w from-the-side
+    repro-check differential -w from-the-side
+    repro-check smoke                         # bounded CI pass (< 30 s)
+
+``explore`` enumerates schedules and prints the verdict distribution;
+``certify`` exits non-zero unless *every* explored schedule is certified;
+``counterexample`` replays the unsafe DAG baseline and prints the first
+interleaving that violates the entry-point visibility obligation, with
+its lock narrative; ``differential`` runs the full cross-protocol and
+ablation comparison; ``smoke`` is the fast bounded variant CI runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import CheckError
+from repro.protocol import PROTOCOLS
+from repro.check.differential import (
+    SAFE_PROTOCOLS,
+    UNSAFE_PROTOCOLS,
+    VISIBILITY_OBLIGED,
+    ablation_fingerprints,
+    assert_ablations_agree,
+    check_rules_for,
+    differential_check,
+    explore_protocols,
+    find_unsafe_counterexample,
+)
+from repro.check.scheduler import Explorer
+from repro.check.workloads import WORKLOADS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="schedule exploration, serializability oracle and "
+        "differential protocol testing",
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    def common(sub):
+        sub.add_argument(
+            "-w", "--workload", default="partlib", choices=sorted(WORKLOADS)
+        )
+        sub.add_argument(
+            "-p", "--protocol", default="herrmann", choices=sorted(PROTOCOLS)
+        )
+        sub.add_argument("--max-schedules", type=int, default=5000)
+        sub.add_argument("--max-steps", type=int, default=300)
+        sub.add_argument(
+            "--walks",
+            type=int,
+            default=0,
+            help="use N seeded random walks instead of exhaustive search",
+        )
+        sub.add_argument("--seed", type=int, default=0)
+
+    commands.add_parser("list", help="available workloads and protocols")
+    common(commands.add_parser("explore", help="enumerate schedules"))
+    common(commands.add_parser("certify", help="fail unless all schedules pass"))
+    counter = commands.add_parser(
+        "counterexample",
+        help="show the section 3.2.2 anomaly on the unsafe baseline",
+    )
+    counter.add_argument(
+        "-w", "--workload", default="from-the-side", choices=sorted(WORKLOADS)
+    )
+    counter.add_argument("--max-schedules", type=int, default=5000)
+    counter.add_argument("--max-steps", type=int, default=300)
+    diff = commands.add_parser(
+        "differential", help="cross-protocol and ablation comparison"
+    )
+    diff.add_argument(
+        "-w", "--workload", default="from-the-side", choices=sorted(WORKLOADS)
+    )
+    diff.add_argument("--max-schedules", type=int, default=5000)
+    diff.add_argument("--max-steps", type=int, default=300)
+    diff.add_argument("--walks", type=int, default=0)
+    diff.add_argument("--seed", type=int, default=0)
+    diff.add_argument(
+        "--no-ablations", action="store_true", help="skip the ablation matrix"
+    )
+    commands.add_parser("smoke", help="bounded differential pass for CI")
+    return parser
+
+
+def _explorer(args) -> Explorer:
+    return Explorer(
+        WORKLOADS[args.workload],
+        variant={"protocol_cls": PROTOCOLS[args.protocol]},
+        check_rules=check_rules_for(args.protocol),
+        max_schedules=args.max_schedules,
+        max_steps=args.max_steps,
+    )
+
+
+def _report_for(args):
+    explorer = _explorer(args)
+    if getattr(args, "walks", 0):
+        return explorer.random_walks(walks=args.walks, seed=args.seed)
+    return explorer.explore()
+
+
+def cmd_list(_args) -> int:
+    print("workloads:")
+    for name in sorted(WORKLOADS):
+        print("  %-14s %s" % (name, WORKLOADS[name].description))
+    print("protocols:")
+    for name in sorted(PROTOCOLS):
+        safety = (
+            "unsafe (section 3.2.2 straw man)"
+            if name in UNSAFE_PROTOCOLS
+            else "safe"
+        )
+        obliged = (
+            ", visibility-obliged" if name in VISIBILITY_OBLIGED else ""
+        )
+        print("  %-18s %s%s" % (name, safety, obliged))
+    return 0
+
+
+def cmd_explore(args) -> int:
+    report = _report_for(args)
+    obliged = args.protocol in VISIBILITY_OBLIGED
+    verdicts = report.verdicts(visibility_obliged=obliged)
+    ok = sum(1 for _, verdict in verdicts if verdict.ok)
+    print(
+        "%s under %s: %d schedules (%d replays, %d pruned, %s)"
+        % (
+            report.workload,
+            report.protocol,
+            len(report),
+            report.replays,
+            report.pruned,
+            "exhaustive" if report.exhaustive else "sampled",
+        )
+    )
+    print("  certified: %d   counterexamples: %d" % (ok, len(verdicts) - ok))
+    for result, verdict in verdicts:
+        if not verdict.ok:
+            print("  [%s] %s" % (result.schedule_string(), verdict.describe()))
+    return 0
+
+
+def cmd_certify(args) -> int:
+    report = _report_for(args)
+    obliged = args.protocol in VISIBILITY_OBLIGED
+    bad = report.counterexamples(visibility_obliged=obliged)
+    kind = "exhaustively certified" if report.exhaustive else "sampled"
+    if not bad:
+        print(
+            "%s under %s: all %d schedules conflict-serializable (%s)"
+            % (report.workload, report.protocol, len(report), kind)
+        )
+        return 0
+    result, verdict = bad[0]
+    print(
+        "%s under %s: %d of %d schedules FAIL"
+        % (report.workload, report.protocol, len(bad), len(report))
+    )
+    print("  first: [%s] %s" % (result.schedule_string(), verdict.describe()))
+    return 1
+
+
+def cmd_counterexample(args) -> int:
+    explorer = Explorer(
+        WORKLOADS[args.workload],
+        variant={"protocol_cls": PROTOCOLS["naive_dag_unsafe"]},
+        check_rules=check_rules_for("naive_dag_unsafe"),
+        max_schedules=args.max_schedules,
+        max_steps=args.max_steps,
+    )
+    report = explorer.explore()
+    evidence = find_unsafe_counterexample(report)
+    if evidence is None:
+        print(
+            "no counterexample found under naive_dag_unsafe on %s "
+            "(%d schedules)" % (args.workload, len(report))
+        )
+        return 1
+    result, verdict = evidence
+    print(
+        "counterexample on %s under naive_dag_unsafe "
+        "(explored %d schedules):" % (args.workload, len(report))
+    )
+    print("  interleaving: %s" % result.schedule_string())
+    print("  verdict:      %s" % verdict.describe())
+    for step, rule, txn, resource, detail in result.violations:
+        if rule == "entry-point-visibility":
+            print(
+                "  step %d: %s holds %r uncovered — %s"
+                % (step, txn, resource, detail)
+            )
+    print("  lock narrative:")
+    for action, txn, resource, mode, outcome in result.trace_events:
+        line = "    %-11s %-4s" % (action, txn)
+        if resource is not None:
+            line += " " + "/".join(str(part) for part in resource)
+        if mode:
+            line += " " + mode
+        if outcome:
+            line += " -> " + outcome
+        print(line)
+    return 0
+
+
+def cmd_differential(args) -> int:
+    try:
+        summary = differential_check(
+            WORKLOADS[args.workload],
+            max_schedules=args.max_schedules,
+            max_steps=args.max_steps,
+            walks=args.walks,
+            seed=args.seed,
+            ablations=not args.no_ablations,
+        )
+    except CheckError as exc:
+        print("DIFFERENTIAL FAILURE: %s" % exc)
+        return 1
+    _print_differential(summary)
+    return 0
+
+
+def _print_differential(summary) -> None:
+    print("workload: %s" % summary["workload"])
+    print("  %-18s %10s %9s %8s %15s" % (
+        "protocol", "schedules", "replays", "pruned", "verdict"
+    ))
+    for name, report in summary["reports"].items():
+        if name in summary.get("anomalies", {}):
+            verdict = "anomaly found"
+        else:
+            verdict = "all safe"
+        print(
+            "  %-18s %10d %9d %8d %15s"
+            % (name, len(report), report.replays, report.pruned, verdict)
+        )
+    for name, (result, verdict) in summary.get("anomalies", {}).items():
+        print(
+            "  %s counterexample: [%s] %s"
+            % (name, result.schedule_string(), verdict.describe())
+        )
+    if "ablation_schedules" in summary:
+        print(
+            "  ablations agree: %d identical schedules across refindex "
+            "on/off x dense/naive mode tables" % summary["ablation_schedules"]
+        )
+
+
+def cmd_smoke(_args) -> int:
+    """Bounded differential pass: the CI budget is ~30 seconds."""
+    failures = 0
+    try:
+        summary = differential_check(
+            WORKLOADS["from-the-side"], max_schedules=400, max_steps=60
+        )
+        _print_differential(summary)
+    except CheckError as exc:
+        print("SMOKE FAILURE (from-the-side): %s" % exc)
+        failures += 1
+    try:
+        reports = explore_protocols(
+            WORKLOADS["partlib"],
+            protocols=("herrmann", "naive_dag_unsafe"),
+            max_schedules=1500,
+            max_steps=80,
+        )
+        herrmann = reports["herrmann"]
+        bad = herrmann.counterexamples(visibility_obliged=True)
+        if bad or not herrmann.exhaustive:
+            print("SMOKE FAILURE (partlib herrmann): %d counterexamples" % len(bad))
+            failures += 1
+        else:
+            print(
+                "partlib under herrmann: all %d schedules certified "
+                "(exhaustive)" % len(herrmann)
+            )
+        if find_unsafe_counterexample(reports["naive_dag_unsafe"]) is None:
+            print("SMOKE FAILURE (partlib unsafe): anomaly not rediscovered")
+            failures += 1
+        else:
+            print("partlib under naive_dag_unsafe: anomaly rediscovered")
+    except CheckError as exc:
+        print("SMOKE FAILURE (partlib): %s" % exc)
+        failures += 1
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "explore": cmd_explore,
+        "certify": cmd_certify,
+        "counterexample": cmd_counterexample,
+        "differential": cmd_differential,
+        "smoke": cmd_smoke,
+        None: lambda _args: (parser.print_help(), 0)[1],
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,254 @@
+"""Differential protocol testing and ablation equivalence.
+
+The same explored schedules, replayed against every protocol and both
+ablation paths, must tell one coherent story:
+
+* every **safe** protocol (the paper's, both System R baselines, the
+  honest DAG baseline) yields only conflict-serializable schedules, and
+  the protocols *obliged* to the entry-point visibility rule (those that
+  claim implicit cover of referenced common data) never violate it;
+* the **unsafe** DAG horn — the paper's section 3.2.2 straw man — must
+  be caught: the explorer has to rediscover a concrete interleaving that
+  violates entry-point visibility, and (on the read-modify-write
+  workloads) a non-serializable schedule, without being told where to
+  look;
+* the **ablations** must be invisible: exploration with the incremental
+  reference index on or off, and with the dense int-indexed mode tables
+  or their dict-backed naive twins, must produce bit-identical schedule
+  fingerprints (same interleavings, same outcomes, same final states).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence
+
+from repro.errors import CheckError
+from repro.locking import modes
+from repro.protocol import PROTOCOLS
+from repro.check.program import IMPLICIT_COVER_PROTOCOLS
+from repro.check.scheduler import (
+    DEFAULT_STEP_RULES,
+    ExplorationReport,
+    Explorer,
+    Workload,
+)
+
+#: Protocols expected to keep every schedule safe.
+SAFE_PROTOCOLS = ("herrmann", "system_r_tuple", "system_r_relation", "naive_dag")
+
+#: Protocols expected to exhibit the section 3.2.2 anomaly.
+UNSAFE_PROTOCOLS = ("naive_dag_unsafe",)
+
+#: Protocols obliged to the entry-point visibility rule: exactly those
+#: claiming implicit cover of referenced common data.  (The tuple-level
+#: System R baseline locks referenced tuples explicitly in its plans, so
+#: the obligation holds for it by construction as well.)
+VISIBILITY_OBLIGED = frozenset(IMPLICIT_COVER_PROTOCOLS)
+
+
+def check_rules_for(protocol_name: str) -> tuple:
+    """Per-step audit rules appropriate for one protocol."""
+    rules = tuple(DEFAULT_STEP_RULES)
+    if protocol_name in VISIBILITY_OBLIGED:
+        rules = rules + ("entry-point-visibility",)
+    return rules
+
+
+def explore_protocols(
+    workload: Workload,
+    protocols: Sequence[str] = SAFE_PROTOCOLS + UNSAFE_PROTOCOLS,
+    max_schedules: int = 5000,
+    max_steps: int = 300,
+    walks: int = 0,
+    seed: int = 0,
+    variant: Optional[dict] = None,
+) -> "OrderedDict[str, ExplorationReport]":
+    """Explore one workload under several protocols.
+
+    ``walks > 0`` switches from exhaustive enumeration to seeded random
+    walks (for workloads whose trees are too large); the reports then
+    carry ``exhaustive=False``.
+    """
+    reports: "OrderedDict[str, ExplorationReport]" = OrderedDict()
+    for name in protocols:
+        explorer = Explorer(
+            workload,
+            variant=dict(variant or {}, protocol_cls=PROTOCOLS[name]),
+            check_rules=check_rules_for(name),
+            max_schedules=max_schedules,
+            max_steps=max_steps,
+        )
+        if walks:
+            reports[name] = explorer.random_walks(walks=walks, seed=seed)
+        else:
+            reports[name] = explorer.explore()
+    return reports
+
+
+def assert_safe_protocols_agree(
+    reports: Dict[str, ExplorationReport],
+    safe: Sequence[str] = SAFE_PROTOCOLS,
+) -> Dict[str, dict]:
+    """Every safe protocol must certify every explored schedule.
+
+    Returns per-protocol summaries; raises :class:`CheckError` naming the
+    first offending schedule otherwise.
+    """
+    summaries = {}
+    for name in safe:
+        if name not in reports:
+            continue
+        report = reports[name]
+        obliged = name in VISIBILITY_OBLIGED
+        bad = report.counterexamples(visibility_obliged=obliged)
+        if bad:
+            result, verdict = bad[0]
+            raise CheckError(
+                "protocol %s claimed safe but schedule [%s] is not: %s"
+                % (name, result.schedule_string(), verdict.describe())
+            )
+        summaries[name] = report.summary()
+    return summaries
+
+
+def find_unsafe_counterexample(report: ExplorationReport):
+    """The anomaly evidence on an unsafe protocol, or None.
+
+    Returns ``(result, verdict)`` of the first schedule violating
+    entry-point visibility or conflict serializability.
+    """
+    for result, verdict in report.verdicts(visibility_obliged=True):
+        if not verdict.ok:
+            return result, verdict
+    return None
+
+
+@contextlib.contextmanager
+def naive_mode_tables():
+    """Swap the dense int-indexed mode tables for their dict-backed twins.
+
+    Patches every consumer that binds the functions by name at import
+    time (lock table, protocol base, verifier).  Used by the ablation
+    harness to prove the fast tables change nothing observable.
+    """
+    import repro.locking.lock_table as lock_table
+    import repro.protocol.base as protocol_base
+    import repro.verify as verify
+
+    patches = [
+        (lock_table, "compatible", modes.compatible_naive),
+        (lock_table, "supremum", modes.supremum_naive),
+        (lock_table, "covers", modes.covers_naive),
+        (protocol_base, "covers", modes.covers_naive),
+        (verify, "compatible", modes.compatible_naive),
+        (verify, "covers", modes.covers_naive),
+    ]
+    saved = [(module, name, getattr(module, name)) for module, name, _ in patches]
+    for module, name, replacement in patches:
+        setattr(module, name, replacement)
+    try:
+        yield
+    finally:
+        for module, name, original in saved:
+            setattr(module, name, original)
+
+
+def ablation_fingerprints(
+    workload: Workload,
+    protocol: str = "herrmann",
+    max_schedules: int = 5000,
+    max_steps: int = 300,
+) -> Dict[str, tuple]:
+    """Explore one workload under every ablation path.
+
+    Returns the four fingerprints (reference index on/off × dense/naive
+    mode tables).  :func:`assert_ablations_agree` checks they coincide.
+    """
+    fingerprints: Dict[str, tuple] = {}
+    for use_index in (True, False):
+        for naive_tables in (False, True):
+            explorer = Explorer(
+                workload,
+                variant={
+                    "protocol_cls": PROTOCOLS[protocol],
+                    "use_reference_index": use_index,
+                },
+                check_rules=check_rules_for(protocol),
+                max_schedules=max_schedules,
+                max_steps=max_steps,
+            )
+            label = "refindex=%s/tables=%s" % (
+                "on" if use_index else "off",
+                "naive" if naive_tables else "dense",
+            )
+            if naive_tables:
+                with naive_mode_tables():
+                    fingerprints[label] = explorer.explore().fingerprint()
+            else:
+                fingerprints[label] = explorer.explore().fingerprint()
+    return fingerprints
+
+
+def assert_ablations_agree(fingerprints: Dict[str, tuple]) -> int:
+    """All ablation fingerprints must be identical; returns schedule count."""
+    items = list(fingerprints.items())
+    base_label, base = items[0]
+    for label, fingerprint in items[1:]:
+        if fingerprint != base:
+            raise CheckError(
+                "ablation paths diverge: %s explored %d schedules, %s "
+                "explored %d — the optimizations are observable"
+                % (base_label, len(base), label, len(fingerprint))
+            )
+    return len(base)
+
+
+def differential_check(
+    workload: Workload,
+    protocols: Sequence[str] = SAFE_PROTOCOLS + UNSAFE_PROTOCOLS,
+    max_schedules: int = 5000,
+    max_steps: int = 300,
+    walks: int = 0,
+    seed: int = 0,
+    ablations: bool = True,
+) -> dict:
+    """The full differential story for one workload.
+
+    Returns a summary dict; raises :class:`CheckError` when a safe
+    protocol misbehaves, when the unsafe baseline's anomaly is *not*
+    rediscovered, or when the ablation paths disagree.
+    """
+    reports = explore_protocols(
+        workload,
+        protocols=protocols,
+        max_schedules=max_schedules,
+        max_steps=max_steps,
+        walks=walks,
+        seed=seed,
+    )
+    summary = {
+        "workload": workload.name,
+        "safe": assert_safe_protocols_agree(reports),
+        "reports": reports,
+    }
+    for name in UNSAFE_PROTOCOLS:
+        if name not in reports:
+            continue
+        evidence = find_unsafe_counterexample(reports[name])
+        if evidence is None:
+            if workload.expect_anomaly:
+                raise CheckError(
+                    "explorer failed to rediscover the section 3.2.2 anomaly "
+                    "under %s on workload %s" % (name, workload.name)
+                )
+            continue
+        summary.setdefault("anomalies", {})[name] = evidence
+    if ablations and not walks:
+        fingerprints = ablation_fingerprints(
+            workload, max_schedules=max_schedules, max_steps=max_steps
+        )
+        summary["ablation_schedules"] = assert_ablations_agree(fingerprints)
+        summary["ablations"] = fingerprints
+    return summary

@@ -1,0 +1,220 @@
+"""Per-schedule correctness verdicts.
+
+Consumes what a :class:`~repro.check.scheduler.ScheduleRun` records — the
+data-operation log, the lock trace, the per-step invariant violations —
+and certifies or refutes the schedule:
+
+* **conflict serializability** — build the precedence graph over the
+  *committed* transactions (an edge a→b for every pair of operations on
+  hierarchically overlapping resources, at least one a write, a first);
+  the schedule is conflict-serializable iff the graph is acyclic
+  (cycle detection reuses :func:`repro.locking.deadlock.find_cycle`),
+  and a topological order is the serialization witness;
+* **two-phase discipline** — over the lock trace: no transaction may be
+  granted a lock after it first released one (strict 2PL releases only
+  at EOT, so any grant-after-release is a protocol bug);
+* **entry-point visibility** — the paper's downward-propagation
+  obligation, checked live after every step by the scheduler; the
+  verdict surfaces those violations for protocols that are obliged
+  (claim implicit cover of referenced common data).
+
+Aborted transactions are excluded from the precedence graph: their
+effects were undone, so their operations impose no ordering on the
+survivors (the undo log ran before any conflicting access could see
+uncommitted state — the scheduler aborts synchronously).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.locking.deadlock import find_cycle
+
+
+class DataOp:
+    """One logical data access: sequence number, transaction, r/w, resource."""
+
+    __slots__ = ("seq", "txn", "kind", "resource")
+
+    def __init__(self, seq: int, txn: str, kind: str, resource: tuple):
+        self.seq = seq
+        self.txn = txn
+        self.kind = kind  # "r" | "w"
+        self.resource = tuple(resource)
+
+    def __repr__(self):
+        return "DataOp(#%d %s %s %s)" % (
+            self.seq,
+            self.txn,
+            self.kind,
+            "/".join(str(part) for part in self.resource),
+        )
+
+
+def resources_overlap(a: tuple, b: tuple) -> bool:
+    """Hierarchical overlap: one resource is a prefix of the other.
+
+    A write to an object node conflicts with a read of any component
+    below it (the write implicitly covers the subtree) and vice versa.
+    """
+    shorter = min(len(a), len(b))
+    return a[:shorter] == b[:shorter]
+
+
+def precedence_edges(
+    data_ops: Sequence[DataOp], committed: Set[str]
+) -> List[Tuple[str, str, tuple]]:
+    """Conflict edges (earlier txn, later txn, witness resource)."""
+    edges: List[Tuple[str, str, tuple]] = []
+    seen = set()
+    ops = [op for op in data_ops if op.txn in committed]
+    for position, earlier in enumerate(ops):
+        for later in ops[position + 1 :]:
+            if earlier.txn == later.txn:
+                continue
+            if earlier.kind == "r" and later.kind == "r":
+                continue
+            if not resources_overlap(earlier.resource, later.resource):
+                continue
+            witness = (
+                earlier.resource
+                if len(earlier.resource) >= len(later.resource)
+                else later.resource
+            )
+            key = (earlier.txn, later.txn, witness)
+            if key in seen:
+                continue
+            seen.add(key)
+            edges.append(key)
+    return edges
+
+
+def conflict_cycle(
+    edges: Sequence[Tuple[str, str, tuple]]
+) -> Optional[List[str]]:
+    """One precedence cycle (transaction names) or None."""
+    return find_cycle([(a, b) for a, b, _ in edges])
+
+
+def serialization_order(
+    edges: Sequence[Tuple[str, str, tuple]], txns: Sequence[str]
+) -> Optional[List[str]]:
+    """A topological order of the committed transactions, or None."""
+    nodes = list(dict.fromkeys(txns))
+    successors: Dict[str, List[str]] = {node: [] for node in nodes}
+    indegree: Dict[str, int] = {node: 0 for node in nodes}
+    for a, b, _ in edges:
+        if b not in successors.get(a, []):
+            successors.setdefault(a, []).append(b)
+            indegree[b] = indegree.get(b, 0) + 1
+    ready = [node for node in nodes if indegree[node] == 0]
+    order: List[str] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for successor in successors.get(node, []):
+            indegree[successor] -= 1
+            if indegree[successor] == 0:
+                ready.append(successor)
+    return order if len(order) == len(nodes) else None
+
+
+def two_phase_violations(trace_events) -> List[Tuple[str, tuple, Optional[str]]]:
+    """Grants after a transaction's first release (strict-2PL breaches).
+
+    ``trace_events`` is the serialized trace of a
+    :class:`~repro.check.scheduler.ScheduleResult`: tuples of
+    ``(action, txn, resource, mode, outcome)``.
+    """
+    shrinking: Set[str] = set()
+    violations: List[Tuple[str, tuple, Optional[str]]] = []
+    for action, txn, resource, mode, outcome in trace_events:
+        if action in ("release", "release_all"):
+            shrinking.add(txn)
+        elif action == "acquire" and outcome == "granted" and txn in shrinking:
+            violations.append((txn, resource, mode))
+        elif action == "grant" and txn in shrinking:
+            violations.append((txn, resource, mode))
+    return violations
+
+
+class ScheduleVerdict:
+    """The oracle's complete judgement of one schedule."""
+
+    __slots__ = (
+        "serializable",
+        "cycle",
+        "order",
+        "edges",
+        "two_phase",
+        "visibility",
+    )
+
+    def __init__(self, serializable, cycle, order, edges, two_phase, visibility):
+        self.serializable = serializable
+        #: precedence cycle (txn names) when not serializable
+        self.cycle = cycle
+        #: serialization-order witness when serializable
+        self.order = order
+        self.edges = edges
+        #: strict-2PL breaches from the lock trace
+        self.two_phase = two_phase
+        #: entry-point visibility violations (step, rule, txn, resource, detail)
+        self.visibility = visibility
+
+    @property
+    def ok(self) -> bool:
+        return self.serializable and not self.two_phase and not self.visibility
+
+    def describe(self) -> str:
+        if self.ok:
+            return "serializable (order: %s)" % " < ".join(self.order or [])
+        problems = []
+        if not self.serializable:
+            problems.append(
+                "precedence cycle %s" % " -> ".join(self.cycle or [])
+            )
+        if self.two_phase:
+            problems.append("2PL breach %r" % (self.two_phase[0],))
+        if self.visibility:
+            step, _, txn, resource, detail = self.visibility[0]
+            problems.append(
+                "visibility violation at step %d: %s on %r (%s)"
+                % (step, txn, resource, detail)
+            )
+        return "; ".join(problems)
+
+    def __repr__(self):
+        return "ScheduleVerdict(%s)" % self.describe()
+
+
+def certify(result, visibility_obliged: bool = True) -> ScheduleVerdict:
+    """Judge one :class:`~repro.check.scheduler.ScheduleResult`.
+
+    ``visibility_obliged=False`` drops the entry-point visibility
+    obligation from the verdict — appropriate for baselines that never
+    claimed implicit cover of referenced data (they stay safe by
+    explicit demands, which serializability alone judges).
+    """
+    committed = {
+        name for name, outcome in result.outcomes.items() if outcome == "committed"
+    }
+    edges = precedence_edges(result.data_ops, committed)
+    cycle = conflict_cycle(edges)
+    order = (
+        serialization_order(edges, sorted(committed)) if cycle is None else None
+    )
+    two_phase = two_phase_violations(result.trace_events)
+    visibility = (
+        [v for v in result.violations if v[1] == "entry-point-visibility"]
+        if visibility_obliged
+        else []
+    )
+    return ScheduleVerdict(
+        serializable=cycle is None,
+        cycle=cycle,
+        order=order,
+        edges=edges,
+        two_phase=two_phase,
+        visibility=visibility,
+    )

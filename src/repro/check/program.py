@@ -1,0 +1,347 @@
+"""The workload language of the schedule explorer.
+
+A :class:`TxnProgram` is a named, deterministic sequence of operations
+one transaction performs.  The scheduler advances programs one operation
+at a time; an operation is the *atomicity quantum* — its lock demands and
+its data access happen inside one scheduler step unless a lock request
+blocks, in which case the transaction stays suspended mid-operation until
+the scheduler is allowed to resume it.
+
+Operations expose three faces to the scheduler:
+
+* :meth:`Op.demands` — the logical lock demands ``(resource, mode, via)``
+  to run through the protocol *before* the data access;
+* :meth:`Op.apply` — the data access itself (recorded as ``r``/``w``
+  :class:`~repro.check.oracle.DataOp` events for the serializability
+  oracle, with undo actions registered on the transaction so aborts roll
+  back cleanly);
+* :meth:`Op.data_footprint` — the read/write set used for the explorer's
+  independence-based pruning.
+
+Arguments may be callables taking the running schedule; they are resolved
+lazily so programs can reference state that only exists at run time
+(e.g. an object created by an earlier operation).
+
+The :class:`SharedRead`/:class:`SharedWrite` pair encodes the paper's
+section 3.2.2 scenario faithfully: the transaction touches shared common
+data *believing an earlier lock on the referencing object covers it*.
+Under protocols whose plans claim to cover referenced entry points
+(implicitly via downward propagation, or via tuple locks that follow
+references) the ops demand nothing themselves; under baselines that make
+no such claim (:data:`EXPLICIT_DEMAND_PROTOCOLS`) an honest application
+would — and therefore these ops do — issue an explicit lock demand on the
+shared target.  The one protocol that *claims* cover but does not deliver
+it (``naive_dag_unsafe``) thus reaches the data race the explorer is
+built to rediscover, while honest baselines stay safe.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.graphs.units import (
+    component_resource,
+    object_resource,
+    relation_resource,
+)
+from repro.locking.modes import IX, S, X, LockMode
+from repro.nf2.paths import parse_path
+from repro.nf2.values import ComplexObject
+
+#: Protocols whose lock plans claim to make locks on referenced common
+#: data visible without an explicit demand on the shared target: the
+#: paper's protocol (downward propagation), the tuple-level System R
+#: baseline (tuple locks follow references) and the *unsafe* DAG horn
+#: (which claims implicit cover across dashed edges but does not deliver
+#: it — the section 3.2.2 bug).
+IMPLICIT_COVER_PROTOCOLS = frozenset(
+    {"herrmann", "system_r_tuple", "naive_dag_unsafe"}
+)
+
+#: Protocols under which a correct application must lock shared targets
+#: explicitly (they never promised anything about referenced data).
+EXPLICIT_DEMAND_PROTOCOLS = frozenset(
+    {"naive_dag", "system_r_relation", "xsql"}
+)
+
+
+def claims_reference_cover(protocol) -> bool:
+    """Does this protocol's plan claim to cover referenced entry points?"""
+    return protocol.name in IMPLICIT_COVER_PROTOCOLS
+
+
+def _resolve(value, run):
+    """Late-bind an op argument: callables receive the running schedule."""
+    return value(run) if callable(value) else value
+
+
+def _normalize_demand(demand) -> Tuple[tuple, LockMode, Optional[tuple]]:
+    if len(demand) == 2:
+        resource, mode = demand
+        return tuple(resource), mode, None
+    resource, mode, via = demand
+    return tuple(resource), mode, None if via is None else tuple(via)
+
+
+class Op:
+    """One operation of a transaction program."""
+
+    label = "op"
+
+    def demands(self, run, txn) -> List[tuple]:
+        """Logical lock demands, each ``(resource, mode)`` or
+        ``(resource, mode, via)``."""
+        return []
+
+    def apply(self, run, txn):
+        """Perform the data access (all demands are granted by now)."""
+
+    def data_footprint(self, run, txn) -> List[Tuple[tuple, str]]:
+        """``(resource, "r"|"w")`` pairs for independence pruning."""
+        return []
+
+    def __repr__(self):
+        return "%s(%s)" % (type(self).__name__, self.label)
+
+
+class Demand(Op):
+    """A pure logical lock demand — no data access.
+
+    This is the building block of the paper's narratives: "lock robot r1
+    in X".  ``via`` names the referencing node for entry-point demands
+    reached through a dashed edge (rule 1/2 via-check).
+    """
+
+    def __init__(self, resource, mode: LockMode, via=None, label=None):
+        self.resource = resource
+        self.mode = mode
+        self.via = via
+        self.label = label or "demand"
+
+    def demands(self, run, txn):
+        return [(_resolve(self.resource, run), self.mode, _resolve(self.via, run))]
+
+
+class SharedRead(Op):
+    """Read shared common data assumed covered by an earlier demand.
+
+    ``target`` is the entry-point resource ``(db, seg, rel, key)`` of the
+    shared object.  No lock demand is issued under implicit-cover
+    protocols (the earlier demand's downward propagation is trusted to
+    have locked it); explicit-demand baselines S-lock the target first.
+    """
+
+    demand_mode = S
+    kind = "r"
+
+    def __init__(self, target, via=None, label=None):
+        self.target = target
+        self.via = via
+        self.label = label or "shared-%s" % self.kind
+
+    def demands(self, run, txn):
+        if claims_reference_cover(run.protocol):
+            return []
+        return [(_resolve(self.target, run), self.demand_mode,
+                 _resolve(self.via, run))]
+
+    def apply(self, run, txn):
+        target = tuple(_resolve(self.target, run))
+        obj = run.protocol.units.resolve(target)
+        run.record_data(txn, self.kind, target)
+        if isinstance(obj, ComplexObject):
+            txn.read_log.append((target, repr(obj.root)))
+        return obj
+
+    def data_footprint(self, run, txn):
+        return [(tuple(_resolve(self.target, run)), self.kind)]
+
+
+class SharedWrite(SharedRead):
+    """Read-modify-write one string attribute of shared common data.
+
+    The in-place update appends ``+<txn name>`` to the attribute — a
+    miniature of the paper's "robot r1's effector e2 is changed" update.
+    When two transactions interleave their read-modify-write on the same
+    target without mutual exclusion, one suffix is computed from a stale
+    read: the lost update the serializability oracle then exposes as a
+    precedence-graph cycle.
+    """
+
+    demand_mode = X
+    kind = "w"
+
+    def __init__(self, target, attribute, via=None, label=None):
+        super().__init__(target, via=via, label=label)
+        self.attribute = attribute
+
+    def apply(self, run, txn):
+        target = tuple(_resolve(self.target, run))
+        obj = run.protocol.units.resolve(target)
+        database = run.stack.database
+        run.record_data(txn, "r", target)
+        old = obj.root[self.attribute]
+        run.record_data(txn, "w", target)
+        obj.root[self.attribute] = "%s+%s" % (old, txn.name)
+        notify = lambda: database.notify_object_changed(  # noqa: E731
+            obj.relation, obj.surrogate
+        )
+
+        def undo(root=obj.root, attribute=self.attribute, value=old, note=notify):
+            root[attribute] = value
+            note()
+
+        txn.record_undo(undo)
+        notify()
+        return obj
+
+    def data_footprint(self, run, txn):
+        return [(tuple(_resolve(self.target, run)), "w")]
+
+
+class TxnOp(Op):
+    """Delegate to a :class:`~repro.txn.manager.TransactionManager` method.
+
+    The primary lock demand of the method is pre-declared so the
+    scheduler can block the transaction *before* the data access (the
+    manager's synchronous API uses ``wait=False`` and would raise
+    instead).  Residual requests made inside the manager (index entries,
+    freshly inserted objects) are covered re-requests or uncontended in
+    well-formed workloads; a genuine residual conflict raises and aborts
+    the transaction, which the schedule records as a ``failed:`` outcome.
+    """
+
+    #: method -> (mode, demand builder); builders receive (run, args).
+    _READS = ("read_object", "read_component", "read_via_reference")
+
+    def __init__(self, method: str, *args, label=None, **kwargs):
+        self.method = method
+        self.args = args
+        self.kwargs = kwargs
+        self.label = label or method
+
+    def _resolved_args(self, run):
+        return [_resolve(arg, run) for arg in self.args]
+
+    def _primary(self, run):
+        """``(resource, mode, via)`` of the method's target granule."""
+        catalog = run.stack.catalog
+        args = self._resolved_args(run)
+        method = self.method
+        if method == "read_object":
+            return (object_resource(catalog, args[0], args[1]), S, None)
+        if method == "read_component":
+            steps = (
+                parse_path(args[2]) if isinstance(args[2], str) else tuple(args[2])
+            )
+            base = object_resource(catalog, args[0], args[1])
+            return (component_resource(base, steps), S, None)
+        if method == "read_via_reference":
+            ref = args[0]
+            target = run.stack.database.dereference(ref)
+            return (
+                object_resource(catalog, ref.relation, target.key),
+                S,
+                tuple(args[1]),
+            )
+        if method in ("update_component", "add_element", "remove_element"):
+            steps = (
+                parse_path(args[2]) if isinstance(args[2], str) else tuple(args[2])
+            )
+            base = object_resource(catalog, args[0], args[1])
+            return (component_resource(base, steps), X, None)
+        if method in ("update_object", "delete_object"):
+            return (object_resource(catalog, args[0], args[1]), X, None)
+        if method == "insert_object":
+            schema = catalog.schema(args[0])
+            return (
+                relation_resource(
+                    run.stack.database.name, schema.segment, args[0]
+                ),
+                IX,
+                None,
+            )
+        return None
+
+    def demands(self, run, txn):
+        primary = self._primary(run)
+        return [primary] if primary is not None else []
+
+    def apply(self, run, txn):
+        args = self._resolved_args(run)
+        result = getattr(run.stack.txns, self.method)(
+            txn, *args, wait=False, **self.kwargs
+        )
+        primary = self._primary(run)
+        if primary is not None:
+            kind = "r" if self.method in self._READS else "w"
+            run.record_data(txn, kind, primary[0])
+        return result
+
+    def data_footprint(self, run, txn):
+        primary = self._primary(run)
+        if primary is None:
+            return []
+        kind = "r" if self.method in self._READS else "w"
+        return [(tuple(primary[0]), kind)]
+
+
+class Call(Op):
+    """A generic operation with declared demands and read/write sets."""
+
+    def __init__(self, fn=None, demands=(), reads=(), writes=(), label=None):
+        self.fn = fn
+        self._demands = tuple(demands)
+        self.reads = tuple(reads)
+        self.writes = tuple(writes)
+        self.label = label or getattr(fn, "__name__", "call")
+
+    def demands(self, run, txn):
+        return [
+            tuple(_resolve(part, run) for part in demand)
+            for demand in self._demands
+        ]
+
+    def apply(self, run, txn):
+        for resource in self.reads:
+            run.record_data(txn, "r", tuple(_resolve(resource, run)))
+        for resource in self.writes:
+            run.record_data(txn, "w", tuple(_resolve(resource, run)))
+        if self.fn is not None:
+            return self.fn(run, txn)
+        return None
+
+    def data_footprint(self, run, txn):
+        footprint = [
+            (tuple(_resolve(resource, run)), "r") for resource in self.reads
+        ]
+        footprint.extend(
+            (tuple(_resolve(resource, run)), "w") for resource in self.writes
+        )
+        return footprint
+
+
+class Commit(Op):
+    """Explicit commit marker (programs auto-commit at their end)."""
+
+    label = "commit"
+
+
+class Abort(Op):
+    """Explicit abort marker — the transaction rolls back voluntarily."""
+
+    label = "abort"
+
+
+class TxnProgram:
+    """A named transaction: principal, flags and its operation sequence."""
+
+    def __init__(self, name: str, ops: Sequence[Op], principal=None,
+                 long: bool = False):
+        self.name = name
+        self.ops = list(ops)
+        self.principal = principal if principal is not None else name
+        self.long = long
+
+    def __repr__(self):
+        return "TxnProgram(%s, %d ops)" % (self.name, len(self.ops))

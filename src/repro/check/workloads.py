@@ -1,0 +1,189 @@
+"""Canonical workloads for the schedule explorer.
+
+Each builder returns a fresh ``(stack, programs)`` pair per call — the
+explorer replays prefixes from scratch, so workload construction must be
+deterministic and side-effect free across calls.
+
+* :func:`from_the_side_workload` — the paper's section 3.2.2 scenario on
+  the cells/effectors database: two writers reach shared effector ``e2``
+  through different robots of cell ``c1``.  Safe protocols serialize
+  them; the unsafe DAG baseline loses the conflict entirely.
+* :func:`partlib_workload` — the acceptance workload: a 3-transaction
+  part-library schedule with two writers sharing part ``p1`` through
+  different assemblies (common data containing common data — the X locks
+  must propagate down to material ``m1`` too) plus an independent
+  reader.
+* :func:`deadlock_workload` — two writers locking two effectors in
+  opposite order; some interleavings close a waits-for cycle and the
+  youngest transaction must die.
+"""
+
+from __future__ import annotations
+
+from repro import make_stack
+from repro.catalog import Catalog
+from repro.graphs.units import component_resource, object_resource
+from repro.locking.modes import S, X
+from repro.nf2 import Database, make_list, make_set, make_tuple, parse_path
+from repro.protocol import HerrmannProtocol
+from repro.workloads import build_cells_database
+from repro.workloads.partlib import (
+    assemblies_schema,
+    materials_schema,
+    parts_schema,
+)
+from repro.check.program import Demand, SharedRead, SharedWrite, TxnOp, TxnProgram
+from repro.check.scheduler import Workload
+
+
+def build_check_partlib():
+    """A hand-laid part library (no randomness, minimal size).
+
+    Materials ``m1``/``m2``; parts ``p1`` (steel, used by assemblies
+    ``a1`` and ``a2``) and ``p2``; assemblies ``a1``..``a3`` with one
+    position each.  Part ``p1`` is the shared common data, and it in
+    turn references ``m1`` — the two-level sharing chain of section 2.
+    """
+    database = Database("db1")
+    catalog = Catalog(database)
+    database.create_relations(
+        [materials_schema(), parts_schema(), assemblies_schema()]
+    )
+    m1 = database.insert(
+        "materials", make_tuple(mat_id="m1", name="steel", density=7.8)
+    )
+    m2 = database.insert(
+        "materials", make_tuple(mat_id="m2", name="nylon", density=1.1)
+    )
+    p1 = database.insert(
+        "parts",
+        make_tuple(part_id="p1", name="bolt-1", materials=make_set(m1.reference())),
+    )
+    p2 = database.insert(
+        "parts",
+        make_tuple(part_id="p2", name="nut-2", materials=make_set(m2.reference())),
+    )
+    for asm_id, part in (("a1", p1), ("a2", p1), ("a3", p2)):
+        database.insert(
+            "assemblies",
+            make_tuple(
+                asm_id=asm_id,
+                positions=make_list(
+                    make_tuple(pos_id=1, quantity=2, part=part.reference())
+                ),
+            ),
+        )
+    return database, catalog
+
+
+def _partlib_build(protocol_cls=HerrmannProtocol, use_reference_index=True,
+                   **protocol_kwargs):
+    database, catalog = build_check_partlib()
+    database.use_reference_index = use_reference_index
+    stack = make_stack(
+        database, catalog, protocol_cls=protocol_cls, **protocol_kwargs
+    )
+    position = {
+        asm: component_resource(
+            object_resource(catalog, "assemblies", asm), parse_path("positions[1]")
+        )
+        for asm in ("a1", "a2")
+    }
+    p1 = object_resource(catalog, "parts", "p1")
+
+    def writer(name, asm):
+        return TxnProgram(
+            name,
+            [
+                Demand(position[asm], X, label="X %s position" % asm),
+                SharedRead(p1, label="read p1"),
+                SharedWrite(p1, "name", label="write p1"),
+            ],
+        )
+
+    programs = [
+        writer("T1", "a1"),
+        writer("T2", "a2"),
+        TxnProgram("T3", [TxnOp("read_object", "assemblies", "a3")]),
+    ]
+    return stack, programs
+
+
+def _from_the_side_build(protocol_cls=HerrmannProtocol, use_reference_index=True,
+                         **protocol_kwargs):
+    database, catalog = build_cells_database(figure7=True)
+    database.use_reference_index = use_reference_index
+    stack = make_stack(
+        database, catalog, protocol_cls=protocol_cls, **protocol_kwargs
+    )
+    cell = object_resource(catalog, "cells", "c1")
+    e2 = object_resource(catalog, "effectors", "e2")
+
+    def writer(name, robot_id):
+        robot = component_resource(cell, parse_path("robots[%s]" % robot_id))
+        return TxnProgram(
+            name,
+            [
+                Demand(robot, X, label="X robot %s" % robot_id),
+                SharedRead(e2, label="read e2"),
+                SharedWrite(e2, "tool", label="write e2"),
+            ],
+        )
+
+    return stack, [writer("T1", "r1"), writer("T2", "r2")]
+
+
+def _deadlock_build(protocol_cls=HerrmannProtocol, use_reference_index=True,
+                    **protocol_kwargs):
+    database, catalog = build_cells_database(figure7=True)
+    database.use_reference_index = use_reference_index
+    stack = make_stack(
+        database, catalog, protocol_cls=protocol_cls, **protocol_kwargs
+    )
+    e1 = object_resource(catalog, "effectors", "e1")
+    e3 = object_resource(catalog, "effectors", "e3")
+    t1 = TxnProgram(
+        "T1",
+        [
+            Demand(e1, X, label="X e1"),
+            SharedRead(e1, label="read e1"),
+            Demand(e3, X, label="X e3"),
+            SharedWrite(e3, "tool", label="write e3"),
+        ],
+    )
+    t2 = TxnProgram(
+        "T2",
+        [
+            Demand(e3, X, label="X e3"),
+            SharedRead(e3, label="read e3"),
+            Demand(e1, X, label="X e1"),
+            SharedWrite(e1, "tool", label="write e1"),
+        ],
+    )
+    return stack, [t1, t2]
+
+
+#: Workloads by CLI name.
+WORKLOADS = {
+    "partlib": Workload(
+        "partlib",
+        _partlib_build,
+        "3-txn part library: two writers share part p1 via different "
+        "assemblies (propagation must reach material m1), one reader",
+    ),
+    "from-the-side": Workload(
+        "from-the-side",
+        _from_the_side_build,
+        "section 3.2.2: two writers reach shared effector e2 via "
+        "different robots of cell c1",
+    ),
+    "deadlock": Workload(
+        "deadlock",
+        _deadlock_build,
+        "two writers lock effectors e1/e3 in opposite order; the "
+        "youngest transaction dies on the cycle",
+        # Demands here are direct object locks, never implicit reference
+        # cover — even the unsafe DAG baseline serializes this workload.
+        expect_anomaly=False,
+    ),
+}

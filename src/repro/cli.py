@@ -189,6 +189,13 @@ def cmd_sweep(args):
     return 0
 
 
+def cmd_check(args):
+    """Forward to the ``repro-check`` CLI (schedule-exploring oracle)."""
+    from repro.check.cli import main as check_main
+
+    return check_main(args.check_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -239,6 +246,14 @@ def build_parser() -> argparse.ArgumentParser:
                        type=float, default=0.6)
     sweep.add_argument("--work-time", dest="work_time", type=float, default=2.0)
     sweep.set_defaults(func=cmd_sweep, cells=2)
+
+    check = commands.add_parser(
+        "check",
+        help="schedule exploration and differential oracle (repro-check)",
+    )
+    check.add_argument("check_args", nargs=argparse.REMAINDER,
+                       help="arguments forwarded to repro-check")
+    check.set_defaults(func=cmd_check)
 
     return parser
 

@@ -95,3 +95,9 @@ class CheckoutError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
+
+
+class CheckError(ReproError):
+    """The schedule explorer / oracle was misused or reached a state it
+    cannot interpret (stepping a blocked transaction, a stuck schedule,
+    a differential disagreement between protocols that must agree)."""

@@ -138,6 +138,14 @@ class DeadlockDetector:
         # table is quiescent the answer cannot change, so check() is O(1).
         self._last: Optional[Tuple[int, Optional[List[object]]]] = None
 
+    def set_age_of(self, age_of: Optional[Callable[[object], float]]):
+        """Replace the age function (victim selection policy) in place.
+
+        Keeps detection counters and the quiescence memo — only the
+        *choice* of victim changes, not what counts as a deadlock.
+        """
+        self._age_of = age_of or (lambda txn: 0)
+
     def check(self) -> Optional[List[object]]:
         """Return one waits-for cycle or None."""
         self.detections += 1

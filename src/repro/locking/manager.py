@@ -38,6 +38,18 @@ class LockManager:
         self.table = LockTable(reader_bypass=reader_bypass)
         self.detector = DeadlockDetector(self.table, age_of=age_of)
 
+    def set_age_of(self, age_of) -> "LockManager":
+        """Install the age function used for deadlock victim selection.
+
+        ``make_stack`` wires the manager before transactions exist, so the
+        detector starts with the trivial age function (ties broken by
+        repr).  Schedulers and tests that need the paper's "youngest dies"
+        semantics deterministically install ``lambda txn: txn.start_ts``
+        here.  Returns the manager for chaining.
+        """
+        self.detector.set_age_of(age_of)
+        return self
+
     # -- delegation -----------------------------------------------------------
 
     def acquire(

@@ -155,6 +155,16 @@ def supremum_naive(a: LockMode, b: LockMode) -> LockMode:
     return _SUPREMUM[(a, b)]
 
 
+def covers_naive(held: LockMode, required: LockMode) -> bool:
+    """Dict-backed "at least as restrictive" test (ablation path).
+
+    Defined, like the dense table, as ``supremum(held, required) is held``
+    — the differential harness swaps this in for :func:`covers` to prove
+    the int-indexed tables change nothing observable.
+    """
+    return _SUPREMUM[(held, required)] is held
+
+
 def intention_of(mode: LockMode) -> LockMode:
     """The intention mode a parent must carry before ``mode`` is requested.
 

@@ -8,7 +8,14 @@ and the CLI can render exactly such narratives — and so concurrency bugs
 leave evidence.
 
 Attach with ``trace = LockTrace.attach(manager)``; detach restores the
-undecorated methods.
+undecorated methods.  The trace object is also a context manager::
+
+    with LockTrace.attach(manager) as trace:
+        ...  # traced calls may raise; the wrappers still come off
+
+Calls that raise inside the manager (``wait=False`` conflicts, cancelled
+victims) are recorded with a ``DENIED:<ExceptionName>`` outcome before the
+exception propagates, so a failed request leaves evidence too.
 """
 
 from __future__ import annotations
@@ -50,8 +57,11 @@ class LockTrace:
         self._seq = itertools.count(1)
         self._manager = None
         self._originals = {}
+        self._prior = {}
 
     # -- attachment -------------------------------------------------------------
+
+    _MISSING = object()
 
     @classmethod
     def attach(cls, manager) -> "LockTrace":
@@ -63,11 +73,25 @@ class LockTrace:
             "release_all": manager.release_all,
             "cancel": manager.cancel,
         }
+        # What ``manager.__dict__`` carried *before* we shadowed it: detach
+        # restores exactly this state, so nested attaches unwind correctly
+        # (a plain delattr would strip an outer trace's wrapper as well).
+        trace._prior = {
+            name: manager.__dict__.get(name, cls._MISSING)
+            for name in trace._originals
+        }
 
         def acquire(txn, resource, mode, long=False, wait=True):
-            request = trace._originals["acquire"](
-                txn, resource, mode, long=long, wait=wait
-            )
+            try:
+                request = trace._originals["acquire"](
+                    txn, resource, mode, long=long, wait=wait
+                )
+            except Exception as exc:
+                trace._record(
+                    "acquire", txn, resource, mode,
+                    "DENIED:%s" % type(exc).__name__,
+                )
+                raise
             trace._record(
                 "acquire", txn, resource, mode,
                 "granted" if request.granted else "WAIT",
@@ -75,7 +99,14 @@ class LockTrace:
             return request
 
         def release(txn, resource):
-            woken = trace._originals["release"](txn, resource)
+            try:
+                woken = trace._originals["release"](txn, resource)
+            except Exception as exc:
+                trace._record(
+                    "release", txn, resource, None,
+                    "DENIED:%s" % type(exc).__name__,
+                )
+                raise
             trace._record("release", txn, resource)
             trace._record_woken(woken)
             return woken
@@ -101,14 +132,23 @@ class LockTrace:
     def detach(self):
         if self._manager is None:
             return
-        for name in self._originals:
-            # the wrappers were installed as instance attributes shadowing
-            # the class methods; removing them restores class lookup
-            try:
-                delattr(self._manager, name)
-            except AttributeError:
-                pass
+        for name, prior in self._prior.items():
+            if prior is self._MISSING:
+                # the name was found via class lookup before attach
+                try:
+                    delattr(self._manager, name)
+                except AttributeError:
+                    pass
+            else:
+                setattr(self._manager, name, prior)
         self._manager = None
+
+    def __enter__(self) -> "LockTrace":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.detach()
+        return False
 
     # -- recording -----------------------------------------------------------------
 

@@ -69,6 +69,39 @@ def audit(protocol) -> List[Violation]:
     return violations
 
 
+#: Rule name -> check callable, for selective per-step auditing.
+STEP_CHECKS = {
+    "compatibility": lambda protocol: check_compatibility(protocol.manager),
+    "intention-chain": lambda protocol: check_intention_chains(protocol),
+    "entry-point-visibility": lambda protocol: check_entry_point_visibility(
+        protocol
+    ),
+    "waiting-consistency": lambda protocol: check_waiting_consistency(
+        protocol.manager
+    ),
+    "index-consistency": lambda protocol: check_indexes(
+        protocol.catalog.database
+    ),
+    "reference-index": lambda protocol: check_reference_index(
+        protocol.catalog.database, protocol.catalog
+    ),
+}
+
+
+def audit_step(protocol, rules=("compatibility", "waiting-consistency")):
+    """Selective audit for after-every-step use (schedule exploration).
+
+    The full :func:`audit` rescans indexes and the reference index, which
+    is wasteful thousands of times per exploration; callers pick exactly
+    the rules their protocol is obliged to satisfy.  Unknown rule names
+    raise ``KeyError`` rather than silently checking nothing.
+    """
+    violations: List[Violation] = []
+    for rule in rules:
+        violations.extend(STEP_CHECKS[rule](protocol))
+    return violations
+
+
 def check_indexes(database) -> List[Violation]:
     """Every index must agree exactly with its relation's contents.
 

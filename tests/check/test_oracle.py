@@ -1,0 +1,151 @@
+"""The serializability oracle: precedence graphs, 2PL, certification."""
+
+from repro.check import (
+    DataOp,
+    ScheduleResult,
+    WORKLOADS,
+    certify,
+    precedence_edges,
+    serialization_order,
+    two_phase_violations,
+)
+from repro.check.oracle import conflict_cycle, resources_overlap
+from repro.check.scheduler import ScheduleRun
+
+
+def op(seq, txn, kind, *resource):
+    return DataOp(seq, txn, kind, resource)
+
+
+class TestOverlap:
+    def test_equal_resources_overlap(self):
+        assert resources_overlap(("db", "rel", "o1"), ("db", "rel", "o1"))
+
+    def test_prefix_overlaps_subtree(self):
+        assert resources_overlap(
+            ("db", "rel", "o1"), ("db", "rel", "o1", "comp", "c1")
+        )
+
+    def test_siblings_disjoint(self):
+        assert not resources_overlap(("db", "rel", "o1"), ("db", "rel", "o2"))
+
+
+class TestPrecedenceEdges:
+    def test_write_read_edge(self):
+        edges = precedence_edges(
+            [op(1, "A", "w", "db", "r", "x"), op(2, "B", "r", "db", "r", "x")],
+            committed={"A", "B"},
+        )
+        assert edges == [("A", "B", ("db", "r", "x"))]
+
+    def test_read_read_is_no_conflict(self):
+        edges = precedence_edges(
+            [op(1, "A", "r", "db", "r", "x"), op(2, "B", "r", "db", "r", "x")],
+            committed={"A", "B"},
+        )
+        assert edges == []
+
+    def test_hierarchical_conflict_uses_finer_witness(self):
+        edges = precedence_edges(
+            [
+                op(1, "A", "w", "db", "r", "x"),
+                op(2, "B", "r", "db", "r", "x", "comp"),
+            ],
+            committed={"A", "B"},
+        )
+        assert edges == [("A", "B", ("db", "r", "x", "comp"))]
+
+    def test_aborted_transactions_impose_no_order(self):
+        edges = precedence_edges(
+            [op(1, "A", "w", "db", "r", "x"), op(2, "B", "w", "db", "r", "x")],
+            committed={"B"},
+        )
+        assert edges == []
+
+    def test_duplicate_conflicts_deduped(self):
+        edges = precedence_edges(
+            [
+                op(1, "A", "w", "db", "r", "x"),
+                op(2, "B", "w", "db", "r", "x"),
+                op(3, "A", "w", "db", "r", "x"),
+                op(4, "B", "w", "db", "r", "x"),
+            ],
+            committed={"A", "B"},
+        )
+        assert ("A", "B", ("db", "r", "x")) in edges
+        assert ("B", "A", ("db", "r", "x")) in edges
+        assert len(edges) == 2
+
+
+class TestCycleAndOrder:
+    def test_acyclic_graph_orders(self):
+        edges = [("A", "B", ()), ("B", "C", ())]
+        assert conflict_cycle(edges) is None
+        assert serialization_order(edges, ["C", "B", "A"]) == ["A", "B", "C"]
+
+    def test_cycle_detected(self):
+        edges = [("A", "B", ()), ("B", "A", ())]
+        cycle = conflict_cycle(edges)
+        assert cycle is not None
+        assert set(cycle) >= {"A", "B"}
+        assert serialization_order(edges, ["A", "B"]) is None
+
+    def test_unconstrained_transactions_keep_given_order(self):
+        assert serialization_order([], ["B", "A"]) == ["B", "A"]
+
+
+class TestTwoPhase:
+    def test_grant_after_release_flagged(self):
+        events = [
+            ("acquire", "A", ("db",), "X", "granted"),
+            ("release", "A", ("db",), None, None),
+            ("acquire", "A", ("db",), "X", "granted"),
+        ]
+        assert two_phase_violations(events) == [("A", ("db",), "X")]
+
+    def test_strict_eot_release_is_clean(self):
+        events = [
+            ("acquire", "A", ("db",), "X", "granted"),
+            ("release_all", "A", None, None, None),
+            ("acquire", "B", ("db",), "X", "granted"),
+        ]
+        assert two_phase_violations(events) == []
+
+    def test_wait_then_wake_after_release_flagged(self):
+        events = [
+            ("release", "A", ("db",), None, None),
+            ("grant", "A", ("db",), "X", "woken"),
+        ]
+        assert two_phase_violations(events) == [("A", ("db",), "X")]
+
+
+class TestCertify:
+    def run_result(self, workload="from-the-side", choices=None, **variant):
+        stack, programs = WORKLOADS[workload].build(**variant)
+        run = ScheduleRun(stack, programs)
+        try:
+            run.run(choices=choices)
+            return ScheduleResult(run)
+        finally:
+            run.close()
+
+    def test_serial_herrmann_schedule_certifies(self):
+        verdict = certify(self.run_result())
+        assert verdict.ok
+        assert verdict.serializable
+        assert verdict.order == ["T1", "T2"]
+        assert verdict.two_phase == []
+        assert verdict.visibility == []
+        assert "serializable" in verdict.describe()
+
+    def test_edges_name_the_shared_effector(self):
+        verdict = certify(self.run_result())
+        assert any("e2" in witness for _, _, witness in verdict.edges)
+
+    def test_visibility_obligation_can_be_waived(self):
+        result = self.run_result()
+        result.violations = [
+            (0, "entry-point-visibility", "T1", ("db",), "synthetic")
+        ]
+        assert not certify(result, visibility_obliged=True).ok
+        assert certify(result, visibility_obliged=False).ok

@@ -1,0 +1,142 @@
+"""Deadlock victim selection and lock escalation under the scheduler.
+
+The deadlock workload closes a classic two-resource cycle when the
+explorer interleaves the writers; resolution must be deterministic
+(youngest transaction by ``start_ts`` dies), replayable, and invisible
+to the serializability oracle — the surviving schedules all certify.
+
+The escalation tests drive a transaction through the scheduler until it
+has accumulated fine-grain locks, then exercise the run-time
+:class:`~repro.locking.escalation.Escalator` against the same lock
+manager mid-schedule.
+"""
+
+import pytest
+
+from repro.locking.escalation import Escalator, children_held
+from repro.locking.modes import IS, S
+from repro.check import WORKLOADS, Explorer, ScheduleResult, TxnOp, TxnProgram, certify
+from repro.check.scheduler import ScheduleRun
+
+#: The interleaving that closes the e1/e3 cycle: each writer takes its
+#: first effector, reads it, then demands the other's.
+CYCLE = [0, 1, 0, 1, 0, 1]
+
+
+class TestDeadlockVictimSelection:
+    def test_explorer_finds_the_cycle(self):
+        report = Explorer(WORKLOADS["deadlock"]).explore()
+        deadlocked = [r for r in report.results if r.deadlocks]
+        assert deadlocked, "no explored interleaving closed the cycle"
+        for result in deadlocked:
+            for _, victim, cycle in result.deadlocks:
+                assert victim == "T2"  # begun last => youngest
+                assert set(cycle) == {"T1", "T2"}
+            assert result.outcomes["T2"] == "deadlock-victim"
+            assert result.outcomes["T1"] == "committed"
+
+    def test_all_deadlock_schedules_serializable(self):
+        report = Explorer(WORKLOADS["deadlock"]).explore()
+        for result, verdict in report.verdicts(visibility_obliged=True):
+            assert verdict.ok, (
+                "[%s] %s" % (result.schedule_string(), verdict.describe())
+            )
+
+    def test_victim_choice_is_deterministic_across_replays(self):
+        fingerprints = []
+        for _ in range(2):
+            stack, programs = WORKLOADS["deadlock"].build()
+            run = ScheduleRun(stack, programs)
+            try:
+                run.run(choices=CYCLE)
+                fingerprints.append(ScheduleResult(run).fingerprint())
+                assert run.deadlocks
+            finally:
+                run.close()
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_begin_order_decides_the_victim(self):
+        # Reversing program order makes T1 the younger transaction, so
+        # the same conflict now kills T1 instead of T2.
+        stack, programs = WORKLOADS["deadlock"].build()
+        run = ScheduleRun(stack, list(reversed(programs)))
+        try:
+            run.run(choices=CYCLE)
+            victims = {victim for _, victim, _ in run.deadlocks}
+            assert victims == {"T1"}
+            assert run.outcomes()["T1"] == "deadlock-victim"
+            assert run.outcomes()["T2"] == "committed"
+        finally:
+            run.close()
+
+    def test_survivor_schedule_certifies(self):
+        stack, programs = WORKLOADS["deadlock"].build()
+        run = ScheduleRun(stack, programs)
+        try:
+            run.run(choices=CYCLE)
+            verdict = certify(ScheduleResult(run))
+        finally:
+            run.close()
+        assert verdict.ok
+        assert verdict.order == ["T1"]  # only the survivor needs ordering
+
+
+class TestScheduledEscalation:
+    def _run_reader(self):
+        """A transaction holding S locks on both robots of cell c1."""
+        stack, _ = WORKLOADS["deadlock"].build()
+        reader = TxnProgram(
+            "R",
+            [
+                TxnOp("read_component", "cells", "c1", "robots[r1]"),
+                TxnOp("read_component", "cells", "c1", "robots[r2]"),
+            ],
+        )
+        run = ScheduleRun(stack, [reader])
+        run.step(0)  # first read completes
+        run.step(0)  # second read completes; commit not yet stepped
+        return stack, run
+
+    def test_should_escalate_after_scheduled_reads(self):
+        stack, run = self._run_reader()
+        try:
+            txn = run.slots[0].txn
+            robots = ("db1", "seg1", "cells", "c1", "robots")
+            escalator = Escalator(stack.manager, threshold=2)
+            assert sorted(children_held(stack.manager, txn, robots)) == [
+                robots + ("r1",),
+                robots + ("r2",),
+            ]
+            assert escalator.should_escalate(txn, robots)
+            assert escalator.escalation_mode(txn, robots) is S
+        finally:
+            run.close()
+
+    def test_escalation_trades_children_for_coarse_lock(self):
+        stack, run = self._run_reader()
+        try:
+            txn = run.slots[0].txn
+            robots = ("db1", "seg1", "cells", "c1", "robots")
+            escalator = Escalator(stack.manager, threshold=2)
+            assert stack.manager.held_mode(txn, robots) is IS
+            request = escalator.escalate(txn, robots)
+            assert request.granted
+            assert escalator.escalations == 1
+            assert stack.manager.held_mode(txn, robots) is S
+            assert children_held(stack.manager, txn, robots) == []
+            # the schedule still completes and commits normally
+            while not run.finished:
+                run.step(0)
+            assert run.outcomes() == {"R": "committed"}
+        finally:
+            run.close()
+
+    def test_below_threshold_does_not_escalate(self):
+        stack, run = self._run_reader()
+        try:
+            txn = run.slots[0].txn
+            robots = ("db1", "seg1", "cells", "c1", "robots")
+            escalator = Escalator(stack.manager, threshold=3)
+            assert not escalator.should_escalate(txn, robots)
+        finally:
+            run.close()

@@ -1,0 +1,159 @@
+"""Property test: reference-index ablation under scheduled interleavings.
+
+The incremental reference index claims *exact* agreement with the naive
+instance-subtree scan.  The integration suite already drives random
+mutation traces through the transaction manager sequentially; here the
+same class of traces — inserts, updates, deletes, reference edits,
+voluntary aborts — runs as two concurrent transactions under the
+deterministic scheduler, with the interleaving itself drawn by
+Hypothesis.  After every completed schedule the two implementations of
+``entry_points_below`` must still answer identically for every granule.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.graphs.units import object_resource, relation_resource
+from repro.nf2 import make_tuple
+from repro.verify import check_reference_index
+from repro.workloads import build_cells_database
+from repro.check import Abort, ScheduleRun, TxnOp, TxnProgram
+
+
+def _reference_to(key):
+    def resolve(run):
+        return run.stack.database.get("effectors", key).reference()
+
+    return resolve
+
+
+def _existing_reference(robot, pick):
+    def resolve(run):
+        cell = run.stack.database.get("cells", "c1")
+        robots = {r["robot_id"]: r for r in cell.root["robots"]}
+        refs = sorted(robots[robot]["effectors"], key=lambda r: r.surrogate)
+        if not refs:
+            raise LookupError("no reference to remove")
+        return refs[pick % len(refs)]
+
+    return resolve
+
+
+def _op(action, key_n, value_n):
+    key = "e%d" % key_n
+    robot = "r%d" % (value_n % 2 + 1)
+    if action == "insert":
+        return TxnOp(
+            "insert_object",
+            "effectors",
+            make_tuple(eff_id=key, tool="t%d" % value_n),
+        )
+    if action == "update":
+        return TxnOp(
+            "update_object",
+            "effectors",
+            key,
+            make_tuple(eff_id=key, tool="t%d" % value_n),
+        )
+    if action == "delete":
+        # IntegrityError while referenced: the transaction aborts, the
+        # undo path must leave the index consistent.
+        return TxnOp("delete_object", "effectors", key)
+    if action == "add_ref":
+        return TxnOp(
+            "add_element",
+            "cells",
+            "c1",
+            "robots[%s].effectors" % robot,
+            _reference_to(key),
+        )
+    if action == "remove_ref":
+        return TxnOp(
+            "remove_element",
+            "cells",
+            "c1",
+            "robots[%s].effectors" % robot,
+            _existing_reference(robot, value_n),
+        )
+    return TxnOp(
+        "update_component",
+        "cells",
+        "c1",
+        "robots[%s].trajectory" % robot,
+        "traj%d" % value_n,
+    )
+
+
+program_ops = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["insert", "update", "delete", "add_ref", "remove_ref", "traj"]
+        ),
+        st.integers(1, 6),
+        st.integers(0, 4),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def _program(name, spec, voluntary_abort):
+    ops = [_op(*entry) for entry in spec]
+    if voluntary_abort:
+        ops.append(Abort())
+    return TxnProgram(name, ops)
+
+
+@given(
+    ops_a=program_ops,
+    ops_b=program_ops,
+    abort_a=st.booleans(),
+    abort_b=st.booleans(),
+    interleaving=st.lists(st.integers(0, 1), max_size=40),
+)
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_indexed_matches_naive_after_any_scheduled_trace(
+    ops_a, ops_b, abort_a, abort_b, interleaving
+):
+    database, catalog = build_cells_database(figure7=True)
+    stack = repro.make_stack(database, catalog)
+    programs = [
+        _program("W1", ops_a, abort_a),
+        _program("W2", ops_b, abort_b),
+    ]
+    run = ScheduleRun(stack, programs)
+    try:
+        choices = iter(interleaving)
+        while not run.finished:
+            enabled = run.enabled()
+            pick = next(choices, 0) % len(enabled)
+            run.step(enabled[pick])
+    finally:
+        run.close()
+
+    # Full structural agreement between the index and fresh scans.
+    assert check_reference_index(database, catalog) == []
+
+    # And the two entry_points_below implementations answer identically
+    # for every relevant granule, transitive and direct.
+    units = stack.protocol.units
+    granules = [relation_resource(database.name, "seg1", "cells")]
+    for cell in database.relation("cells"):
+        granules.append(object_resource(catalog, "cells", cell.key))
+    for transitive in (False, True):
+        for granule in granules:
+            fast = units.entry_points_below(
+                granule, transitive=transitive, naive=False
+            )
+            naive = units.entry_points_below(
+                granule, transitive=transitive, naive=True
+            )
+            assert sorted(fast) == sorted(naive), (
+                "ablation divergence at %r (transitive=%s)"
+                % (granule, transitive)
+            )

@@ -1,0 +1,94 @@
+"""LockTrace attachment hygiene: exception safety and nesting.
+
+Regression tests for the attach/detach contract: the undecorated manager
+methods must come back even when a traced call raises mid-narrative, a
+denied request must still leave a trace event, and nested traces must
+unwind without stripping each other's wrappers.
+"""
+
+import pytest
+
+from repro.errors import LockConflictError
+from repro.locking.manager import LockManager
+from repro.locking.modes import S, X
+from repro.locking.trace import LockTrace
+
+
+RA = ("ra",)
+
+
+class TestExceptionSafety:
+    def test_context_manager_detaches_after_raise(self):
+        manager = LockManager()
+        manager.acquire("t1", RA, X)
+        undecorated = manager.acquire
+        with pytest.raises(LockConflictError):
+            with LockTrace.attach(manager) as trace:
+                manager.acquire("t2", RA, X, wait=False)
+        # wrappers are gone: class lookup resolves again
+        assert "acquire" not in manager.__dict__
+        assert manager.acquire.__func__ is undecorated.__func__
+        # ... and the denial was recorded before the exception propagated
+        denied = [e for e in trace.events if e.outcome == "DENIED:LockConflictError"]
+        assert len(denied) == 1
+        assert denied[0].txn == "t2"
+
+    def test_denied_release_recorded(self):
+        manager = LockManager()
+        with LockTrace.attach(manager) as trace:
+            with pytest.raises(Exception):
+                manager.release("nobody", RA)
+        assert any(
+            e.action == "release" and e.outcome and e.outcome.startswith("DENIED:")
+            for e in trace.events
+        )
+
+    def test_detach_after_raise_without_context_manager(self):
+        manager = LockManager()
+        manager.acquire("t1", RA, X)
+        trace = LockTrace.attach(manager)
+        with pytest.raises(LockConflictError):
+            manager.acquire("t2", RA, S, wait=False)
+        trace.detach()
+        assert "acquire" not in manager.__dict__
+        # tracing stopped: new calls do not append events
+        before = len(trace)
+        manager.acquire("t3", RA, S)
+        assert len(trace) == before
+
+
+class TestNestedAttach:
+    def test_inner_detach_restores_outer_wrapper(self):
+        manager = LockManager()
+        outer = LockTrace.attach(manager)
+        inner = LockTrace.attach(manager)
+        inner.detach()
+        # the outer trace still records
+        manager.acquire("t1", RA, S)
+        assert len(outer) == 1
+        assert len(inner) == 0
+        outer.detach()
+        assert "acquire" not in manager.__dict__
+
+    def test_detach_is_idempotent(self):
+        manager = LockManager()
+        trace = LockTrace.attach(manager)
+        trace.detach()
+        trace.detach()  # no-op, no error
+        assert "acquire" not in manager.__dict__
+
+
+class TestNarrativeStillWorks:
+    def test_grant_wait_wake_sequence(self):
+        manager = LockManager()
+        with LockTrace.attach(manager) as trace:
+            manager.acquire("t1", RA, X)
+            request = manager.acquire("t2", RA, S)  # queues
+            assert not request.granted
+            manager.release("t1", RA)
+        actions = [(e.action, e.outcome) for e in trace.events]
+        assert ("acquire", "granted") in actions
+        assert ("acquire", "WAIT") in actions
+        assert ("grant", "woken") in actions
+        assert len(trace.waits()) == 1
+        assert len(trace.grants()) == 2

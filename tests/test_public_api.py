@@ -10,6 +10,7 @@ import repro
 PACKAGES = [
     "repro",
     "repro.catalog",
+    "repro.check",
     "repro.cli",
     "repro.core",
     "repro.errors",
