@@ -10,11 +10,22 @@ are attached to ``benchmark.extra_info`` so they land in the JSON output.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 import repro
 from repro.sim import Simulator, WorkloadSpec, submit_workload
 from repro.workloads import build_cells_database
+
+#: CI runs the smoke subset twice — REPRO_BENCH_PLAN_CACHE=0/1 — to show
+#: the compiled-plan cache and batched acquisition leave every benchmark's
+#: correctness assertions (lock counts, tables, anomalies) untouched.
+_PLAN_CACHE_ABLATION = os.environ.get("REPRO_BENCH_PLAN_CACHE") == "1"
+ABLATION_FLAGS = dict(
+    use_plan_cache=_PLAN_CACHE_ABLATION,
+    use_batched_acquire=_PLAN_CACHE_ABLATION,
+)
 
 
 def make_cells_stack(protocol_cls=None, **db_kwargs):
@@ -22,7 +33,10 @@ def make_cells_stack(protocol_cls=None, **db_kwargs):
 
     database, catalog = build_cells_database(**db_kwargs)
     return repro.make_stack(
-        database, catalog, protocol_cls=protocol_cls or HerrmannProtocol
+        database,
+        catalog,
+        protocol_cls=protocol_cls or HerrmannProtocol,
+        **ABLATION_FLAGS,
     )
 
 

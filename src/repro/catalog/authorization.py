@@ -25,6 +25,13 @@ def principal_of(txn):
     return getattr(txn, "principal", txn)
 
 
+#: Shared stand-in for every principal without explicit grants: they all
+#: receive the manager's default answers, so plans compiled for one are
+#: valid for all of them (the version stamp invalidates cached plans the
+#: moment any of them gains an explicit grant or restriction).
+DEFAULT_RIGHTS = object()
+
+
 class AuthorizationManager:
     """Relation-level read/modify rights per principal.
 
@@ -40,6 +47,10 @@ class AuthorizationManager:
         self._modify: Dict[object, Set[str]] = {}
         self._read: Dict[object, Set[str]] = {}
         self._restricted: Set[object] = set()
+        #: bumped on every grant/revoke/restrict; rule-4' lock plans embed
+        #: the answers of ``can_modify``, so compiled plans stamp this
+        #: counter and fall out of the cache when rights change.
+        self.version = 0
 
     # -- administration -------------------------------------------------------
 
@@ -52,22 +63,35 @@ class AuthorizationManager:
         self._restricted.add(principal)
         self._modify.setdefault(principal, set()).add(relation_name)
         self._read.setdefault(principal, set()).add(relation_name)
+        self.version += 1
 
     def grant_read(self, principal, relation_name: str):
         self._restricted.add(principal)
         self._read.setdefault(principal, set()).add(relation_name)
+        self.version += 1
 
     def restrict(self, principal):
         """Put a principal under closed-world rules without any grant."""
         self._restricted.add(principal)
         self._modify.setdefault(principal, set())
         self._read.setdefault(principal, set())
+        self.version += 1
 
     def revoke_modify(self, principal, relation_name: str):
         self._restricted.add(principal)
         self._modify.setdefault(principal, set()).discard(relation_name)
+        self.version += 1
 
     # -- queries ---------------------------------------------------------------
+
+    def is_restricted(self, principal) -> bool:
+        """Does the principal have explicit rights (closed-world rules)?
+
+        Unrestricted principals are indistinguishable to ``can_modify`` /
+        ``can_read`` — they all get the defaults — which is what lets
+        plan-cache keys collapse them onto :data:`DEFAULT_RIGHTS`.
+        """
+        return principal in self._restricted
 
     def can_modify(self, txn, relation_name: str) -> bool:
         """May the transaction change data in ``relation_name``?

@@ -34,6 +34,7 @@ from repro.check.differential import (
     differential_check,
     explore_protocols,
     find_unsafe_counterexample,
+    plan_cache_fingerprints,
 )
 from repro.check.scheduler import Explorer
 from repro.check.workloads import WORKLOADS
@@ -88,6 +89,11 @@ def _build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--seed", type=int, default=0)
     diff.add_argument(
         "--no-ablations", action="store_true", help="skip the ablation matrix"
+    )
+    diff.add_argument(
+        "--no-plan-cache",
+        action="store_true",
+        help="skip the compiled-plan cache + batching on/off comparison",
     )
     commands.add_parser("smoke", help="bounded differential pass for CI")
     return parser
@@ -222,6 +228,7 @@ def cmd_differential(args) -> int:
             walks=args.walks,
             seed=args.seed,
             ablations=not args.no_ablations,
+            plan_cache=not args.no_plan_cache,
         )
     except CheckError as exc:
         print("DIFFERENTIAL FAILURE: %s" % exc)
@@ -253,6 +260,12 @@ def _print_differential(summary) -> None:
         print(
             "  ablations agree: %d identical schedules across refindex "
             "on/off x dense/naive mode tables" % summary["ablation_schedules"]
+        )
+    if "plan_cache_schedules" in summary:
+        print(
+            "  plan cache + batching invisible: %d schedules with "
+            "bit-identical lock traces on vs off"
+            % summary["plan_cache_schedules"]
         )
 
 
@@ -292,6 +305,24 @@ def cmd_smoke(_args) -> int:
     except CheckError as exc:
         print("SMOKE FAILURE (partlib): %s" % exc)
         failures += 1
+    # The plan-compilation ablation on the remaining standard workloads
+    # (from-the-side is already covered by the differential pass above).
+    for name, (max_schedules, max_steps) in (
+        ("partlib", (400, 60)),
+        ("deadlock", (400, 60)),
+    ):
+        try:
+            fingerprints = plan_cache_fingerprints(
+                WORKLOADS[name], max_schedules=max_schedules, max_steps=max_steps
+            )
+            schedules = assert_ablations_agree(fingerprints)
+            print(
+                "%s plan cache + batching invisible: %d schedules with "
+                "bit-identical lock traces on vs off" % (name, schedules)
+            )
+        except CheckError as exc:
+            print("SMOKE FAILURE (%s plan cache): %s" % (name, exc))
+            failures += 1
     return 1 if failures else 0
 
 

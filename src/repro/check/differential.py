@@ -15,7 +15,12 @@ ablation paths, must tell one coherent story:
 * the **ablations** must be invisible: exploration with the incremental
   reference index on or off, and with the dense int-indexed mode tables
   or their dict-backed naive twins, must produce bit-identical schedule
-  fingerprints (same interleavings, same outcomes, same final states).
+  fingerprints (same interleavings, same outcomes, same final states);
+* the **plan-compilation layer** must be invisible down to the lock
+  trace: replaying a workload with the compiled-plan cache and batched
+  group acquisition on versus off must produce bit-identical lock-trace
+  fingerprints — every request, grant, wait and release event in the
+  same order, not merely the same final state.
 """
 
 from __future__ import annotations
@@ -191,6 +196,38 @@ def ablation_fingerprints(
     return fingerprints
 
 
+def plan_cache_fingerprints(
+    workload: Workload,
+    protocol: str = "herrmann",
+    max_schedules: int = 5000,
+    max_steps: int = 300,
+) -> Dict[str, tuple]:
+    """Explore one workload with plan compilation + batching off vs. on.
+
+    The returned fingerprints *include the lock-trace narrative*: the
+    compiled-plan cache and batched group acquisition claim to be pure
+    performance layers, so the bar is event-for-event identity of the
+    lock operations, not just identical schedules and final states.
+    :func:`assert_ablations_agree` checks the two paths coincide.
+    """
+    fingerprints: Dict[str, tuple] = {}
+    for enabled in (False, True):
+        explorer = Explorer(
+            workload,
+            variant={
+                "protocol_cls": PROTOCOLS[protocol],
+                "use_plan_cache": enabled,
+                "use_batched_acquire": enabled,
+            },
+            check_rules=check_rules_for(protocol),
+            max_schedules=max_schedules,
+            max_steps=max_steps,
+        )
+        label = "plan-cache+batching=%s" % ("on" if enabled else "off")
+        fingerprints[label] = explorer.explore().fingerprint(include_trace=True)
+    return fingerprints
+
+
 def assert_ablations_agree(fingerprints: Dict[str, tuple]) -> int:
     """All ablation fingerprints must be identical; returns schedule count."""
     items = list(fingerprints.items())
@@ -213,6 +250,7 @@ def differential_check(
     walks: int = 0,
     seed: int = 0,
     ablations: bool = True,
+    plan_cache: bool = True,
 ) -> dict:
     """The full differential story for one workload.
 
@@ -251,4 +289,10 @@ def differential_check(
         )
         summary["ablation_schedules"] = assert_ablations_agree(fingerprints)
         summary["ablations"] = fingerprints
+    if plan_cache and not walks:
+        fingerprints = plan_cache_fingerprints(
+            workload, max_schedules=max_schedules, max_steps=max_steps
+        )
+        summary["plan_cache_schedules"] = assert_ablations_agree(fingerprints)
+        summary["plan_cache"] = fingerprints
     return summary

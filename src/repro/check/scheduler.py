@@ -466,10 +466,17 @@ class ScheduleResult:
         """The interleaving as a readable string, e.g. ``T1 T2 T2 T1``."""
         return " ".join(self.names[index] for index in self.choices)
 
-    def fingerprint(self) -> tuple:
+    def fingerprint(self, include_trace: bool = False) -> tuple:
         """Stable identity for ablation comparison: same interleaving,
-        same outcomes, same data-op log, same final database state."""
-        return (
+        same outcomes, same data-op log, same final database state.
+
+        ``include_trace=True`` additionally folds in the full lock-trace
+        narrative (every request/grant/wait/release event, in order) —
+        the bit-identical standard the plan-compilation ablation is held
+        to: a cached plan must produce the *same lock operations*, not
+        just the same end state.
+        """
+        identity = (
             self.choices,
             tuple(sorted(self.outcomes.items())),
             tuple(
@@ -477,6 +484,9 @@ class ScheduleResult:
             ),
             self.final_state,
         )
+        if include_trace:
+            identity = identity + (self.trace_events,)
+        return identity
 
     def __repr__(self):
         return "ScheduleResult(%s: %s)" % (
@@ -559,8 +569,10 @@ class ExplorationReport:
             if not verdict.ok
         ]
 
-    def fingerprint(self) -> tuple:
-        return tuple(sorted(result.fingerprint() for result in self.results))
+    def fingerprint(self, include_trace: bool = False) -> tuple:
+        return tuple(
+            sorted(result.fingerprint(include_trace) for result in self.results)
+        )
 
     def summary(self) -> dict:
         bad = self.counterexamples()

@@ -138,6 +138,12 @@ class LockTable:
     def __init__(self, reader_bypass: bool = False):
         self._entries: Dict[object, _ResourceEntry] = {}
         self._txn_resources: Dict[object, Set[object]] = {}
+        #: per-transaction held-mode summary: txn -> {resource: effective
+        #: mode}.  Mirrors ``entry.granted[txn].mode`` and is maintained at
+        #: every grant/conversion/release site, so "do I already hold at
+        #: least this mode?" is one dict probe instead of two — the hot
+        #: question of plan filtering and batched acquisition.
+        self._txn_modes: Dict[object, Dict[object, LockMode]] = {}
         #: txn -> waiting requests (conversion or queued); lets release_all
         #: and deadlock victim handling find a transaction's waits without
         #: scanning every resource entry
@@ -168,12 +174,14 @@ class LockTable:
         return {txn: held.mode for txn, held in entry.granted.items()}
 
     def held_mode(self, txn, resource) -> Optional[LockMode]:
-        """Mode ``txn`` holds on ``resource`` (None if not held)."""
-        entry = self._entries.get(resource)
-        if entry is None:
+        """Mode ``txn`` holds on ``resource`` (None if not held).
+
+        Answered from the per-transaction summary — O(1) and entry-free.
+        """
+        modes = self._txn_modes.get(txn)
+        if modes is None:
             return None
-        held = entry.granted.get(txn)
-        return held.mode if held is not None else None
+        return modes.get(resource)
 
     def holds_at_least(self, txn, resource, mode: LockMode) -> bool:
         """Does ``txn`` hold ``resource`` in at least ``mode``?"""
@@ -231,8 +239,61 @@ class LockTable:
         """
         self.requests += 1
         self._clock += 1
-        entry = self._entries.setdefault(resource, _ResourceEntry())
-        self.max_entries = max(self.max_entries, len(self._entries))
+        entry = self._entries.get(resource)
+        if entry is None:
+            entry = _ResourceEntry()
+            self._entries[resource] = entry
+            if len(self._entries) > self.max_entries:
+                self.max_entries = len(self._entries)
+        return self._submit(entry, txn, resource, mode, long, wait)
+
+    def request_many(
+        self, txn, steps, long: bool = False, wait: bool = True
+    ) -> List[LockRequest]:
+        """Acquire a whole lock plan in one table pass.
+
+        ``steps`` is an ordered iterable of ``(resource, mode)`` pairs —
+        typically one demand's compiled plan, root-to-leaf.  Semantics are
+        exactly those of issuing each pair through :meth:`request` after
+        pruning pairs the transaction already covers (the caller-side
+        ``holds_at_least`` filter of the sequential path): pruned pairs
+        touch no counters, the compatible prefix is granted in order, and
+        the first pair that cannot be granted either queues (``wait=True``,
+        returned WAITING as the last element) or raises
+        :class:`LockConflictError` (``wait=False``), leaving the prefix
+        granted for the caller's abort path to release.
+
+        The batching win: one call boundary for N locks, covered-pair
+        pruning via the O(1) per-transaction held-mode summary, and — since
+        at most the final request can block — callers need a single
+        deadlock check per plan instead of one per lock.
+        """
+        out: List[LockRequest] = []
+        entries = self._entries
+        for resource, mode in steps:
+            modes = self._txn_modes.get(txn)
+            if modes is not None:
+                held_mode = modes.get(resource)
+                if held_mode is not None and covers(held_mode, mode):
+                    continue  # already satisfied: pruned, not re-requested
+            self.requests += 1
+            self._clock += 1
+            entry = entries.get(resource)
+            if entry is None:
+                entry = _ResourceEntry()
+                entries[resource] = entry
+                if len(entries) > self.max_entries:
+                    self.max_entries = len(entries)
+            request = self._submit(entry, txn, resource, mode, long, wait)
+            out.append(request)
+            if not request.granted:
+                break
+        return out
+
+    def _submit(
+        self, entry, txn, resource, mode: LockMode, long: bool, wait: bool
+    ) -> LockRequest:
+        """Grant/queue one counted request against its resource entry."""
         held = entry.granted.get(txn)
 
         if held is not None:
@@ -246,6 +307,7 @@ class LockTable:
                 return request
             if self._conversion_grantable(entry, txn, target):
                 held.push(mode, long)
+                self._txn_modes[txn][resource] = held.mode
                 self._touch(entry)
                 request.status = RequestStatus.GRANTED
                 self.immediate_grants += 1
@@ -301,6 +363,11 @@ class LockTable:
         if held.pop():
             del entry.granted[txn]
             self._txn_resources.get(txn, set()).discard(resource)
+            self._summary_drop(txn, resource)
+        else:
+            # A counted release may shrink the supremum: the summary must
+            # follow, or batched pruning would trust a stale stronger mode.
+            self._txn_modes[txn][resource] = held.mode
         self._touch(entry)
         woken = self._process_queue(entry)
         self._drop_if_empty(resource, entry)
@@ -331,12 +398,14 @@ class LockTable:
             if held is not None and not (keep_long and held.long):
                 del entry.granted[txn]
                 self._txn_resources[txn].discard(resource)
+                self._summary_drop(txn, resource)
                 self._touch(entry)
             self._cancel_waiting(entry, txn)
             woken.extend(self._process_queue(entry))
             self._drop_if_empty(resource, entry)
         if not keep_long:
             self._txn_resources.pop(txn, None)
+            self._txn_modes.pop(txn, None)
         return woken
 
     def cancel(self, request: LockRequest) -> List[LockRequest]:
@@ -447,6 +516,13 @@ class LockTable:
                 return False
         return True
 
+    def _summary_drop(self, txn, resource):
+        modes = self._txn_modes.get(txn)
+        if modes is not None:
+            modes.pop(resource, None)
+            if not modes:
+                del self._txn_modes[txn]
+
     def _grant(self, entry, request: LockRequest):
         held = entry.granted.get(request.txn)
         if held is None:
@@ -455,6 +531,7 @@ class LockTable:
         held.push(request.mode, request.long)
         request.status = RequestStatus.GRANTED
         self._txn_resources.setdefault(request.txn, set()).add(request.resource)
+        self._txn_modes.setdefault(request.txn, {})[request.resource] = held.mode
         self._touch(entry)
 
     def _process_queue(self, entry) -> List[LockRequest]:
@@ -477,6 +554,7 @@ class LockTable:
                 if self._conversion_grantable(entry, request.txn, target):
                     entry.conversions.remove(request)
                     held.push(request.mode, request.long)
+                    self._txn_modes[request.txn][request.resource] = held.mode
                     request.status = RequestStatus.GRANTED
                     self._dequeue_wait(request)
                     self._touch(entry)

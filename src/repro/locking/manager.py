@@ -63,6 +63,17 @@ class LockManager:
         """Request ``mode`` on ``resource``; see :meth:`LockTable.request`."""
         return self.table.request(txn, resource, mode, long=long, wait=wait)
 
+    def acquire_many(
+        self, txn, steps, long: bool = False, wait: bool = True
+    ) -> List[LockRequest]:
+        """Acquire an ordered plan of ``(resource, mode)`` pairs in one pass.
+
+        Covered pairs are pruned against the table's per-transaction
+        held-mode summary; at most the last returned request is WAITING.
+        See :meth:`LockTable.request_many`.
+        """
+        return self.table.request_many(txn, steps, long=long, wait=wait)
+
     def release(self, txn, resource) -> List[LockRequest]:
         return self.table.release(txn, resource)
 

@@ -1,0 +1,114 @@
+"""Compiled lock-plan cache: amortizing the protocols' plan computation.
+
+Section 4.5 argues granule choice must keep lock *overhead* low; in this
+library the overhead of the paper's protocol is dominated by plan
+computation — walking ancestor chains, superunit paths and entry-point
+closures for every logical demand.  Those walks depend only on the object
+graph, the schema and (under rule 4') the requester's principal, not on
+which transaction asks: the expansion of "X on robot r1 of cell c1" is
+the same plan every time until the graph changes.
+
+:class:`PlanCache` therefore memoizes the *merged but unfiltered* step
+tuple of each demand (the transaction-independent part; the per-caller
+"already held" filter stays outside).  Every compiled plan carries the
+**version stamp** of the world it was computed against; a lookup whose
+stamp no longer matches is treated as a miss and the stale plan evicted.
+Protocols derive the stamp from the existing mutation hooks — the
+database structure version (bumped by insert/delete/replace/
+``notify_object_changed``, which undo actions and check-in also run
+through) and the authorization version — so structural mutations,
+checkout and undo all invalidate without any new bookkeeping calls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+class CompiledPlan:
+    """One cached demand expansion: a reusable tuple of planned steps."""
+
+    __slots__ = ("key", "stamp", "steps", "hits")
+
+    def __init__(self, key, stamp, steps):
+        self.key = key
+        #: version stamp of the world the steps were compiled against
+        self.stamp = stamp
+        #: merged, unfiltered plan steps (tuple of PlannedLock), shared by
+        #: every transaction that replays this demand — treat as immutable
+        self.steps = steps
+        self.hits = 0
+
+    def __repr__(self):
+        return "CompiledPlan(%r, stamp=%r, %d steps, %d hits)" % (
+            self.key,
+            self.stamp,
+            len(self.steps),
+            self.hits,
+        )
+
+
+class PlanCache:
+    """Stamp-validated memo of compiled lock plans.
+
+    Keys are protocol-chosen tuples — typically ``(resource, mode,
+    options..., principal-context)``.  The cache never answers with a plan
+    compiled against a different world: a stamp mismatch counts as an
+    *invalidation* (and a miss) and drops the entry.  Size is bounded;
+    overflow evicts in insertion order (plain FIFO — the demand working
+    sets of the workloads are far below the cap, the bound only guards
+    against degenerate key churn).
+    """
+
+    __slots__ = ("_plans", "max_size", "hits", "misses", "invalidations")
+
+    def __init__(self, max_size: int = 4096):
+        self._plans: Dict[tuple, CompiledPlan] = {}
+        self.max_size = max_size
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self):
+        return len(self._plans)
+
+    def lookup(self, key: tuple, stamp: tuple) -> Optional[Tuple]:
+        """Return the cached steps for ``key`` at ``stamp``, or None."""
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        if plan.stamp != stamp:
+            self.invalidations += 1
+            self.misses += 1
+            del self._plans[key]
+            return None
+        self.hits += 1
+        plan.hits += 1
+        return plan.steps
+
+    def store(self, key: tuple, stamp: tuple, steps: Tuple) -> CompiledPlan:
+        if len(self._plans) >= self.max_size:
+            self._plans.pop(next(iter(self._plans)))
+        plan = CompiledPlan(key, stamp, steps)
+        self._plans[key] = plan
+        return plan
+
+    def clear(self):
+        self._plans.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "plan_cache_size": len(self._plans),
+            "plan_cache_hits": self.hits,
+            "plan_cache_misses": self.misses,
+            "plan_cache_invalidations": self.invalidations,
+        }
+
+    def reset_stats(self):
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __repr__(self):
+        return "PlanCache(%r)" % (self.stats(),)

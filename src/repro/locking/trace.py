@@ -69,6 +69,7 @@ class LockTrace:
         trace._manager = manager
         trace._originals = {
             "acquire": manager.acquire,
+            "acquire_many": manager.acquire_many,
             "release": manager.release,
             "release_all": manager.release_all,
             "cancel": manager.cancel,
@@ -98,6 +99,24 @@ class LockTrace:
             )
             return request
 
+        def acquire_many(txn, steps, long=False, wait=True):
+            # Replay the plan through the traced per-step path with the
+            # same covered-pair pruning the batched table pass applies:
+            # the narrative is event-for-event identical to sequential
+            # acquisition, which is exactly what the differential harness
+            # asserts.  Traced runs are correctness runs; they don't need
+            # the batched fast path.
+            table = manager.table
+            out = []
+            for resource, mode in steps:
+                if table.holds_at_least(txn, resource, mode):
+                    continue
+                request = acquire(txn, resource, mode, long=long, wait=wait)
+                out.append(request)
+                if not request.granted:
+                    break
+            return out
+
         def release(txn, resource):
             try:
                 woken = trace._originals["release"](txn, resource)
@@ -124,6 +143,7 @@ class LockTrace:
             return woken
 
         manager.acquire = acquire
+        manager.acquire_many = acquire_many
         manager.release = release
         manager.release_all = release_all
         manager.cancel = cancel

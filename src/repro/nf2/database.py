@@ -73,6 +73,7 @@ class Relation:
         self._by_surrogate[surrogate] = obj
         self._by_key[key] = obj
         self.database.reference_index.index_object(self, obj)
+        self.database.structure_version += 1
         return obj
 
     def get(self, key) -> ComplexObject:
@@ -129,6 +130,7 @@ class Relation:
         del self._by_surrogate[obj.surrogate]
         del self._by_key[obj.key]
         self.database.reference_index.forget_object(self, obj)
+        self.database.structure_version += 1
         return obj
 
     def replace(self, obj: ComplexObject):
@@ -166,6 +168,38 @@ class Relation:
         self.database.reference_index.refresh_object(
             self, stored, key_changed=key_changed
         )
+        self.database.structure_version += 1
+
+    def restore(self, snapshot: ComplexObject) -> ComplexObject:
+        """Re-insert a previously deleted object under its *original* surrogate.
+
+        Undo of a delete must restore identity, not just content: references
+        elsewhere in the database (including ones re-added by later undo
+        actions of the same rollback) name the object by surrogate, so a
+        fresh surrogate from :meth:`insert` would leave them dangling.
+        """
+        self.schema.object_type.validate(
+            snapshot.root, resolver=self.database._resolves
+        )
+        key = snapshot.root[self.schema.key]
+        if key in self._by_key:
+            raise IntegrityError(
+                "relation %r already holds an object with key %r"
+                % (self.name, key)
+            )
+        if snapshot.surrogate in self._by_surrogate:
+            raise IntegrityError(
+                "relation %r already holds surrogate %r"
+                % (self.name, snapshot.surrogate)
+            )
+        obj = ComplexObject(self.name, snapshot.surrogate, key, snapshot.root)
+        for attribute, index in self.indexes.items():
+            index.add(obj.root[attribute], obj.surrogate)
+        self._by_surrogate[obj.surrogate] = obj
+        self._by_key[key] = obj
+        self.database.reference_index.index_object(self, obj)
+        self.database.structure_version += 1
+        return obj
 
     def resolve(self, obj: ComplexObject, steps):
         """Resolve an instance path within ``obj`` (see repro.nf2.paths)."""
@@ -198,6 +232,12 @@ class Database:
         self.use_reference_index = True
         #: optional hooks fired on relation creation (catalog integration)
         self._creation_hooks: List[Callable[[Relation], None]] = []
+        #: coarse object-graph/schema version: bumped by every structural
+        #: mutation (insert/delete/replace/restore, component writes via
+        #: ``notify_object_changed`` — which undo and check-in also run
+        #: through — and relation/index creation).  Compiled lock plans
+        #: are stamped with this counter; see repro.locking.plancache.
+        self.structure_version = 0
 
     # -- schema management -------------------------------------------------
 
@@ -225,6 +265,7 @@ class Database:
         for relation in created:
             for hook in self._creation_hooks:
                 hook(relation)
+        self.structure_version += 1
         return created
 
     def on_relation_created(self, hook: Callable[[Relation], None]):
@@ -250,6 +291,7 @@ class Database:
         for obj in relation:
             index.add(obj.root[attribute], obj.surrogate)
         relation.indexes[attribute] = index
+        self.structure_version += 1
         return index
 
     def relation(self, name: str) -> Relation:
@@ -335,6 +377,7 @@ class Database:
         obj = relation._by_surrogate.get(surrogate)
         if obj is None:
             return
+        self.structure_version += 1
         self.reference_index.refresh_object(relation, obj)
 
     # -- statistics -----------------------------------------------------------

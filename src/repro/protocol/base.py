@@ -26,6 +26,7 @@ from repro.errors import ProtocolError
 from repro.graphs.units import UnitMap, ancestors
 from repro.locking.manager import LockManager
 from repro.locking.modes import IS, IX, S, SIX, X, LockMode, covers
+from repro.locking.plancache import PlanCache
 
 
 class PlannedLock:
@@ -75,11 +76,30 @@ class ProtocolBase:
     #: subclass marker used in benchmark reports
     name = "base"
 
-    def __init__(self, manager: LockManager, catalog, authorization=None):
+    #: whether this protocol's demand expansion is a pure function of the
+    #: object graph / schema / principal (False where the *work* of
+    #: planning is semantic, e.g. the naive DAG reverse scan whose cost is
+    #: the benchmarked quantity)
+    plan_cacheable = True
+
+    def __init__(
+        self,
+        manager: LockManager,
+        catalog,
+        authorization=None,
+        use_plan_cache: bool = False,
+        use_batched_acquire: bool = False,
+    ):
         self.manager = manager
         self.catalog = catalog
         self.units = UnitMap(catalog)
         self.authorization = authorization
+        #: ablation flag: memoize compiled demand expansions (stamped by
+        #: the database structure / authorization versions)
+        self.use_plan_cache = use_plan_cache
+        #: ablation flag: submit whole plans to the lock table in one pass
+        self.use_batched_acquire = use_batched_acquire
+        self.plan_cache = PlanCache()
         #: explicit lock requests issued through this protocol instance
         self.locks_requested = 0
         #: logical demands served
@@ -106,6 +126,19 @@ class ProtocolBase:
 
     def execute_plan(self, txn, plan: LockPlan, wait=False, long=False):
         self.demands += 1
+        if self.use_batched_acquire:
+            # One table pass for the whole plan: covered steps are pruned
+            # against the per-transaction held-mode summary, the compatible
+            # prefix is granted in a single traversal, and at most the last
+            # returned request is WAITING (one deadlock check per demand).
+            granted = self.manager.acquire_many(
+                txn,
+                [(step.resource, step.mode) for step in plan],
+                long=long,
+                wait=wait,
+            )
+            self.locks_requested += len(granted)
+            return granted
         granted = []
         for step in plan:
             self.locks_requested += 1
@@ -217,6 +250,14 @@ class ProtocolBase:
         safe); steps the transaction already covers explicitly are dropped
         so repeated demands stay cheap and plans match the figures.
         """
+        return self.filter_plan(txn, self.merge_steps(steps))
+
+    def merge_steps(self, steps: List[PlannedLock]) -> Tuple[PlannedLock, ...]:
+        """Merge duplicates: earliest position, supremum of modes.
+
+        This is the transaction-*independent* half of plan finishing — its
+        output is what the plan cache stores and shares across callers.
+        """
         from repro.locking.modes import supremum
 
         merged: List[PlannedLock] = []
@@ -232,12 +273,57 @@ class ProtocolBase:
                 continue
             position[step.resource] = len(merged)
             merged.append(step)
+        return tuple(merged)
+
+    def filter_plan(self, txn, merged) -> LockPlan:
+        """Drop merged steps the transaction already covers explicitly.
+
+        The transaction-*dependent* half: runs on every demand (cache hit
+        or not) against the caller's current held locks — one O(1)
+        held-mode probe per step.  Never mutates ``merged`` (cached step
+        tuples are shared).
+        """
+        holds_at_least = self.manager.holds_at_least
         return LockPlan(
             [
                 step
                 for step in merged
-                if not self.manager.holds_at_least(txn, step.resource, step.mode)
+                if not holds_at_least(txn, step.resource, step.mode)
             ]
+        )
+
+    def compiled_steps(self, key: tuple, build) -> Tuple[PlannedLock, ...]:
+        """Merged steps for a demand, via the plan cache when enabled.
+
+        ``build()`` computes the raw step list; ``key`` must capture every
+        plan-shaping input apart from the world state the stamp covers —
+        target resource, mode, propagation options and (under rule 4') the
+        requesting principal.  Disabled or uncacheable protocols just
+        merge.
+        """
+        if not (self.use_plan_cache and self.plan_cacheable):
+            return self.merge_steps(build())
+        stamp = self.plan_stamp()
+        steps = self.plan_cache.lookup(key, stamp)
+        if steps is None:
+            steps = self.merge_steps(build())
+            self.plan_cache.store(key, stamp, steps)
+        return steps
+
+    def plan_stamp(self) -> tuple:
+        """Version stamp of every world state compiled plans depend on.
+
+        The database structure version moves on insert/delete/replace/
+        restore, component writes (``notify_object_changed`` — which undo
+        actions and check-in also run through) and relation/index creation;
+        the authorization version moves on grant/revoke.  Any bump
+        invalidates all cached plans by stamp mismatch.
+        """
+        database = self.catalog.database
+        auth = self.authorization
+        return (
+            database.structure_version,
+            -1 if auth is None else auth.version,
         )
 
     def _ancestor_steps(self, txn, resource, intention: LockMode) -> List[PlannedLock]:
@@ -252,12 +338,22 @@ class ProtocolBase:
             raise ProtocolError("unsupported lock mode %r" % (mode,))
 
     def metrics(self) -> dict:
-        return {
+        out = {
             "protocol": self.name,
             "demands": self.demands,
             "locks_requested": self.locks_requested,
+            "locks_per_demand": (
+                round(self.locks_requested / self.demands, 4)
+                if self.demands
+                else 0.0
+            ),
+            "use_plan_cache": self.use_plan_cache,
+            "use_batched_acquire": self.use_batched_acquire,
         }
+        out.update(self.plan_cache.stats())
+        return out
 
     def reset_metrics(self):
         self.demands = 0
         self.locks_requested = 0
+        self.plan_cache.reset_stats()

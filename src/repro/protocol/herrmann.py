@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.catalog.authorization import DEFAULT_RIGHTS, principal_of
 from repro.errors import AuthorizationError, ProtocolError
 from repro.graphs.units import ancestors
 from repro.locking.modes import IX, S, X, LockMode, intention_of
@@ -60,8 +61,9 @@ class HerrmannProtocol(ProtocolBase):
         authorization=None,
         rule4prime: Optional[bool] = None,
         transitive_propagation: bool = True,
+        **kwargs,
     ):
-        super().__init__(manager, catalog, authorization=authorization)
+        super().__init__(manager, catalog, authorization=authorization, **kwargs)
         if rule4prime is None:
             rule4prime = authorization is not None
         if rule4prime and authorization is None:
@@ -85,21 +87,51 @@ class HerrmannProtocol(ProtocolBase):
         """
         self._check_mode(mode)
         self._check_authorization(txn, resource, mode)
-        steps: List[PlannedLock] = []
         intention = intention_of(mode)
         unit_root = self.units.unit_root(resource)
+        entry_point = self.units.is_entry_point(unit_root)
 
-        if self.units.is_entry_point(unit_root):
-            # Inner-unit node. When reached via a reference, the node
-            # holding the reference must already carry (at least) the
-            # intention mode — rule 1/2/3/4, entry-point case.
-            if via is not None and not self.effectively_holds(txn, via, intention):
-                raise ProtocolError(
-                    "referencing node %r must be (at least) %s locked before "
-                    "entry point %r may be requested" % (via, intention, resource)
-                )
-            # Implicit upward propagation: the immediate parents of the
-            # requested node, up to the root of the superunit.
+        # The via-check is transaction-dependent (it consults the caller's
+        # held locks), so it runs on every demand — cache hit or not.
+        if (
+            entry_point
+            and via is not None
+            and not self.effectively_holds(txn, via, intention)
+        ):
+            raise ProtocolError(
+                "referencing node %r must be (at least) %s locked before "
+                "entry point %r may be requested" % (via, intention, resource)
+            )
+
+        # Step expansion depends on the graph/schema (covered by the
+        # stamp), the demand itself and — under rule 4', via the
+        # can_modify answers baked into propagated modes — the principal.
+        # Principals without explicit grants all get the default answers,
+        # so they share one key (the raw principal would be the transaction
+        # object for anonymous transactions: one dead entry per txn).
+        principal = None
+        if self.rule4prime:
+            principal = principal_of(txn)
+            if not self.authorization.is_restricted(principal):
+                principal = DEFAULT_RIGHTS
+        key = (resource, mode, propagate, principal)
+        merged = self.compiled_steps(
+            key,
+            lambda: self._raw_steps(
+                txn, resource, mode, unit_root, entry_point, propagate
+            ),
+        )
+        return self.filter_plan(txn, merged)
+
+    def _raw_steps(
+        self, txn, resource, mode: LockMode, unit_root, entry_point, propagate
+    ) -> List[PlannedLock]:
+        steps: List[PlannedLock] = []
+        intention = intention_of(mode)
+        if entry_point:
+            # Inner-unit node: implicit upward propagation — the immediate
+            # parents of the requested node, up to the root of the
+            # superunit (rules 1/2/3/4, entry-point case).
             for ancestor in self.units.superunit_path(unit_root):
                 steps.append(PlannedLock(ancestor, intention, "upward"))
             for ancestor in ancestors(resource):
@@ -117,7 +149,7 @@ class HerrmannProtocol(ProtocolBase):
             steps.extend(self._downward_steps(txn, resource, mode))
 
         steps.append(PlannedLock(resource, mode, "target"))
-        return self.finish_plan(txn, steps)
+        return steps
 
     def _downward_steps(self, txn, resource, mode: LockMode) -> List[PlannedLock]:
         """Implicit downward propagation onto lower entry points."""

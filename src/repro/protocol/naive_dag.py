@@ -41,6 +41,11 @@ class NaiveDAGProtocol(ProtocolBase):
 
     name = "naive_dag"
 
+    #: NOT plan-cacheable: the reverse-reference scan *is* this baseline's
+    #: measured overhead (``Database.scan_cost``); memoizing its result
+    #: would change the semantics the benchmarks exist to expose.
+    plan_cacheable = False
+
     def plan_request(self, txn, resource, mode: LockMode, via=None) -> LockPlan:
         self._check_mode(mode)
         intention = intention_of(mode)

@@ -151,14 +151,30 @@ class SystemRTupleProtocol(ProtocolBase):
 
     name = "system_r_tuple"
 
-    def __init__(self, manager, catalog, authorization=None, follow_references=True):
-        super().__init__(manager, catalog, authorization=authorization)
+    def __init__(
+        self,
+        manager,
+        catalog,
+        authorization=None,
+        follow_references=True,
+        **kwargs,
+    ):
+        super().__init__(manager, catalog, authorization=authorization, **kwargs)
         self.follow_references = follow_references
 
     def plan_request(self, txn, resource, mode: LockMode, via=None) -> LockPlan:
+        # The expansion walks instance trees (tuple_resources_below), so it
+        # depends on object *content* — which the structure-version stamp
+        # covers — but never on the requesting transaction.
+        self._check_mode(mode)
+        merged = self.compiled_steps(
+            (resource, mode), lambda: self._raw_steps(resource, mode)
+        )
+        return self.filter_plan(txn, merged)
+
+    def _raw_steps(self, resource, mode: LockMode) -> List[PlannedLock]:
         from repro.graphs.units import is_index_resource
 
-        self._check_mode(mode)
         intention = intention_of(mode)
         steps: List[PlannedLock] = []
         for ancestor in ancestors(resource):
@@ -167,7 +183,7 @@ class SystemRTupleProtocol(ProtocolBase):
             # intention demands and index units are plain leaf locks —
             # System R locks indexes like any other unit (Figure 2a)
             steps.append(PlannedLock(resource, mode, "target"))
-            return self.finish_plan(txn, steps)
+            return steps
         tuples, chains = tuple_resources_below(
             self.units, resource, follow_references=self.follow_references
         )
@@ -182,7 +198,7 @@ class SystemRTupleProtocol(ProtocolBase):
                 steps.append(PlannedLock(tuple_resource, mode, "ref-tuple"))
         if not tuples:
             steps.append(PlannedLock(resource, mode, "target"))
-        return self.finish_plan(txn, steps)
+        return steps
 
 
 class SystemRRelationProtocol(ProtocolBase):
@@ -195,7 +211,15 @@ class SystemRRelationProtocol(ProtocolBase):
     name = "system_r_relation"
 
     def plan_request(self, txn, resource, mode: LockMode, via=None) -> LockPlan:
+        # Schema-only expansion: cacheable under the same stamp (relation
+        # creation bumps the structure version).
         self._check_mode(mode)
+        merged = self.compiled_steps(
+            (resource, mode), lambda: self._raw_steps(resource, mode)
+        )
+        return self.filter_plan(txn, merged)
+
+    def _raw_steps(self, resource, mode: LockMode) -> List[PlannedLock]:
         intention = intention_of(mode)
         relation_res = resource[:3] if len(resource) >= 3 else resource
         steps: List[PlannedLock] = []
@@ -221,4 +245,4 @@ class SystemRRelationProtocol(ProtocolBase):
                     steps.append(PlannedLock(ancestor, intention, "ref-ancestor"))
                 steps.append(PlannedLock(target_res, mode, "ref-relation"))
                 pending.extend(schema.referenced_relations())
-        return self.finish_plan(txn, steps)
+        return steps

@@ -28,7 +28,15 @@ class XSQLProtocol(ProtocolBase):
     name = "xsql"
 
     def plan_request(self, txn, resource, mode: LockMode, via=None) -> LockPlan:
+        # Whole-object expansion depends only on the reference closure —
+        # the structure-version stamp covers it; no transaction inputs.
         self._check_mode(mode)
+        merged = self.compiled_steps(
+            (resource, mode), lambda: self._raw_steps(resource, mode)
+        )
+        return self.filter_plan(txn, merged)
+
+    def _raw_steps(self, resource, mode: LockMode) -> List[PlannedLock]:
         intention = intention_of(mode)
         if len(resource) < 4:
             # database/segment/relation demands look like System R's
@@ -47,4 +55,4 @@ class XSQLProtocol(ProtocolBase):
                     steps.append(PlannedLock(ancestor, intention, "ref-ancestor"))
                 steps.append(PlannedLock(entry, mode, "ref-object"))
         steps.append(PlannedLock(target, mode, "object"))
-        return self.finish_plan(txn, steps)
+        return steps

@@ -37,6 +37,13 @@ class SimulationMetrics:
         self.max_lock_entries = 0
         self.scan_items = 0
         self.work_time = 0.0
+        #: logical demands served by the protocol (denominator of the
+        #: per-demand lock-op overhead the paper's section 4.5 argues about)
+        self.demands = 0
+        # plan-compilation cache counters (0 when the cache is disabled)
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.plan_cache_invalidations = 0
 
     # -- recording -------------------------------------------------------------
 
@@ -86,9 +93,18 @@ class SimulationMetrics:
             "mean_wait_time": round(self.mean_wait_time, 6),
             "total_wait_time": round(self.total_wait_time, 6),
             "locks_requested": self.locks_requested,
+            "demands": self.demands,
+            "locks_per_demand": (
+                round(self.locks_requested / self.demands, 4)
+                if self.demands
+                else 0.0
+            ),
             "conflict_tests": self.conflict_tests,
             "max_lock_entries": self.max_lock_entries,
             "scan_items": self.scan_items,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "plan_cache_invalidations": self.plan_cache_invalidations,
         }
 
     def __repr__(self):

@@ -214,6 +214,11 @@ class Simulator:
         self.metrics.conflict_tests = table.conflict_tests
         self.metrics.max_lock_entries = table.max_entries
         self.metrics.locks_requested = self.protocol.locks_requested
+        self.metrics.demands = self.protocol.demands
+        cache = self.protocol.plan_cache
+        self.metrics.plan_cache_hits = cache.hits
+        self.metrics.plan_cache_misses = cache.misses
+        self.metrics.plan_cache_invalidations = cache.invalidations
         database = self.protocol.catalog.database
         self.metrics.scan_items = database.scan_cost
         return self.metrics

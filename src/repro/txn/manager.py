@@ -339,7 +339,7 @@ class TransactionManager:
         # may not disappear (the dangling reference would break the very
         # structure the lock protocol synchronizes).
         relation.delete(key)
-        txn.record_undo(lambda rel=relation, snap=snapshot: rel.insert(snap.root))
+        txn.record_undo(lambda rel=relation, snap=snapshot: rel.restore(snap))
         return snapshot
 
     def _notifier(self, relation_name: str, surrogate: str):

@@ -61,13 +61,20 @@ def _op(action, key_n, value_n):
         # undo path must leave the index consistent.
         return TxnOp("delete_object", "effectors", key)
     if action == "add_ref":
-        return TxnOp(
-            "add_element",
-            "cells",
-            "c1",
-            "robots[%s].effectors" % robot,
-            _reference_to(key),
-        )
+        # A correct application locks the target before embedding a
+        # reference to it (the via-rule's premise); the S lock also keeps
+        # an uncommitted insert by the other transaction from leaking a
+        # dangling reference into the committed cell.
+        return [
+            TxnOp("read_object", "effectors", key),
+            TxnOp(
+                "add_element",
+                "cells",
+                "c1",
+                "robots[%s].effectors" % robot,
+                _reference_to(key),
+            ),
+        ]
     if action == "remove_ref":
         return TxnOp(
             "remove_element",
@@ -99,7 +106,10 @@ program_ops = st.lists(
 
 
 def _program(name, spec, voluntary_abort):
-    ops = [_op(*entry) for entry in spec]
+    ops = []
+    for entry in spec:
+        made = _op(*entry)
+        ops.extend(made if isinstance(made, list) else [made])
     if voluntary_abort:
         ops.append(Abort())
     return TxnProgram(name, ops)

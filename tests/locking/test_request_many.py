@@ -1,0 +1,193 @@
+"""Batched group acquisition and the per-transaction held-mode summary.
+
+``request_many`` must be *exactly* the sequential path after covered-step
+pruning: same grants, same queue state, same counters.  The held-mode
+summary backing the pruning (and ``held_mode``) must stay fresh through
+every grant/conversion/release path — a stale summary would make batched
+pruning skip locks the transaction no longer holds.
+"""
+
+import pytest
+
+from repro.errors import LockConflictError
+from repro.locking.lock_table import LockTable, RequestStatus
+from repro.locking.modes import IS, IX, S, SIX, X
+
+R = ("db1", "seg1", "cells", "c1")
+PLAN = [
+    (("db1",), IX),
+    (("db1", "seg1"), IX),
+    (("db1", "seg1", "cells"), IX),
+    (R, X),
+]
+
+
+@pytest.fixture
+def table():
+    return LockTable()
+
+
+def counters(table):
+    return (
+        table.requests,
+        table.immediate_grants,
+        table.waits,
+        table.conflict_tests,
+        table.max_entries,
+    )
+
+
+class TestBatchedGrants:
+    def test_whole_plan_granted_in_order(self, table):
+        granted = table.request_many("t1", PLAN)
+        assert [req.resource for req in granted] == [res for res, _ in PLAN]
+        assert all(req.granted for req in granted)
+        assert table.held_mode("t1", R) is X
+
+    def test_covered_steps_pruned_without_counters(self, table):
+        table.request_many("t1", PLAN)
+        before = counters(table)
+        again = table.request_many("t1", PLAN)
+        assert again == []
+        assert counters(table) == before
+
+    def test_weaker_covered_mode_pruned(self, table):
+        table.request("t1", R, X)
+        assert table.request_many("t1", [(R, S)]) == []
+
+    def test_uncovered_conversion_submitted(self, table):
+        table.request("t1", R, IX)
+        granted = table.request_many("t1", [(R, S)])
+        assert len(granted) == 1 and granted[0].granted
+        assert table.held_mode("t1", R) is SIX
+
+    def test_first_blocked_step_queues_and_stops(self, table):
+        table.request("t2", R, S)
+        granted = table.request_many("t1", PLAN, wait=True)
+        # prefix granted, the X on R queued, nothing submitted after it
+        assert [req.status for req in granted] == [
+            RequestStatus.GRANTED,
+            RequestStatus.GRANTED,
+            RequestStatus.GRANTED,
+            RequestStatus.WAITING,
+        ]
+        assert table.held_mode("t1", ("db1", "seg1", "cells")) is IX
+        assert table.held_mode("t1", R) is None
+
+    def test_nowait_conflict_raises_leaving_prefix(self, table):
+        table.request("t2", R, S)
+        with pytest.raises(LockConflictError):
+            table.request_many("t1", PLAN, wait=False)
+        assert table.held_mode("t1", ("db1",)) is IX
+        assert table.held_mode("t1", R) is None
+
+    def test_long_flag_propagates(self, table):
+        table.request_many("w1", PLAN, long=True)
+        dump = table.dump_long_locks()
+        assert ("w1", R, "X") in dump
+
+
+class TestSequentialEquivalence:
+    """Same steps through request() (with caller-side pruning) and
+    request_many() must leave identical tables and counters."""
+
+    SCRIPTS = [
+        # (txn, steps) issued in order; earlier txns may block later ones
+        [("t1", PLAN), ("t1", PLAN), ("t1", [(R, S)])],
+        [("t1", [(R, S)]), ("t2", [(R, S)]), ("t3", PLAN)],
+        [("t1", [(R, IX)]), ("t1", [(R, S)]), ("t2", [(R, IS)])],
+    ]
+
+    @pytest.mark.parametrize("script", SCRIPTS)
+    def test_counters_and_state_match(self, script):
+        sequential = LockTable()
+        batched = LockTable()
+        for txn, steps in script:
+            for resource, mode in steps:
+                if not sequential.holds_at_least(txn, resource, mode):
+                    sequential.request(txn, resource, mode)
+            batched.request_many(txn, steps)
+        assert counters(sequential) == counters(batched)
+        for txn, steps in script:
+            for resource, _ in steps:
+                assert sequential.held_mode(txn, resource) == batched.held_mode(
+                    txn, resource
+                )
+        assert sequential.lock_count() == batched.lock_count()
+        assert sequential.waits_for_edges() == batched.waits_for_edges()
+
+
+class TestHeldModeSummaryFreshness:
+    """Regression (the seed recomputed held modes from entries): release
+    and release_all must update the summary, including interleaved
+    release/re-acquire and counted releases that shrink the supremum."""
+
+    def test_release_drops_summary_entry(self, table):
+        table.request("t1", R, S)
+        table.release("t1", R)
+        assert table.held_mode("t1", R) is None
+        # a fresh batched acquire must re-request, not prune
+        before = table.requests
+        granted = table.request_many("t1", [(R, S)])
+        assert len(granted) == 1
+        assert table.requests == before + 1
+
+    def test_counted_release_keeps_summary(self, table):
+        table.request("t1", R, S)
+        table.request("t1", R, S)
+        table.release("t1", R)
+        assert table.held_mode("t1", R) is S
+        assert table.request_many("t1", [(R, S)]) == []  # still covered
+
+    def test_release_shrinks_supremum_in_summary(self, table):
+        table.request("t1", R, IX)
+        table.request("t1", R, S)  # conversion: SIX
+        assert table.held_mode("t1", R) is SIX
+        table.release("t1", R)  # pops the S grant; supremum back to IX
+        assert table.held_mode("t1", R) is IX
+        # batched pruning must NOT trust the stale SIX: S is re-requested
+        granted = table.request_many("t1", [(R, S)])
+        assert len(granted) == 1 and granted[0].granted
+        assert table.held_mode("t1", R) is SIX
+
+    def test_release_all_clears_summary(self, table):
+        table.request_many("t1", PLAN)
+        table.release_all("t1")
+        assert table.held_mode("t1", R) is None
+        granted = table.request_many("t1", PLAN)
+        assert len(granted) == len(PLAN)
+        assert all(req.granted for req in granted)
+
+    def test_release_all_keep_long_keeps_long_summary(self, table):
+        table.request("t1", R, X, long=True)
+        table.request("t1", R[:3], IX)  # short
+        table.release_all("t1", keep_long=True)
+        assert table.held_mode("t1", R) is X
+        assert table.held_mode("t1", R[:3]) is None
+        assert table.request_many("t1", [(R, S)]) == []  # long X covers
+
+    def test_interleaved_release_reacquire_cycles(self, table):
+        for _ in range(3):
+            granted = table.request_many("t1", PLAN)
+            assert all(req.granted for req in granted)
+            assert table.request_many("t1", PLAN) == []
+            table.release_all("t1")
+            assert table.held_mode("t1", R) is None
+        assert table.lock_count() == 0
+
+    def test_woken_waiter_lands_in_summary(self, table):
+        table.request("t1", R, X)
+        pending = table.request_many("t2", [(R, S)])[-1]
+        assert pending.status == RequestStatus.WAITING
+        table.release("t1", R)
+        assert pending.granted
+        assert table.held_mode("t2", R) is S
+        assert table.request_many("t2", [(R, S)]) == []
+
+    def test_woken_conversion_lands_in_summary(self, table):
+        table.request("t1", R, S)
+        table.request("t2", R, S)
+        table.request("t1", R, X)  # conversion waits on t2
+        table.release("t2", R)
+        assert table.held_mode("t1", R) is X
+        assert table.request_many("t1", [(R, X)]) == []

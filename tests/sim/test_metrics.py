@@ -68,6 +68,9 @@ class TestAggregation:
             "committed", "aborted", "restarts", "deadlocks", "makespan",
             "throughput", "mean_response_time", "p95_response_time",
             "mean_wait_time", "total_wait_time", "locks_requested",
+            "demands", "locks_per_demand",
             "conflict_tests", "max_lock_entries", "scan_items",
+            "plan_cache_hits", "plan_cache_misses",
+            "plan_cache_invalidations",
         }
         assert expected == set(report)
