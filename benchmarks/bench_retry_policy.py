@@ -1,0 +1,120 @@
+"""Abort/retry policy throughput under injected lock timeouts (BENCH_3).
+
+The fault subsystem's ``every=N`` mode turns the simulator into a noisy
+environment: every N-th lock request times out, aborting its transaction.
+The retry policy then decides whether the workload still finishes and how
+fast — no retries abandon work, aggressive constant backoff thrashes the
+same conflicts, linear/exponential backoff spread restarts out.  This
+benchmark records committed/abandoned/retry counts and simulated
+throughput per policy; the wall-time measurement covers the full
+fault-injected simulation loop.
+"""
+
+from benchmarks._common import make_cells_stack, print_table
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.sim import RetryPolicy, Simulator, WorkloadSpec, submit_workload
+
+DB_KWARGS = dict(n_cells=6, n_robots=10, n_effectors=30)
+SPEC_KWARGS = dict(
+    n_transactions=30,
+    update_fraction=0.6,
+    whole_object_fraction=0.3,
+    work_time=1.0,
+    mean_interarrival=0.4,
+    seed=42,
+)
+#: every 25th lock request times out — enough pressure that several
+#: transactions abort per run without drowning the workload
+FAULT_EVERY = 25
+
+POLICIES = [
+    ("no retry", RetryPolicy.none()),
+    ("constant 1.0", RetryPolicy(max_retries=10, backoff=1.0, kind="constant")),
+    ("linear 1.0", RetryPolicy(max_retries=10, backoff=1.0, kind="linear")),
+    (
+        "exponential 0.5 cap 16",
+        RetryPolicy(max_retries=10, backoff=0.5, kind="exponential", cap=16.0),
+    ),
+]
+
+
+def _run(policy):
+    stack = make_cells_stack(**DB_KWARGS)
+    injector = FaultInjector(
+        FaultPlan([FaultSpec("lock.enqueue", every=FAULT_EVERY, action="timeout")])
+    )
+    injector.install_protocol(stack.protocol)
+    simulator = Simulator(
+        stack.protocol,
+        lock_cost=0.02,
+        scan_item_cost=0.01,
+        retry_policy=policy,
+    )
+    spec = WorkloadSpec(**SPEC_KWARGS)
+    submit_workload(
+        simulator, stack.catalog, spec, authorization=stack.authorization
+    )
+    metrics = simulator.run()
+    assert stack.manager.lock_count() == 0  # no leaks, whatever the policy
+    assert metrics.committed + metrics.abandoned == spec.n_transactions
+    return metrics
+
+
+def test_retry_policy_under_injected_timeouts(benchmark):
+    rows = []
+    by_name = {}
+    for name, policy in POLICIES:
+        metrics = by_name[name] = _run(policy)
+        rows.append(
+            (
+                name,
+                metrics.committed,
+                metrics.abandoned,
+                metrics.restarts,
+                metrics.timeouts,
+                "%.4f" % metrics.throughput,
+                "%.1f" % metrics.makespan,
+            )
+        )
+    print_table(
+        "Retry policies, 1 injected timeout per %d lock requests "
+        "(%d transactions)" % (FAULT_EVERY, SPEC_KWARGS["n_transactions"]),
+        ("policy", "committed", "abandoned", "restarts", "timeouts",
+         "throughput", "makespan"),
+        rows,
+    )
+    # the injected pressure is real: someone actually timed out
+    assert any(m.timeouts > 0 for m in by_name.values())
+    # without retries the timed-out transactions are lost ...
+    assert by_name["no retry"].abandoned > 0
+    assert by_name["no retry"].restarts == 0
+    # ... while every retrying policy completes the whole workload
+    for name in ("constant 1.0", "linear 1.0", "exponential 0.5 cap 16"):
+        assert by_name[name].committed == SPEC_KWARGS["n_transactions"]
+        assert by_name[name].abandoned == 0
+        assert by_name[name].restarts >= by_name[name].timeouts > 0
+    for name, metrics in by_name.items():
+        key = name.replace(" ", "_").replace(".", "")
+        benchmark.extra_info["%s_committed" % key] = metrics.committed
+        benchmark.extra_info["%s_abandoned" % key] = metrics.abandoned
+        benchmark.extra_info["%s_restarts" % key] = metrics.restarts
+        benchmark.extra_info["%s_throughput" % key] = round(
+            metrics.throughput, 4
+        )
+    benchmark.pedantic(_run, args=(POLICIES[2][1],), rounds=3)
+
+
+def test_retry_policy_backoff_shapes_makespan(benchmark):
+    """Same faults, same workload: only the backoff curve moves the
+    simulated completion time."""
+    fast = _run(RetryPolicy(max_retries=10, backoff=0.5, kind="constant"))
+    slow = _run(RetryPolicy(max_retries=10, backoff=30.0, kind="exponential"))
+    assert fast.committed == slow.committed == SPEC_KWARGS["n_transactions"]
+    assert slow.makespan > fast.makespan
+    benchmark.extra_info["fast_makespan"] = round(fast.makespan, 2)
+    benchmark.extra_info["slow_makespan"] = round(slow.makespan, 2)
+    benchmark.pedantic(
+        _run,
+        args=(RetryPolicy(max_retries=10, backoff=0.5, kind="constant"),),
+        rounds=3,
+    )

@@ -67,7 +67,30 @@ def _build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("list", help="available workloads and protocols")
     common(commands.add_parser("explore", help="enumerate schedules"))
-    common(commands.add_parser("certify", help="fail unless all schedules pass"))
+    certify = commands.add_parser(
+        "certify", help="fail unless all schedules pass"
+    )
+    common(certify)
+    certify.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help='certify under injected faults: "seed=0..4" (seeded plans '
+        'per seed), "seed=3" (one seed) or "k=1" (exhaustive k-fault '
+        "enumeration)",
+    )
+    certify.add_argument(
+        "--fault-injections",
+        type=int,
+        default=3,
+        help="faults per seeded plan (seed= mode only)",
+    )
+    certify.add_argument(
+        "--faults-report",
+        metavar="PATH",
+        default=None,
+        help="write the JSON fault-certification report to PATH",
+    )
     counter = commands.add_parser(
         "counterexample",
         help="show the section 3.2.2 anomaly on the unsafe baseline",
@@ -157,7 +180,90 @@ def cmd_explore(args) -> int:
     return 0
 
 
+def _parse_faults_spec(spec: str):
+    """``seed=A..B`` | ``seed=N`` -> ("seed", [seeds]); ``k=N`` -> ("k", N)."""
+    key, _, value = spec.partition("=")
+    if not value:
+        raise ValueError("bad --faults spec %r (want seed=... or k=...)" % spec)
+    if key == "seed":
+        if ".." in value:
+            low, _, high = value.partition("..")
+            return "seed", list(range(int(low), int(high) + 1))
+        return "seed", [int(value)]
+    if key == "k":
+        return "k", int(value)
+    raise ValueError("bad --faults spec %r (want seed=... or k=...)" % spec)
+
+
+def cmd_certify_faults(args) -> int:
+    from repro.faults import certify_faults, exhaustive_campaign
+
+    try:
+        mode, value = _parse_faults_spec(args.faults)
+    except ValueError as exc:
+        print(exc)
+        return 2
+    workload = WORKLOADS[args.workload]
+    variant = {
+        "protocol_cls": PROTOCOLS[args.protocol],
+        "use_plan_cache": True,
+    }
+    if mode == "seed":
+        report = certify_faults(
+            workload,
+            value,
+            n_faults=args.fault_injections,
+            variant=variant,
+            max_steps=args.max_steps,
+        )
+    else:
+        runs = exhaustive_campaign(
+            workload, k=value, variant=variant, max_steps=args.max_steps
+        )
+        report = {
+            "workload": workload.name,
+            "k": value,
+            "plans": len(runs),
+            "faults_fired": sum(len(run.fired) for run in runs),
+            "violations": sum(len(run.violations) for run in runs),
+            "ok": all(run.ok for run in runs),
+            "runs": [run.summary() for run in runs],
+        }
+    if args.faults_report:
+        import json
+
+        with open(args.faults_report, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+    label = (
+        "seeds %s" % ",".join(str(seed) for seed in value)
+        if mode == "seed"
+        else "exhaustive k=%d (%d plans)" % (value, report["plans"])
+    )
+    print(
+        "%s under %s faults (%s): %d faults fired, %d violations"
+        % (
+            workload.name,
+            args.protocol,
+            label,
+            report["faults_fired"],
+            report["violations"],
+        )
+    )
+    for run in report["runs"]:
+        if run["violations"]:
+            print(
+                "  FAIL seed/walk %s: fired %s -> %s"
+                % (run["walk_seed"], run["fired"], run["violations"][:3])
+            )
+    if not report["ok"]:
+        return 1
+    print("  certified: every injected fault cleaned up completely")
+    return 0
+
+
 def cmd_certify(args) -> int:
+    if getattr(args, "faults", None):
+        return cmd_certify_faults(args)
     report = _report_for(args)
     obliged = args.protocol in VISIBILITY_OBLIGED
     bad = report.counterexamples(visibility_obliged=obliged)

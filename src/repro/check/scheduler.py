@@ -280,7 +280,18 @@ class ScheduleRun:
     def _abort(self, slot: _Slot, outcome: str):
         for request in self.manager.table.waiting_requests_of(slot.txn):
             self.manager.cancel(request)
-        self.stack.txns.abort(slot.txn)
+        # Bounded retry: an injected fault can raise *during* abort (an
+        # undo closure, the lock release).  TransactionManager.abort is
+        # re-entrant — each retry resumes cleanup where the previous
+        # attempt stopped — so a couple of retries absorb any bounded
+        # number of faults along the abort path without leaking locks.
+        for attempt in range(3):
+            try:
+                self.stack.txns.abort(slot.txn)
+                break
+            except Exception:
+                if attempt == 2:
+                    raise
         slot.outcome = outcome
         slot.waiting_request = None
         slot.pending_steps = []

@@ -55,6 +55,11 @@ class LockConflictError(LockError):
 class LockTimeoutError(LockError):
     """A blocking lock request exceeded its timeout."""
 
+    def __init__(self, message, resource=None, requested=None):
+        super().__init__(message)
+        self.resource = resource
+        self.requested = requested
+
 
 class DeadlockError(LockError):
     """The transaction was chosen as a deadlock victim.
@@ -101,3 +106,20 @@ class CheckError(ReproError):
     """The schedule explorer / oracle was misused or reached a state it
     cannot interpret (stepping a blocked transaction, a stuck schedule,
     a differential disagreement between protocols that must agree)."""
+
+
+class FaultInjected(ReproError):
+    """A deterministically injected fault fired (see :mod:`repro.faults`).
+
+    ``point`` names the injection point, ``occurrence`` the 1-based count
+    of how often that point had fired when the fault triggered.
+    """
+
+    def __init__(self, message, point=None, occurrence=None):
+        super().__init__(message)
+        self.point = point
+        self.occurrence = occurrence
+
+
+class InjectedAbort(FaultInjected):
+    """An injected fault demanding that the running transaction abort."""

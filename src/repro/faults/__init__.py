@@ -1,0 +1,36 @@
+"""Deterministic fault injection (see docs/CHECKING.md, "Fault injection").
+
+Named injection points are threaded through the lock table, lock
+manager, protocols, transaction manager, deadlock detector and
+escalator; a :class:`FaultPlan` schedules which occurrences of which
+points fail and how, a :class:`FaultInjector` counts and fires, and the
+harness (:mod:`repro.faults.harness`) certifies workloads by auditing
+every invariant after every injected fault.
+"""
+
+from repro.faults.harness import (
+    FaultRunResult,
+    certify_faults,
+    check_plan_consistency,
+    exhaustive_campaign,
+    probe_counts,
+    run_fault_schedule,
+    seeded_campaign,
+)
+from repro.faults.injector import FaultInjector, FiredFault
+from repro.faults.plan import INJECTION_POINTS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRunResult",
+    "FaultSpec",
+    "FiredFault",
+    "INJECTION_POINTS",
+    "certify_faults",
+    "check_plan_consistency",
+    "exhaustive_campaign",
+    "probe_counts",
+    "run_fault_schedule",
+    "seeded_campaign",
+]

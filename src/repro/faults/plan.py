@@ -1,0 +1,177 @@
+"""Fault plans: *what* to inject, *where*, and *when*.
+
+A fault plan is a finite schedule of injections against the named
+injection points threaded through the hot layers (see
+:data:`INJECTION_POINTS`).  Plans are data, never randomness at fire
+time: a seeded plan is drawn once from a :class:`random.Random` and then
+fully determined, and the exhaustive constructor enumerates every
+k-subset of (point, occurrence) pairs within given horizons — the
+"small-scope" systematic mode.
+
+Occurrences are 1-based per point: occurrence ``n`` of ``lock.enqueue``
+is the n-th lock request submitted to the table since the injector was
+armed.  Because every layer fires its point *before* the guarded state
+change, an injected raise always leaves recoverable state behind — the
+transaction abort path is the universal cleaner the harness then audits.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: The injection-point registry: point name -> actions a plan may take
+#: there.  ``error`` raises :class:`~repro.errors.FaultInjected`,
+#: ``abort`` raises :class:`~repro.errors.InjectedAbort` (the caller is
+#: expected to abort the transaction), ``timeout`` raises
+#: :class:`~repro.errors.LockTimeoutError`, and ``oldest-victim``
+#: (deadlock.victim only) overrides victim selection instead of raising.
+INJECTION_POINTS: Dict[str, Tuple[str, ...]] = {
+    # lock table / manager
+    "lock.enqueue": ("error", "timeout", "abort"),
+    "lock.grant": ("error", "abort"),
+    "lock.release": ("error",),
+    # protocol planning / execution
+    "plan.expand": ("error", "abort"),
+    "plan.execute": ("error", "abort"),
+    # transaction manager
+    "txn.update": ("error", "abort"),
+    "txn.partial-update": ("error", "abort"),
+    "txn.undo": ("error",),
+    # deadlock handling / escalation
+    "deadlock.victim": ("oldest-victim",),
+    "escalation.escalate": ("error",),
+}
+
+
+class FaultSpec:
+    """One scheduled injection: fire ``action`` at ``point``.
+
+    Exactly one of ``occurrence`` (fire once, at the n-th firing of the
+    point) or ``every`` (fire at every n-th firing — sustained pressure
+    for benchmarks) must be given.
+    """
+
+    __slots__ = ("point", "occurrence", "every", "action")
+
+    def __init__(
+        self,
+        point: str,
+        occurrence: Optional[int] = None,
+        action: str = "error",
+        every: Optional[int] = None,
+    ):
+        if point not in INJECTION_POINTS:
+            raise ValueError("unknown injection point %r" % (point,))
+        if action not in INJECTION_POINTS[point]:
+            raise ValueError(
+                "action %r not allowed at %r (allowed: %s)"
+                % (action, point, ", ".join(INJECTION_POINTS[point]))
+            )
+        if (occurrence is None) == (every is None):
+            raise ValueError("give exactly one of occurrence= or every=")
+        if occurrence is not None and occurrence < 1:
+            raise ValueError("occurrences are 1-based")
+        if every is not None and every < 1:
+            raise ValueError("every= must be >= 1")
+        self.point = point
+        self.occurrence = occurrence
+        self.every = every
+        self.action = action
+
+    def matches(self, occurrence: int) -> bool:
+        if self.every is not None:
+            return occurrence % self.every == 0
+        return occurrence == self.occurrence
+
+    def __repr__(self):
+        when = (
+            "every=%d" % self.every
+            if self.every is not None
+            else "occurrence=%d" % self.occurrence
+        )
+        return "FaultSpec(%s, %s, %s)" % (self.point, when, self.action)
+
+
+class FaultPlan:
+    """An ordered collection of :class:`FaultSpec` injections."""
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()):
+        self.specs: List[FaultSpec] = list(specs)
+        self._by_point: Dict[str, List[FaultSpec]] = {}
+        for spec in self.specs:
+            self._by_point.setdefault(spec.point, []).append(spec)
+
+    def match(self, point: str, occurrence: int) -> Optional[FaultSpec]:
+        """The first spec (plan order) firing at this point/occurrence."""
+        for spec in self._by_point.get(point, ()):
+            if spec.matches(occurrence):
+                return spec
+        return None
+
+    def __len__(self):
+        return len(self.specs)
+
+    def __repr__(self):
+        return "FaultPlan(%r)" % (self.specs,)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        horizons: Dict[str, int],
+        n_faults: int = 3,
+        points: Optional[Iterable[str]] = None,
+    ) -> "FaultPlan":
+        """Draw ``n_faults`` distinct (point, occurrence) injections.
+
+        ``horizons`` maps each point to how often it fired in a fault-free
+        probe run of the same workload (see ``harness.probe_counts``);
+        occurrences are drawn within the horizon so the schedule's faults
+        actually land.  The same seed always yields the same plan.
+        """
+        candidates: List[Tuple[str, int]] = []
+        for point in sorted(horizons):
+            if points is not None and point not in points:
+                continue
+            for occurrence in range(1, horizons[point] + 1):
+                candidates.append((point, occurrence))
+        rng = random.Random(seed)
+        chosen = (
+            rng.sample(candidates, min(n_faults, len(candidates)))
+            if candidates
+            else []
+        )
+        specs = []
+        for point, occurrence in sorted(chosen):
+            action = rng.choice(INJECTION_POINTS[point])
+            specs.append(FaultSpec(point, occurrence=occurrence, action=action))
+        return cls(specs)
+
+    @classmethod
+    def exhaustive(
+        cls,
+        horizons: Dict[str, int],
+        k: int = 1,
+        max_occurrences: int = 5,
+        points: Optional[Iterable[str]] = None,
+    ) -> List["FaultPlan"]:
+        """Every k-subset of (point, occurrence, action) injections.
+
+        The small-scope hypothesis mode: within bounded horizons (each
+        point contributes at most ``max_occurrences`` occurrences, its
+        first allowed action) enumerate *all* k-fault schedules.  Exact
+        and deterministic — no sampling.
+        """
+        singles: List[FaultSpec] = []
+        for point in sorted(horizons):
+            if points is not None and point not in points:
+                continue
+            action = INJECTION_POINTS[point][0]
+            bound = min(horizons[point], max_occurrences)
+            for occurrence in range(1, bound + 1):
+                singles.append(FaultSpec(point, occurrence=occurrence, action=action))
+        return [cls(combo) for combo in itertools.combinations(singles, k)]

@@ -131,6 +131,9 @@ class DeadlockDetector:
     def __init__(self, lock_table, age_of: Optional[Callable[[object], float]] = None):
         self._lock_table = lock_table
         self._age_of = age_of or (lambda txn: 0)
+        #: optional :class:`repro.faults.FaultInjector`; lets a fault plan
+        #: override victim selection (the ``deadlock.victim`` point)
+        self.fault_injector = None
         self.detections = 0
         self.deadlocks_found = 0
         self.cached_checks = 0
@@ -163,4 +166,13 @@ class DeadlockDetector:
 
     def pick_victim(self, cycle: Sequence[object]):
         """Youngest transaction on the cycle (ties broken by repr order)."""
-        return max(cycle, key=lambda txn: (self._age_of(txn), repr(txn)))
+        victim = max(cycle, key=lambda txn: (self._age_of(txn), repr(txn)))
+        if self.fault_injector is not None:
+            # A fault plan may force a different (e.g. the oldest) victim:
+            # correctness must not depend on the victim-selection policy.
+            victim = self.fault_injector.choose(
+                "deadlock.victim",
+                victim,
+                sorted(cycle, key=lambda txn: (self._age_of(txn), repr(txn))),
+            )
+        return victim

@@ -62,6 +62,9 @@ class Escalator:
         self.threshold = threshold
         self.escalations = 0
         self.deescalations = 0
+        #: optional :class:`repro.faults.FaultInjector` (fires the
+        #: ``escalation.escalate`` point before any lock movement)
+        self.fault_injector = None
 
     def should_escalate(self, txn, parent: Tuple) -> bool:
         """Has ``txn`` accumulated enough child locks under ``parent``?"""
@@ -98,6 +101,8 @@ class Escalator:
         raises :class:`~repro.errors.LockConflictError`, which is exactly
         the run-time hazard section 4.5 wants to avoid by anticipation.
         """
+        if self.fault_injector is not None:
+            self.fault_injector.fire("escalation.escalate", txn=txn, resource=parent)
         mode = self.escalation_mode(txn, parent)
         request = self.manager.acquire(txn, parent, mode, wait=wait)
         if request.granted:

@@ -136,6 +136,11 @@ class LockTable:
     """
 
     def __init__(self, reader_bypass: bool = False):
+        #: optional :class:`repro.faults.FaultInjector`; fires the
+        #: ``lock.enqueue`` / ``lock.release`` points *before* the
+        #: corresponding state change, so an injected raise leaves the
+        #: table untouched (fail-fast placement)
+        self.fault_injector = None
         self._entries: Dict[object, _ResourceEntry] = {}
         self._txn_resources: Dict[object, Set[object]] = {}
         #: per-transaction held-mode summary: txn -> {resource: effective
@@ -294,6 +299,10 @@ class LockTable:
         self, entry, txn, resource, mode: LockMode, long: bool, wait: bool
     ) -> LockRequest:
         """Grant/queue one counted request against its resource entry."""
+        if self.fault_injector is not None:
+            self.fault_injector.fire(
+                "lock.enqueue", txn=txn, resource=resource, mode=mode
+            )
         held = entry.granted.get(txn)
 
         if held is not None:
@@ -356,6 +365,8 @@ class LockTable:
         release it twice (or use :meth:`release_all`).  Returns the list of
         requests that became granted as a consequence.
         """
+        if self.fault_injector is not None:
+            self.fault_injector.fire("lock.release", txn=txn, resource=resource)
         entry = self._entries.get(resource)
         if entry is None or txn not in entry.granted:
             raise LockError("%r holds no lock on %r" % (txn, resource))
@@ -380,6 +391,8 @@ class LockTable:
         workstation transaction hands over to a long check-out lock.
         Cancels any waiting requests of ``txn`` as well.
         """
+        if self.fault_injector is not None:
+            self.fault_injector.fire("lock.release", txn=txn, resource=None)
         woken: List[LockRequest] = []
         resources = list(self._txn_resources.get(txn, ()))
         touched = set(resources)

@@ -61,7 +61,15 @@ class LockManager:
         wait: bool = True,
     ) -> LockRequest:
         """Request ``mode`` on ``resource``; see :meth:`LockTable.request`."""
-        return self.table.request(txn, resource, mode, long=long, wait=wait)
+        request = self.table.request(txn, resource, mode, long=long, wait=wait)
+        if request.granted and self.table.fault_injector is not None:
+            # fires with the grant already in the table: the caller never
+            # learns about the lock it now holds — only an abort path that
+            # releases everything the transaction owns recovers from this
+            self.table.fault_injector.fire(
+                "lock.grant", txn=txn, resource=resource, mode=mode
+            )
+        return request
 
     def acquire_many(
         self, txn, steps, long: bool = False, wait: bool = True
@@ -72,7 +80,17 @@ class LockManager:
         held-mode summary; at most the last returned request is WAITING.
         See :meth:`LockTable.request_many`.
         """
-        return self.table.request_many(txn, steps, long=long, wait=wait)
+        requests = self.table.request_many(txn, steps, long=long, wait=wait)
+        if (
+            requests
+            and requests[-1].granted
+            and self.table.fault_injector is not None
+        ):
+            last = requests[-1]
+            self.table.fault_injector.fire(
+                "lock.grant", txn=txn, resource=last.resource, mode=last.mode
+            )
+        return requests
 
     def release(self, txn, resource) -> List[LockRequest]:
         return self.table.release(txn, resource)
@@ -193,10 +211,20 @@ class ThreadedLockManager:
                 else:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
+                        # The expired request must leave the queue entirely
+                        # (a ghost entry would keep blocking FIFO successors
+                        # and feed phantom waits-for edges); cancel() also
+                        # grants whatever the departure unblocked, and the
+                        # notify_all hands those grants to their threads.
                         self._manager.cancel(request)
+                        assert request.status == RequestStatus.CANCELLED, (
+                            "timed-out request still queued: %r" % (request,)
+                        )
                         self._granted.notify_all()
                         raise LockTimeoutError(
-                            "timed out waiting for %s on %r" % (mode, resource)
+                            "timed out waiting for %s on %r" % (mode, resource),
+                            resource=resource,
+                            requested=mode,
                         )
                     self._granted.wait(timeout=remaining)
             return request

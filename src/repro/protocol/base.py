@@ -100,6 +100,10 @@ class ProtocolBase:
         #: ablation flag: submit whole plans to the lock table in one pass
         self.use_batched_acquire = use_batched_acquire
         self.plan_cache = PlanCache()
+        #: optional :class:`repro.faults.FaultInjector`; fires the
+        #: ``plan.expand`` point on every demand's plan filtering and
+        #: ``plan.execute`` before the plan's lock requests are submitted
+        self.fault_injector = None
         #: explicit lock requests issued through this protocol instance
         self.locks_requested = 0
         #: logical demands served
@@ -126,6 +130,10 @@ class ProtocolBase:
 
     def execute_plan(self, txn, plan: LockPlan, wait=False, long=False):
         self.demands += 1
+        if self.fault_injector is not None:
+            # before any step is submitted: a raise here aborts the demand
+            # with no partially acquired prefix at all
+            self.fault_injector.fire("plan.execute", txn=txn, steps=len(plan))
         if self.use_batched_acquire:
             # One table pass for the whole plan: covered steps are pruned
             # against the per-transaction held-mode summary, the compatible
@@ -283,6 +291,10 @@ class ProtocolBase:
         held-mode probe per step.  Never mutates ``merged`` (cached step
         tuples are shared).
         """
+        if self.fault_injector is not None:
+            # mid-propagation: the demand is expanded and merged but not
+            # yet turned into lock requests — nothing to clean up on raise
+            self.fault_injector.fire("plan.expand", txn=txn, steps=len(merged))
         holds_at_least = self.manager.holds_at_least
         return LockPlan(
             [

@@ -3,6 +3,7 @@
 
 from repro.sim.events import EventQueue
 from repro.sim.metrics import SimulationMetrics
+from repro.sim.retry import RetryPolicy
 from repro.sim.simulator import CallOp, LockOp, QueryOp, Simulator, ThinkOp, WorkOp
 from repro.sim.workload import (
     Terminal,
@@ -19,6 +20,7 @@ __all__ = [
     "EventQueue",
     "LockOp",
     "QueryOp",
+    "RetryPolicy",
     "SimulationMetrics",
     "Simulator",
     "Terminal",

@@ -28,6 +28,12 @@ class SimulationMetrics:
         self.committed = 0
         self.aborted = 0
         self.restarts = 0
+        #: aborted runs the retry policy gave up on (done without commit)
+        self.abandoned = 0
+        #: aborts caused by lock timeouts (includes injected timeouts)
+        self.timeouts = 0
+        #: faults delivered by an installed fault injector
+        self.injected_faults = 0
         self.deadlocks = 0
         self.response_times: List[float] = []
         self.wait_times: List[float] = []
@@ -85,6 +91,9 @@ class SimulationMetrics:
             "committed": self.committed,
             "aborted": self.aborted,
             "restarts": self.restarts,
+            "abandoned": self.abandoned,
+            "timeouts": self.timeouts,
+            "injected_faults": self.injected_faults,
             "deadlocks": self.deadlocks,
             "makespan": round(self.makespan, 6),
             "throughput": round(self.throughput, 6),

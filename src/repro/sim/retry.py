@@ -1,0 +1,88 @@
+"""Abort/retry policy for the concurrency simulator.
+
+When a transaction aborts (deadlock victim, prevention policy, lock
+timeout or injected fault) the simulator asks a :class:`RetryPolicy`
+whether to restart it and after what backoff.  The policy is pure and
+deterministic: attempt ``n`` (1-based — the n-th restart of the same
+run) always yields the same decision and delay, so simulated schedules
+stay reproducible under fault injection.
+
+The legacy ``Simulator(restart_aborted=, restart_backoff=, max_restarts=)``
+parameters map onto a *linear* policy bit-for-bit: the old restart
+condition ``restarts < max_restarts`` is ``should_retry(restarts + 1)``
+and the old delay ``restart_backoff * restarts`` (after the increment)
+is ``delay(attempt)`` with ``kind="linear"``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SimulationError
+
+
+class RetryPolicy:
+    """Bounded, deterministic abort/retry schedule.
+
+    ``kind`` selects the backoff curve for attempt ``n``:
+
+    * ``linear`` — ``backoff * n`` (the legacy simulator behaviour);
+    * ``exponential`` — ``backoff * 2**(n-1)``;
+    * ``constant`` — ``backoff``.
+
+    ``cap`` (optional) clamps every delay from above, which keeps
+    exponential schedules from stalling the simulated clock.
+    """
+
+    KINDS = ("linear", "exponential", "constant")
+
+    __slots__ = ("max_retries", "backoff", "kind", "cap")
+
+    def __init__(
+        self,
+        max_retries: int = 25,
+        backoff: float = 2.0,
+        kind: str = "linear",
+        cap: Optional[float] = None,
+    ):
+        if kind not in self.KINDS:
+            raise SimulationError(
+                "unknown retry kind %r (have: %s)" % (kind, ", ".join(self.KINDS))
+            )
+        if max_retries < 0:
+            raise SimulationError("max_retries must be >= 0")
+        if backoff < 0:
+            raise SimulationError("backoff must be >= 0")
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.kind = kind
+        self.cap = cap
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """Abort permanently on first failure (no restarts)."""
+        return cls(max_retries=0, backoff=0.0, kind="constant")
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether the ``attempt``-th restart (1-based) may happen."""
+        return attempt <= self.max_retries
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before the ``attempt``-th restart."""
+        if self.kind == "linear":
+            value = self.backoff * attempt
+        elif self.kind == "exponential":
+            value = self.backoff * (2 ** (attempt - 1))
+        else:
+            value = self.backoff
+        if self.cap is not None:
+            value = min(value, self.cap)
+        return value
+
+    def __repr__(self):
+        return "RetryPolicy(max_retries=%d, backoff=%r, kind=%r%s)" % (
+            self.max_retries,
+            self.backoff,
+            self.kind,
+            "" if self.cap is None else ", cap=%r" % self.cap,
+        )

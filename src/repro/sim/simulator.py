@@ -26,11 +26,17 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import SimulationError
+from repro.errors import (
+    FaultInjected,
+    LockError,
+    LockTimeoutError,
+    SimulationError,
+)
 from repro.locking.lock_table import LockRequest
 from repro.locking.modes import LockMode
 from repro.sim.events import EventQueue
 from repro.sim.metrics import SimulationMetrics
+from repro.sim.retry import RetryPolicy
 from repro.txn.transaction import Transaction, TxnState
 
 
@@ -161,6 +167,7 @@ class Simulator:
         restart_backoff: float = 2.0,
         max_restarts: int = 25,
         deadlock_policy: str = "detect",
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if deadlock_policy not in self.POLICIES:
             raise SimulationError(
@@ -177,6 +184,14 @@ class Simulator:
         self.restart_aborted = restart_aborted
         self.restart_backoff = restart_backoff
         self.max_restarts = max_restarts
+        if retry_policy is None:
+            # the legacy knobs *are* a linear policy (see sim/retry.py)
+            retry_policy = RetryPolicy(
+                max_retries=max_restarts if restart_aborted else 0,
+                backoff=restart_backoff,
+                kind="linear",
+            )
+        self.retry_policy = retry_policy
         self.deadlock_policy = deadlock_policy
         #: when set, run the repro.verify auditor after every N commits
         #: and raise on the first violation (continuous self-checking for
@@ -239,9 +254,24 @@ class Simulator:
         self._advance(run)
 
     def _advance(self, run: _TxnRun):
-        """Drive the run forward until it blocks, sleeps or commits."""
+        """Drive the run forward until it blocks, sleeps or commits.
+
+        Lock failures and injected faults surfacing anywhere on the
+        forward path (planning, acquisition, commit) abort the run;
+        the retry policy then decides whether it restarts.
+        """
         if run.done or run.txn is None or not run.txn.active:
             return
+        try:
+            self._advance_inner(run)
+        except (LockError, FaultInjected) as exc:
+            if isinstance(exc, LockTimeoutError):
+                self.metrics.timeouts += 1
+            if isinstance(exc, FaultInjected):
+                self.metrics.injected_faults += 1
+            self._abort(run)
+
+    def _advance_inner(self, run: _TxnRun):
         while True:
             if run.pending_steps:
                 if not self._acquire_next(run):
@@ -334,9 +364,20 @@ class Simulator:
             self._wound_wait(run)
         return False
 
+    def _release_all_resilient(self, txn) -> List[LockRequest]:
+        """Release with one retry: a single injected release fault must
+        not leave a finished transaction holding locks."""
+        try:
+            return self.manager.release_all(txn)
+        except (LockError, FaultInjected):
+            self.metrics.injected_faults += 1
+            return self.manager.release_all(txn)
+
     def _commit(self, run: _TxnRun):
+        # release *before* flipping state: if the release itself faults
+        # the transaction is still ACTIVE, so the abort path can clean up
+        woken = self._release_all_resilient(run.txn)
         run.txn.state = TxnState.COMMITTED
-        woken = self.manager.release_all(run.txn)
         run.done = True
         self.metrics.txn_committed(
             response_time=self.events.now - run.submitted_at,
@@ -427,17 +468,19 @@ class Simulator:
         if run.wait_started_at is not None:
             run.waited += self.events.now - run.wait_started_at
             run.wait_started_at = None
-        woken = self.manager.release_all(run.txn)
+        woken = self._release_all_resilient(run.txn)
         self._by_txn.pop(run.txn, None)
         self.metrics.txn_aborted()
-        if self.restart_aborted and run.restarts < self.max_restarts:
-            run.restarts += 1
+        attempt = run.restarts + 1
+        if self.retry_policy.should_retry(attempt):
+            run.restarts = attempt
             self.metrics.restarts += 1
             run.waited = 0.0
-            backoff = self.restart_backoff * run.restarts
+            backoff = self.retry_policy.delay(attempt)
             self.events.schedule(backoff, lambda r=run: self._start(r))
         else:
             run.done = True
+            self.metrics.abandoned += 1
             if run.on_done is not None:
                 callback, run.on_done = run.on_done, None
                 callback(run)

@@ -40,6 +40,9 @@ class TransactionManager:
         self.active: List[Transaction] = []
         self.committed = 0
         self.aborted = 0
+        #: optional :class:`repro.faults.FaultInjector` (fires the
+        #: ``txn.update`` / ``txn.partial-update`` / ``txn.undo`` points)
+        self.fault_injector = None
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -50,22 +53,46 @@ class TransactionManager:
 
     def commit(self, txn: Transaction):
         txn.ensure_active()
-        txn.forget_undo()
-        txn.state = TxnState.COMMITTED
         # Rule 5: at EOT locks may be released in any order.  Long locks of
         # a long transaction survive (they belong to the check-out).
+        # Release *before* flipping state: if the release raises (an
+        # injected fault, a broken lock backend) the transaction is still
+        # ACTIVE with its undo log intact, so a clean abort remains
+        # possible instead of a "committed" transaction holding locks.
         self.protocol.release_all(txn, keep_long=txn.long)
+        txn.forget_undo()
+        txn.state = TxnState.COMMITTED
         self._drop(txn)
         self.committed += 1
 
     def abort(self, txn: Transaction):
-        if txn.state == TxnState.ABORTED:
+        # Re-entrant: a fully aborted transaction (no undo work left, no
+        # locks under management) is a no-op, but a *partially* aborted one
+        # — an undo closure or the lock release raised mid-way — resumes
+        # cleanup where the previous attempt stopped.
+        if (
+            txn.state == TxnState.ABORTED
+            and txn.undo_depth() == 0
+            and txn not in self.active
+        ):
             return
-        txn.rollback_data()
-        txn.state = TxnState.ABORTED
-        self.protocol.release_all(txn, keep_long=False)
-        self._drop(txn)
-        self.aborted += 1
+        injector = self.fault_injector
+        before_each = None
+        if injector is not None:
+            before_each = lambda depth: injector.fire(  # noqa: E731
+                "txn.undo", txn=txn, depth=depth
+            )
+        try:
+            txn.rollback_data(before_each=before_each)
+        finally:
+            # Locks are released even when an undo closure raises — a
+            # raising undo must not leak the transaction's locks — and the
+            # accounting only happens once cleanup actually completed.
+            txn.state = TxnState.ABORTED
+            self.protocol.release_all(txn, keep_long=False)
+            if txn in self.active:
+                self.active.remove(txn)
+                self.aborted += 1
 
     def _drop(self, txn):
         if txn in self.active:
@@ -124,6 +151,10 @@ class TransactionManager:
         obj_res = object_resource(self.catalog, relation_name, key)
         resource = component_resource(obj_res, steps)
         self.protocol.request(txn, resource, X, wait=wait, long=txn.long)
+        if self.fault_injector is not None:
+            # locks held, nothing written yet: a fault here models the
+            # update failing before taking effect
+            self.fault_injector.fire("txn.update", txn=txn, resource=resource)
         relation = self.database.relation(relation_name)
         parent = relation.resolve(obj, steps[:-1])
         last = steps[-1]
@@ -156,6 +187,13 @@ class TransactionManager:
                     ix.add(old, s)
 
                 txn.record_undo(undo_index)
+                if self.fault_injector is not None:
+                    # the index already moved, the attribute has not: a
+                    # fault here leaves a half-applied update whose undo
+                    # closure must restore the index exactly
+                    self.fault_injector.fire(
+                        "txn.partial-update", txn=txn, resource=resource
+                    )
             parent[last.name] = new_value
 
             def undo_set(p=parent, n=last.name, v=old_value, note=notify):

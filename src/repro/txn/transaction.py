@@ -71,9 +71,19 @@ class Transaction:
         self.ensure_active()
         self._undo_log.append(undo)
 
-    def rollback_data(self):
-        """Run the undo log, newest first."""
+    def rollback_data(self, before_each: Optional[Callable[[int], None]] = None):
+        """Run the undo log, newest first.
+
+        ``before_each`` (if given) is called with the remaining undo depth
+        before each closure runs; a raise there leaves the closure on the
+        log, so a retried rollback resumes exactly where it stopped.  Each
+        closure is popped before it runs for the same reason: a closure
+        that raises has had its effect attempt consumed and is not retried
+        blindly.
+        """
         while self._undo_log:
+            if before_each is not None:
+                before_each(len(self._undo_log))
             self._undo_log.pop()()
 
     def forget_undo(self):

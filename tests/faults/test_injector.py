@@ -1,0 +1,189 @@
+"""Fault plans and the injector: scheduling, counting, firing, wiring."""
+
+import pytest
+
+from repro.errors import FaultInjected, InjectedAbort, LockTimeoutError
+from repro.faults import INJECTION_POINTS, FaultInjector, FaultPlan, FaultSpec
+from repro.graphs.units import object_resource
+from repro.locking.modes import S, X
+
+
+class TestFaultSpec:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("lock.frobnicate", occurrence=1)
+
+    def test_disallowed_action_rejected(self):
+        # lock.release only supports "error"
+        with pytest.raises(ValueError):
+            FaultSpec("lock.release", occurrence=1, action="timeout")
+
+    def test_exactly_one_of_occurrence_or_every(self):
+        with pytest.raises(ValueError):
+            FaultSpec("lock.enqueue")
+        with pytest.raises(ValueError):
+            FaultSpec("lock.enqueue", occurrence=1, every=2)
+
+    def test_occurrences_are_one_based(self):
+        with pytest.raises(ValueError):
+            FaultSpec("lock.enqueue", occurrence=0)
+
+    def test_occurrence_matches_exactly_once(self):
+        spec = FaultSpec("lock.enqueue", occurrence=3)
+        assert [spec.matches(n) for n in (1, 2, 3, 4)] == [
+            False, False, True, False,
+        ]
+
+    def test_every_matches_periodically(self):
+        spec = FaultSpec("lock.enqueue", every=2, action="timeout")
+        assert [spec.matches(n) for n in (1, 2, 3, 4)] == [
+            False, True, False, True,
+        ]
+
+
+class TestFaultPlan:
+    def test_match_returns_first_in_plan_order(self):
+        first = FaultSpec("lock.enqueue", occurrence=2, action="timeout")
+        second = FaultSpec("lock.enqueue", occurrence=2, action="abort")
+        assert FaultPlan([first, second]).match("lock.enqueue", 2) is first
+
+    def test_seeded_is_deterministic(self):
+        horizons = {"lock.enqueue": 10, "lock.grant": 8, "plan.expand": 3}
+        one = FaultPlan.seeded(7, horizons, n_faults=3)
+        two = FaultPlan.seeded(7, horizons, n_faults=3)
+        assert [repr(s) for s in one.specs] == [repr(s) for s in two.specs]
+        assert len(one) == 3
+
+    def test_seeded_stays_within_horizons(self):
+        horizons = {"lock.enqueue": 4, "plan.expand": 2}
+        for seed in range(20):
+            plan = FaultPlan.seeded(seed, horizons, n_faults=3)
+            for spec in plan.specs:
+                assert spec.occurrence <= horizons[spec.point]
+                assert spec.action in INJECTION_POINTS[spec.point]
+
+    def test_seeded_distinct_injections(self):
+        plan = FaultPlan.seeded(1, {"lock.enqueue": 5}, n_faults=5)
+        pairs = [(s.point, s.occurrence) for s in plan.specs]
+        assert len(pairs) == len(set(pairs)) == 5
+
+    def test_seeded_point_filter(self):
+        plan = FaultPlan.seeded(
+            0, {"lock.enqueue": 5, "lock.grant": 5}, n_faults=4,
+            points=("lock.grant",),
+        )
+        assert {s.point for s in plan.specs} == {"lock.grant"}
+
+    def test_exhaustive_enumerates_every_single(self):
+        horizons = {"lock.enqueue": 3, "plan.expand": 7}
+        plans = FaultPlan.exhaustive(horizons, k=1, max_occurrences=5)
+        assert len(plans) == 3 + 5  # horizon-bounded + max_occurrences-bounded
+        assert all(len(plan) == 1 for plan in plans)
+
+    def test_exhaustive_pairs(self):
+        plans = FaultPlan.exhaustive({"lock.enqueue": 3}, k=2)
+        assert len(plans) == 3  # C(3, 2)
+        assert all(len(plan) == 2 for plan in plans)
+
+
+class TestFaultInjector:
+    def test_empty_plan_only_counts(self):
+        injector = FaultInjector()
+        for _ in range(4):
+            injector.fire("lock.enqueue", resource=("r",))
+        injector.fire("plan.expand")
+        assert injector.horizon() == {"lock.enqueue": 4, "plan.expand": 1}
+        assert injector.fired == 0
+
+    def test_fire_raises_scheduled_action(self):
+        plan = FaultPlan([
+            FaultSpec("lock.enqueue", occurrence=2, action="timeout"),
+            FaultSpec("plan.expand", occurrence=1, action="abort"),
+            FaultSpec("lock.release", occurrence=1, action="error"),
+        ])
+        injector = FaultInjector(plan)
+        injector.fire("lock.enqueue", resource=("r",), mode=X)  # occ 1: clean
+        with pytest.raises(LockTimeoutError) as excinfo:
+            injector.fire("lock.enqueue", resource=("r",), mode=X)
+        assert excinfo.value.resource == ("r",)
+        with pytest.raises(InjectedAbort):
+            injector.fire("plan.expand")
+        with pytest.raises(FaultInjected) as excinfo:
+            injector.fire("lock.release")
+        assert excinfo.value.point == "lock.release"
+        assert excinfo.value.occurrence == 1
+        assert injector.fired_points() == [
+            ("lock.enqueue", 2, "timeout"),
+            ("plan.expand", 1, "abort"),
+            ("lock.release", 1, "error"),
+        ]
+
+    def test_disabled_injector_neither_counts_nor_fires(self):
+        injector = FaultInjector(
+            FaultPlan([FaultSpec("lock.enqueue", occurrence=1)])
+        )
+        injector.enabled = False
+        injector.fire("lock.enqueue")
+        assert injector.horizon() == {}
+        assert injector.fired == 0
+
+    def test_choose_override_and_default(self):
+        plan = FaultPlan([
+            FaultSpec("deadlock.victim", occurrence=2, action="oldest-victim")
+        ])
+        injector = FaultInjector(plan)
+        assert injector.choose("deadlock.victim", "young", ["old", "young"]) == "young"
+        assert injector.choose("deadlock.victim", "young", ["old", "young"]) == "old"
+        assert injector.fired_points() == [("deadlock.victim", 2, "oldest-victim")]
+
+    def test_reset_clears_counts_and_log(self):
+        injector = FaultInjector(
+            FaultPlan([FaultSpec("lock.release", occurrence=1)])
+        )
+        with pytest.raises(FaultInjected):
+            injector.fire("lock.release")
+        injector.reset()
+        assert injector.horizon() == {}
+        assert injector.fired == 0
+
+
+class TestStackWiring:
+    def test_install_reaches_every_layer(self, figure7_stack):
+        stack = figure7_stack
+        injector = FaultInjector().install(stack)
+        assert stack.manager.table.fault_injector is injector
+        assert stack.manager.detector.fault_injector is injector
+        assert stack.protocol.fault_injector is injector
+        assert stack.txns.fault_injector is injector
+        FaultInjector.uninstall(stack)
+        assert stack.manager.table.fault_injector is None
+        assert stack.txns.fault_injector is None
+
+    def test_request_counts_all_points_on_a_real_stack(self, figure7_stack):
+        stack = figure7_stack
+        injector = FaultInjector().install(stack)
+        txn = stack.txns.begin(principal="user2")
+        cell = object_resource(stack.catalog, "cells", "c1")
+        stack.protocol.request(txn, cell, S)
+        counts = injector.horizon()
+        assert counts["plan.expand"] >= 1
+        assert counts["lock.enqueue"] >= 1
+        assert counts["lock.grant"] >= 1
+        stack.txns.commit(txn)
+        assert counts != injector.horizon()  # release fired too
+        assert injector.horizon()["lock.release"] >= 1
+
+    def test_grant_fault_abort_releases_granted_prefix(self, figure7_stack):
+        """Satellite check: a fault *after* a grant leaves the transaction
+        holding real locks — abort must fully release them."""
+        stack = figure7_stack
+        plan = FaultPlan([FaultSpec("lock.grant", occurrence=3, action="abort")])
+        FaultInjector(plan).install(stack)
+        txn = stack.txns.begin(principal="user2")
+        cell = object_resource(stack.catalog, "cells", "c1")
+        with pytest.raises(InjectedAbort):
+            stack.protocol.request(txn, cell, X)
+        assert stack.manager.locks_of(txn)  # two grants landed before the fault
+        stack.txns.abort(txn)
+        assert stack.manager.locks_of(txn) == {}
+        assert stack.manager.lock_count() == 0

@@ -191,3 +191,53 @@ class TestHeldModeSummaryFreshness:
         table.release("t2", R)
         assert table.held_mode("t1", R) is X
         assert table.request_many("t1", [(R, X)]) == []
+
+
+class TestVictimAbortDuringBatch:
+    """Satellite: a deadlock victim aborted mid-``request_many`` — the
+    waiting tail is cancelled, the granted prefix fully released, and the
+    held-mode summary shrinks to nothing."""
+
+    def test_cancel_then_release_clears_partial_prefix(self, table):
+        table.request("t2", R, S)  # blocker
+        granted = table.request_many("t1", PLAN, wait=True)
+        assert granted[-1].status is RequestStatus.WAITING
+        table.cancel(granted[-1])
+        assert table.waiting_requests_of("t1") == []
+        table.release_all("t1")
+        for resource, _ in PLAN:
+            assert table.held_mode("t1", resource) is None
+        assert table._txn_modes.get("t1") is None
+        assert table.lock_count() == 1  # only t2's S survives
+        assert not table.waits_for_edges()
+        # the summary is honest: a re-run re-requests the whole plan
+        table.release("t2", R)
+        granted = table.request_many("t1", PLAN)
+        assert len(granted) == len(PLAN)
+        assert all(req.granted for req in granted)
+
+    def test_manager_victim_release_unblocks_survivor(self):
+        """Two batched plans deadlock; aborting the picked victim lets the
+        survivor's queued tail be granted."""
+        from repro.locking.manager import LockManager
+
+        manager = LockManager()
+        a, b = ("obj", "a"), ("obj", "b")
+        manager.acquire("t1", a, X)
+        manager.acquire("t2", b, X)
+        waiting1 = manager.acquire_many("t1", [(b, X)], wait=True)[-1]
+        waiting2 = manager.acquire_many("t2", [(a, X)], wait=True)[-1]
+        assert not waiting1.granted and not waiting2.granted
+        cycle = manager.detect_deadlock()
+        assert cycle is not None
+        manager.detector.set_age_of(lambda txn: {"t1": 1.0, "t2": 2.0}[txn])
+        victim = manager.detector.pick_victim(cycle)
+        assert victim == "t2"  # youngest dies
+        for request in manager.table.waiting_requests_of(victim):
+            manager.cancel(request)
+        manager.release_all(victim)
+        assert waiting1.granted  # the survivor's batched tail proceeds
+        assert manager.held_mode("t1", b) is X
+        assert manager.locks_of("t2") == {}
+        assert manager.table._txn_modes.get("t2") is None
+        assert manager.detect_deadlock() is None

@@ -103,3 +103,55 @@ class TestBlockingAcquire:
         tlm.release_all("t1")
         thread.join(timeout=5.0)
         assert results == ["done"]
+
+
+class TestTimeoutLeavesQueue:
+    """Regression: a timed-out request must be cancelled out of the queue
+    and waiters behind it re-woken (the seed left the expired request
+    queued, so a compatible S behind an expired X blocked forever)."""
+
+    def test_waiter_behind_expired_request_is_granted(self):
+        tlm = ThreadedLockManager()
+        tlm.acquire("t1", RA, S)
+        events = []
+
+        def writer():
+            try:
+                tlm.acquire("t2", RA, X, timeout=0.4)
+                events.append("t2-granted")
+            except LockTimeoutError:
+                events.append("t2-timeout")
+
+        def reader():
+            tlm.acquire("t3", RA, S, timeout=5.0)
+            events.append("t3-granted")
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        time.sleep(0.15)  # t2's X is queued behind t1's S
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        time.sleep(0.1)
+        # FIFO: t3's S really waits behind the incompatible queued X
+        assert events == []
+        writer_thread.join(timeout=5.0)
+        reader_thread.join(timeout=5.0)
+        assert "t2-timeout" in events
+        assert "t3-granted" in events
+        # the expired request left no trace in the queue
+        assert tlm._manager.table.waiting_requests_of("t2") == []
+        assert tlm._manager.locks_of("t2") == {}
+
+    def test_expired_conversion_leaves_grant_intact(self):
+        tlm = ThreadedLockManager()
+        tlm.acquire("t1", RA, S)
+        tlm.acquire("t2", RA, S)
+        with pytest.raises(LockTimeoutError):
+            tlm.acquire("t1", RA, X, timeout=0.2)  # conversion blocked by t2
+        # the failed conversion is gone but the original S grant stays
+        assert tlm._manager.table.waiting_requests_of("t1") == []
+        assert tlm._manager.held_mode("t1", RA) is S
+        # and the queue is live: t2 can still convert after t1 releases
+        tlm.release_all("t1")
+        tlm.acquire("t2", RA, X, timeout=1.0)
+        assert tlm._manager.held_mode("t2", RA) is X

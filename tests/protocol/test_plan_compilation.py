@@ -334,3 +334,49 @@ class TestBatchedExecutionEquivalence:
             seq.txns.commit(t_s)
             bat.txns.commit(t_b)
         assert seq.manager.table.lock_count() == bat.manager.table.lock_count() == 0
+
+
+class TestHypothesisAbortStampConsistency:
+    """Undo closures fire through the same mutation hooks as forward
+    writes; after any interleaving of commits and aborts every cached
+    plan whose stamp is still current must replan identically on a fresh
+    protocol (check_plan_consistency is the fault harness's final audit)."""
+
+    @given(
+        trace=st.lists(
+            st.tuples(
+                st.sampled_from(["update", "insert", "warm-only"]),
+                st.booleans(),  # commit (True) or abort (False)
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stamps_stay_consistent_after_undo(self, trace):
+        from repro.faults import check_plan_consistency
+
+        _, cached = cached_and_plain_stacks()
+        grant_figure7_rights(cached, "u")
+        cached.authorization.grant_modify("u", "effectors")
+        cell = object_resource(cached.catalog, "cells", "c1")
+        e1 = object_resource(cached.catalog, "effectors", "e1")
+        for index, (op, commit) in enumerate(trace):
+            warm = cached.txns.begin(principal="u")
+            cached.protocol.plan_request(warm, cell, S)
+            cached.protocol.plan_request(warm, e1, X)
+            cached.txns.abort(warm)
+            txn = cached.txns.begin(principal="u")
+            if op == "update":
+                cached.txns.update_component(
+                    txn, "effectors", "e1", "tool", "t%d" % index
+                )
+            elif op == "insert":
+                cached.txns.insert_object(
+                    txn, "effectors", make_tuple(eff_id="n%d" % index, tool="x")
+                )
+            if commit:
+                cached.txns.commit(txn)
+            else:
+                cached.txns.abort(txn)  # undo closures fire here
+            assert check_plan_consistency(cached.protocol) == []

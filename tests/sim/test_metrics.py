@@ -65,7 +65,8 @@ class TestAggregation:
     def test_report_contains_all_counters(self):
         report = SimulationMetrics().report()
         expected = {
-            "committed", "aborted", "restarts", "deadlocks", "makespan",
+            "committed", "aborted", "restarts", "abandoned", "timeouts",
+            "injected_faults", "deadlocks", "makespan",
             "throughput", "mean_response_time", "p95_response_time",
             "mean_wait_time", "total_wait_time", "locks_requested",
             "demands", "locks_per_demand",

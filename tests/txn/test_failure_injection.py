@@ -3,14 +3,17 @@
 import pytest
 
 from repro.errors import (
+    FaultInjected,
     LockConflictError,
     SchemaError,
     TransactionAborted,
     TransactionError,
 )
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.graphs.units import object_resource
 from repro.locking.modes import S, X
 from repro.nf2 import make_set, make_tuple
+from repro.txn.transaction import TxnState
 
 
 class TestAbortMidPlan:
@@ -131,3 +134,91 @@ class TestIsolationUnderFailure:
             ),
         )
         assert value == "tr1"  # sees the rolled-back (original) value
+
+
+class TestRaisingUndoClosures:
+    """Regression: an undo closure that raises mid-rollback must not skip
+    ``release_all`` (the seed aborted the abort, leaking every lock)."""
+
+    def _poisoned_txn(self, stack):
+        txn = stack.txns.begin(principal="user2")
+        stack.txns.update_component(
+            txn, "cells", "c1", "robots[r1].trajectory", "dirty"
+        )
+
+        def bad_undo():
+            raise RuntimeError("undo I/O failed")
+
+        txn.record_undo(bad_undo)
+        return txn
+
+    def test_raising_undo_still_releases_locks(self, figure7_stack):
+        stack = figure7_stack
+        txn = self._poisoned_txn(stack)
+        assert stack.manager.locks_of(txn)
+        with pytest.raises(RuntimeError):
+            stack.txns.abort(txn)
+        assert stack.manager.locks_of(txn) == {}
+        assert txn.state is TxnState.ABORTED
+        assert txn not in stack.txns.active
+
+    def test_retry_after_raising_undo_completes_rollback(self, figure7_stack):
+        stack = figure7_stack
+        txn = self._poisoned_txn(stack)
+        with pytest.raises(RuntimeError):
+            stack.txns.abort(txn)
+        # the raising closure was consumed; the data undo is still queued
+        assert txn.undo_depth() == 1
+        stack.txns.abort(txn)  # re-entrant retry finishes the rollback
+        assert txn.undo_depth() == 0
+        cell = stack.database.get("cells", "c1")
+        assert cell.root["robots"][0]["trajectory"] == "tr1"
+
+    def test_abort_after_full_abort_is_noop(self, figure7_stack):
+        stack = figure7_stack
+        txn = stack.txns.begin(principal="user2")
+        stack.txns.update_component(
+            txn, "cells", "c1", "robots[r1].trajectory", "dirty"
+        )
+        stack.txns.abort(txn)
+        aborted_before = stack.txns.aborted
+        stack.txns.abort(txn)
+        assert stack.txns.aborted == aborted_before
+
+    def test_injected_undo_fault_preserves_closure_for_retry(self, figure7_stack):
+        stack = figure7_stack
+        plan = FaultPlan([FaultSpec("txn.undo", occurrence=1, action="error")])
+        FaultInjector(plan).install(stack)
+        txn = stack.txns.begin(principal="user2")
+        stack.txns.update_component(
+            txn, "cells", "c1", "robots[r1].trajectory", "dirty"
+        )
+        with pytest.raises(FaultInjected):
+            stack.txns.abort(txn)
+        # the fault fired *before* the pop: the closure survives for retry
+        assert txn.undo_depth() == 1
+        assert stack.manager.locks_of(txn) == {}  # locks released regardless
+        stack.txns.abort(txn)
+        cell = stack.database.get("cells", "c1")
+        assert cell.root["robots"][0]["trajectory"] == "tr1"
+
+    def test_injected_partial_update_rolls_back_cleanly(self, figure7_stack):
+        """A fault between the index move and the attribute write leaves a
+        half-applied update; abort must restore the index exactly."""
+        from repro.errors import InjectedAbort
+        from repro.verify import audit
+
+        stack = figure7_stack
+        stack.database.create_index("effectors", "tool")
+        stack.authorization.grant_modify("lib", "effectors")
+        plan = FaultPlan(
+            [FaultSpec("txn.partial-update", occurrence=1, action="abort")]
+        )
+        FaultInjector(plan).install(stack)
+        txn = stack.txns.begin(principal="lib")
+        with pytest.raises(InjectedAbort):
+            stack.txns.update_component(txn, "effectors", "e1", "tool", "t-new")
+        stack.txns.abort(txn)
+        assert stack.manager.locks_of(txn) == {}
+        assert stack.database.get("effectors", "e1").root["tool"] == "t1"
+        assert audit(stack.protocol) == []  # index entries restored
