@@ -150,6 +150,80 @@ def test_mode_tables_vs_dicts(benchmark):
     benchmark(sweep, compatible, supremum)
 
 
+def test_dense_reacquire_vs_object(benchmark):
+    """E11e: repeated whole-object demands at the table level.
+
+    A whole-object demand expands to the intention chain plus dozens of
+    member locks; re-demanding a covered object is the hot case.  The
+    object path re-submits every step through ``request()`` (the table
+    detects the held mode per step); the PR 3 batch prunes against the
+    object-keyed summary; the dense path prunes with int probes against
+    flat tables.  The PR's acceptance bar is >= 3x dense vs object.
+    """
+    from repro.locking.dense import DenseLockTable, DenseSteps
+
+    plan = [
+        (("db1",), IX),
+        (("db1", "seg1"), IX),
+        (("db1", "seg1", "cells"), IX),
+        (("db1", "seg1", "cells", "c1"), IX),
+    ]
+    for i in range(60):
+        plan.append(
+            (("db1", "seg1", "cells", "c1", "robots", "r%d" % i), S)
+        )
+    rounds = 2000
+
+    def regrant(table, steps):
+        for _ in range(rounds):
+            for resource, mode in plan:
+                table.request("t1", resource, mode)
+
+    def batched(table, steps):
+        for _ in range(rounds):
+            table.request_many("t1", steps)
+
+    timings = {}
+    for label, table, steps, runner in (
+        ("object re-grant request()", LockTable(), plan, regrant),
+        ("object batch request_many()", LockTable(), plan, batched),
+        ("dense batch DenseSteps", DenseLockTable(), None, batched),
+    ):
+        if steps is None:  # compile the plan against the dense interner
+            rids = [table.interner.intern(r) for r, _ in plan]
+            codes = [m.code for _, m in plan]
+            steps = DenseSteps(rids, codes, table.interner)
+        table.request_many("t1", plan)
+        start = time.perf_counter()
+        runner(table, steps)
+        timings[label] = time.perf_counter() - start
+        assert table.lock_count() == len(plan)
+    base = timings["object re-grant request()"]
+    print_table(
+        "E11e: covered re-demand of a %d-step whole-object plan (%d rounds)"
+        % (len(plan), rounds),
+        ("path", "time", "speedup"),
+        [
+            (label, "%.4fs" % t, "%.2fx" % (base / t))
+            for label, t in timings.items()
+        ],
+    )
+    dense_speedup = base / timings["dense batch DenseSteps"]
+    assert dense_speedup >= 3.0, (
+        "dense path only %.2fx vs object re-grant" % dense_speedup
+    )
+    benchmark.extra_info["dense_reacquire_speedup"] = round(dense_speedup, 3)
+    benchmark.extra_info["batched_reacquire_speedup"] = round(
+        base / timings["object batch request_many()"], 3
+    )
+    dense = DenseLockTable()
+    rids = [dense.interner.intern(r) for r, _ in plan]
+    codes = [m.code for _, m in plan]
+    dense_steps = DenseSteps(rids, codes, dense.interner)
+    dense.request_many("t1", plan)
+    benchmark.pedantic(batched, args=(dense, dense_steps), rounds=5)
+
+
 def test_release_all_scales_with_own_locks_not_table(benchmark):
     """E11c: release_all cost vs. unrelated table size.
 

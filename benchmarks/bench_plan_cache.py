@@ -23,13 +23,14 @@ DB_KWARGS = dict(n_cells=6, n_robots=10, n_effectors=30)
 N_TXNS = 300
 
 
-def _stack(use_plan_cache, use_batched_acquire):
+def _stack(use_plan_cache, use_batched_acquire, use_dense_path=False):
     database, catalog = build_cells_database(**DB_KWARGS)
     stack = repro.make_stack(
         database,
         catalog,
         use_plan_cache=use_plan_cache,
         use_batched_acquire=use_batched_acquire,
+        use_dense_path=use_dense_path,
     )
     cells = [
         object_resource(catalog, "cells", obj.key)
@@ -38,9 +39,11 @@ def _stack(use_plan_cache, use_batched_acquire):
     return stack, cells
 
 
-def _repeated_demands(use_plan_cache, use_batched_acquire, n_txns=N_TXNS):
+def _repeated_demands(
+    use_plan_cache, use_batched_acquire, use_dense_path=False, n_txns=N_TXNS
+):
     """n short transactions, each S-locking one whole cell (round-robin)."""
-    stack, cells = _stack(use_plan_cache, use_batched_acquire)
+    stack, cells = _stack(use_plan_cache, use_batched_acquire, use_dense_path)
     start = time.perf_counter()
     for i in range(n_txns):
         txn = stack.txns.begin()
@@ -50,11 +53,12 @@ def _repeated_demands(use_plan_cache, use_batched_acquire, n_txns=N_TXNS):
     return elapsed, stack.protocol.metrics()
 
 
-def _best(variant, rounds=3):
+def _best(variant, fn=None, rounds=3):
+    fn = fn or _repeated_demands
     times = []
     metrics = None
     for _ in range(rounds):
-        elapsed, metrics = _repeated_demands(*variant)
+        elapsed, metrics = fn(*variant)
         times.append(elapsed)
     return min(times), metrics
 
@@ -64,6 +68,7 @@ def test_plan_cache_repeated_demands(benchmark):
     off_time, off_metrics = _best((False, False))
     cache_time, cache_metrics = _best((True, False))
     both_time, both_metrics = _best((True, True))
+    dense_time, dense_metrics = _best((True, True, True))
     speedup = off_time / cache_time
     print_table(
         "Plan cache + batched acquisition: %d repeated S demands "
@@ -85,10 +90,18 @@ def test_plan_cache_repeated_demands(benchmark):
                 both_metrics["plan_cache_hits"],
                 both_metrics["plan_cache_misses"],
             ),
+            (
+                "+ dense path",
+                "%.4fs" % dense_time,
+                "%.2fx" % (off_time / dense_time),
+                dense_metrics["plan_cache_hits"],
+                dense_metrics["plan_cache_misses"],
+            ),
         ],
     )
     # Same lock traffic either way — the ablation only moves compile time.
     assert off_metrics["locks_requested"] == cache_metrics["locks_requested"]
+    assert off_metrics["locks_requested"] == dense_metrics["locks_requested"]
     assert cache_metrics["plan_cache_hits"] >= N_TXNS - DB_KWARGS["n_cells"]
     # the acceptance bar for this PR; measured ~2x with margin
     assert speedup >= 1.3
@@ -96,11 +109,53 @@ def test_plan_cache_repeated_demands(benchmark):
     benchmark.extra_info["plan_cache_batched_speedup"] = round(
         off_time / both_time, 3
     )
+    benchmark.extra_info["dense_path_speedup"] = round(off_time / dense_time, 3)
     benchmark.extra_info["plan_cache_hits"] = cache_metrics["plan_cache_hits"]
     benchmark.extra_info["plan_cache_misses"] = cache_metrics["plan_cache_misses"]
     benchmark.pedantic(
         _repeated_demands, args=(True, True), rounds=5
     )
+
+
+def _covered_demands(use_dense_path, rounds=300):
+    """One transaction re-demanding every cell after a warm first pass —
+    the workstation hot loop where every step is already covered."""
+    stack, cells = _stack(use_dense_path, use_dense_path, use_dense_path)
+    txn = stack.txns.begin()
+    for cell in cells:
+        stack.protocol.request(txn, cell, S)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for cell in cells:
+            stack.protocol.request(txn, cell, S)
+    elapsed = time.perf_counter() - start
+    stack.txns.commit(txn)
+    return elapsed, stack.protocol.metrics()
+
+
+def test_dense_covered_whole_cell_demands(benchmark):
+    """Dense vs object on repeated covered whole-cell demands (the PR's
+    acceptance workload): plans replay from the cache and die in the
+    flat-array filter instead of being recompiled and re-filtered
+    object-by-object."""
+    object_time, object_metrics = _best((False,), _covered_demands)
+    dense_time, dense_metrics = _best((True,), _covered_demands)
+    speedup = object_time / dense_time
+    print_table(
+        "Covered whole-cell re-demands: object path vs dense path",
+        ("variant", "best of 3", "speedup", "cache hits"),
+        [
+            ("object", "%.4fs" % object_time, "1.00x",
+             object_metrics["plan_cache_hits"]),
+            ("dense", "%.4fs" % dense_time, "%.2fx" % speedup,
+             dense_metrics["plan_cache_hits"]),
+        ],
+    )
+    assert object_metrics["locks_requested"] == dense_metrics["locks_requested"]
+    # acceptance bar: >= 3x dense vs object (measured ~9x)
+    assert speedup >= 3.0, "dense path only %.2fx vs object" % speedup
+    benchmark.extra_info["dense_covered_speedup"] = round(speedup, 3)
+    benchmark.pedantic(_covered_demands, args=(True,), rounds=5)
 
 
 def test_plan_cache_invalidation_churn(benchmark):

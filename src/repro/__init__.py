@@ -83,7 +83,12 @@ class LockStack:
         self.authorization = (
             authorization if authorization is not None else AuthorizationManager()
         )
-        self.manager = LockManager()
+        # the dense-path flag steers both halves of the stack: the manager
+        # builds the int-indexed pooled lock table and the protocol runs
+        # compiled plans through the flat-array filter against it
+        self.manager = LockManager(
+            use_dense_path=protocol_kwargs.get("use_dense_path", False)
+        )
         if protocol_cls is HerrmannProtocol:
             protocol_kwargs.setdefault("authorization", self.authorization)
         self.protocol = protocol_cls(self.manager, self.catalog, **protocol_kwargs)

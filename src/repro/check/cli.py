@@ -31,6 +31,7 @@ from repro.check.differential import (
     ablation_fingerprints,
     assert_ablations_agree,
     check_rules_for,
+    dense_path_fingerprints,
     differential_check,
     explore_protocols,
     find_unsafe_counterexample,
@@ -117,6 +118,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-plan-cache",
         action="store_true",
         help="skip the compiled-plan cache + batching on/off comparison",
+    )
+    diff.add_argument(
+        "--no-dense-path",
+        action="store_true",
+        help="skip the dense-ID fast path vs. object path comparison",
     )
     commands.add_parser("smoke", help="bounded differential pass for CI")
     return parser
@@ -335,6 +341,7 @@ def cmd_differential(args) -> int:
             seed=args.seed,
             ablations=not args.no_ablations,
             plan_cache=not args.no_plan_cache,
+            dense_path=not args.no_dense_path,
         )
     except CheckError as exc:
         print("DIFFERENTIAL FAILURE: %s" % exc)
@@ -372,6 +379,12 @@ def _print_differential(summary) -> None:
             "  plan cache + batching invisible: %d schedules with "
             "bit-identical lock traces on vs off"
             % summary["plan_cache_schedules"]
+        )
+    if "dense_path_schedules" in summary:
+        print(
+            "  dense path invisible: %d schedules with bit-identical "
+            "lock traces dense vs object"
+            % summary["dense_path_schedules"]
         )
 
 
@@ -428,6 +441,18 @@ def cmd_smoke(_args) -> int:
             )
         except CheckError as exc:
             print("SMOKE FAILURE (%s plan cache): %s" % (name, exc))
+            failures += 1
+        try:
+            fingerprints = dense_path_fingerprints(
+                WORKLOADS[name], max_schedules=max_schedules, max_steps=max_steps
+            )
+            schedules = assert_ablations_agree(fingerprints)
+            print(
+                "%s dense path invisible: %d schedules with bit-identical "
+                "lock traces dense vs object" % (name, schedules)
+            )
+        except CheckError as exc:
+            print("SMOKE FAILURE (%s dense path): %s" % (name, exc))
             failures += 1
     return 1 if failures else 0
 

@@ -228,6 +228,42 @@ def plan_cache_fingerprints(
     return fingerprints
 
 
+def dense_path_fingerprints(
+    workload: Workload,
+    protocol: str = "herrmann",
+    max_schedules: int = 5000,
+    max_steps: int = 300,
+) -> Dict[str, tuple]:
+    """Explore one workload on the object path vs. the full dense path.
+
+    "Object" is every optimization layer off; "dense" is the compiled-
+    plan cache, batched group acquisition and the dense-ID fast path
+    (interned resources, flat-array plans, int summaries, pooled
+    records) all on.  As with the plan-cache ablation the fingerprints
+    include the lock-trace narrative: the dense representation must
+    replay every request, grant, wait and release event bit-identically,
+    not merely reach the same final states.
+    :func:`assert_ablations_agree` checks the two paths coincide.
+    """
+    fingerprints: Dict[str, tuple] = {}
+    for enabled in (False, True):
+        explorer = Explorer(
+            workload,
+            variant={
+                "protocol_cls": PROTOCOLS[protocol],
+                "use_plan_cache": enabled,
+                "use_batched_acquire": enabled,
+                "use_dense_path": enabled,
+            },
+            check_rules=check_rules_for(protocol),
+            max_schedules=max_schedules,
+            max_steps=max_steps,
+        )
+        label = "dense-path=%s" % ("on" if enabled else "off")
+        fingerprints[label] = explorer.explore().fingerprint(include_trace=True)
+    return fingerprints
+
+
 def assert_ablations_agree(fingerprints: Dict[str, tuple]) -> int:
     """All ablation fingerprints must be identical; returns schedule count."""
     items = list(fingerprints.items())
@@ -251,6 +287,7 @@ def differential_check(
     seed: int = 0,
     ablations: bool = True,
     plan_cache: bool = True,
+    dense_path: bool = True,
 ) -> dict:
     """The full differential story for one workload.
 
@@ -295,4 +332,10 @@ def differential_check(
         )
         summary["plan_cache_schedules"] = assert_ablations_agree(fingerprints)
         summary["plan_cache"] = fingerprints
+    if dense_path and not walks:
+        fingerprints = dense_path_fingerprints(
+            workload, max_schedules=max_schedules, max_steps=max_steps
+        )
+        summary["dense_path_schedules"] = assert_ablations_agree(fingerprints)
+        summary["dense_path"] = fingerprints
     return summary

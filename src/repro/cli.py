@@ -143,6 +143,7 @@ def cmd_compare(args):
             protocol_cls=protocol_cls,
             use_plan_cache=args.plan_cache,
             use_batched_acquire=args.batched_acquire,
+            use_dense_path=args.dense_path,
         )
         simulator = Simulator(stack.protocol, lock_cost=0.02, scan_item_cost=0.01)
         submit_workload(simulator, catalog, spec, authorization=stack.authorization)
@@ -187,6 +188,7 @@ def cmd_sweep(args):
                 protocol_cls=protocol_cls,
                 use_plan_cache=args.plan_cache,
                 use_batched_acquire=args.batched_acquire,
+                use_dense_path=args.dense_path,
             )
             simulator = Simulator(stack.protocol, lock_cost=0.02)
             submit_workload(
@@ -251,6 +253,11 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--batched-acquire", dest="batched_acquire", action="store_true",
             help="acquire each plan's locks as one batched group request",
+        )
+        sub.add_argument(
+            "--dense-path", dest="dense_path", action="store_true",
+            help="run the dense-ID fast path (interned resources, "
+            "flat-array plans, pooled lock table)",
         )
 
     compare = commands.add_parser("compare", help="simulated protocol comparison")

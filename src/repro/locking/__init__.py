@@ -7,6 +7,7 @@ from repro.locking.escalation import (
     descendants_held,
     parent_resource,
 )
+from repro.locking.dense import DenseLockTable, DenseSteps
 from repro.locking.lock_table import LockRequest, LockTable, RequestStatus
 from repro.locking.manager import LockManager, ThreadedLockManager
 from repro.locking.trace import LockTrace, TraceEvent
@@ -28,6 +29,8 @@ from repro.locking.modes import (
 __all__ = [
     "ALL_MODES",
     "DeadlockDetector",
+    "DenseLockTable",
+    "DenseSteps",
     "Escalator",
     "IS",
     "IX",

@@ -77,16 +77,20 @@ class _HeldLock:
     (check-out) locks.
     """
 
-    __slots__ = ("modes", "long", "mode")
+    __slots__ = ("modes", "long", "mode", "code")
 
     def __init__(self):
         self.modes: List[LockMode] = []
         self.long = False
         self.mode: Optional[LockMode] = None
+        #: dense int twin of ``mode`` (-1 when nothing is held), kept in
+        #: lockstep so the dense grant loop never touches enum members
+        self.code = -1
 
     def push(self, mode: LockMode, long: bool):
         self.modes.append(mode)
         self.mode = mode if self.mode is None else supremum(self.mode, mode)
+        self.code = self.mode.code
         self.long = self.long or long
 
     def pop(self) -> bool:
@@ -94,6 +98,7 @@ class _HeldLock:
         self.modes.pop()
         if not self.modes:
             self.mode = None
+            self.code = -1
             return True
         # Releases may shrink the supremum; refold over what remains (the
         # rare path — pushes dominate).
@@ -101,6 +106,7 @@ class _HeldLock:
         for m in self.modes[1:]:
             effective = supremum(effective, m)
         self.mode = effective
+        self.code = effective.code
         return False
 
 
@@ -156,6 +162,13 @@ class LockTable:
         #: global wait-graph version: bumped with every entry change, so
         #: the deadlock detector can skip re-detection on a quiescent table
         self.wait_graph_version = 0
+        #: bumped on every held-mode summary write (grant, conversion,
+        #: release shrink, drop, clear) — batched pruning hoists its
+        #: summary-dict fetch once per batch and re-fetches only when this
+        #: stamp moved, instead of rebuilding the probe on every step
+        self.summary_version = 0
+        #: times a batched pass had to re-fetch its hoisted summary
+        self.summary_rebuilds = 0
         self._clock = 0
         #: ablation switch: when True, a new request compatible with every
         #: *holder* is granted even while incompatible requests queue —
@@ -244,13 +257,9 @@ class LockTable:
         """
         self.requests += 1
         self._clock += 1
-        entry = self._entries.get(resource)
-        if entry is None:
-            entry = _ResourceEntry()
-            self._entries[resource] = entry
-            if len(self._entries) > self.max_entries:
-                self.max_entries = len(self._entries)
-        return self._submit(entry, txn, resource, mode, long, wait)
+        return self._submit(
+            self._entry_for(resource), txn, resource, mode, long, wait
+        )
 
     def request_many(
         self, txn, steps, long: bool = False, wait: bool = True
@@ -274,22 +283,27 @@ class LockTable:
         deadlock check per plan instead of one per lock.
         """
         out: List[LockRequest] = []
-        entries = self._entries
+        # Hoist the summary-dict fetch out of the loop: for a fully
+        # covered batch (the hot re-demand case) the held set never
+        # changes, so one fetch serves every step.  A grant inside the
+        # batch bumps ``summary_version``; only then is the probe
+        # re-fetched (counted in ``summary_rebuilds``).
+        modes = self._txn_modes.get(txn)
+        stamp = self.summary_version
         for resource, mode in steps:
-            modes = self._txn_modes.get(txn)
+            if stamp != self.summary_version:
+                modes = self._txn_modes.get(txn)
+                stamp = self.summary_version
+                self.summary_rebuilds += 1
             if modes is not None:
                 held_mode = modes.get(resource)
                 if held_mode is not None and covers(held_mode, mode):
                     continue  # already satisfied: pruned, not re-requested
             self.requests += 1
             self._clock += 1
-            entry = entries.get(resource)
-            if entry is None:
-                entry = _ResourceEntry()
-                entries[resource] = entry
-                if len(entries) > self.max_entries:
-                    self.max_entries = len(entries)
-            request = self._submit(entry, txn, resource, mode, long, wait)
+            request = self._submit(
+                self._entry_for(resource), txn, resource, mode, long, wait
+            )
             out.append(request)
             if not request.granted:
                 break
@@ -316,7 +330,7 @@ class LockTable:
                 return request
             if self._conversion_grantable(entry, txn, target):
                 held.push(mode, long)
-                self._txn_modes[txn][resource] = held.mode
+                self._summary_set(txn, resource, held.mode)
                 self._touch(entry)
                 request.status = RequestStatus.GRANTED
                 self.immediate_grants += 1
@@ -375,10 +389,11 @@ class LockTable:
             del entry.granted[txn]
             self._txn_resources.get(txn, set()).discard(resource)
             self._summary_drop(txn, resource)
+            self._retire_held(held)
         else:
             # A counted release may shrink the supremum: the summary must
             # follow, or batched pruning would trust a stale stronger mode.
-            self._txn_modes[txn][resource] = held.mode
+            self._summary_set(txn, resource, held.mode)
         self._touch(entry)
         woken = self._process_queue(entry)
         self._drop_if_empty(resource, entry)
@@ -412,13 +427,14 @@ class LockTable:
                 del entry.granted[txn]
                 self._txn_resources[txn].discard(resource)
                 self._summary_drop(txn, resource)
+                self._retire_held(held)
                 self._touch(entry)
             self._cancel_waiting(entry, txn)
             woken.extend(self._process_queue(entry))
             self._drop_if_empty(resource, entry)
         if not keep_long:
             self._txn_resources.pop(txn, None)
-            self._txn_modes.pop(txn, None)
+            self._summary_clear(txn)
         return woken
 
     def cancel(self, request: LockRequest) -> List[LockRequest]:
@@ -529,22 +545,55 @@ class LockTable:
                 return False
         return True
 
+    # -- allocation and summary hooks (overridden by the dense table) --------
+
+    def _entry_for(self, resource) -> _ResourceEntry:
+        """The entry of ``resource``, creating (via the hook) if absent."""
+        entry = self._entries.get(resource)
+        if entry is None:
+            entry = self._new_entry(resource)
+            self._entries[resource] = entry
+            if len(self._entries) > self.max_entries:
+                self.max_entries = len(self._entries)
+        return entry
+
+    def _new_entry(self, resource) -> _ResourceEntry:
+        return _ResourceEntry()
+
+    def _retire_entry(self, resource, entry: _ResourceEntry):
+        """``entry`` left the table (guaranteed empty)."""
+
+    def _new_held(self) -> _HeldLock:
+        return _HeldLock()
+
+    def _retire_held(self, held: _HeldLock):
+        """``held`` left its entry's granted map."""
+
+    def _summary_set(self, txn, resource, mode: LockMode):
+        self._txn_modes.setdefault(txn, {})[resource] = mode
+        self.summary_version += 1
+
     def _summary_drop(self, txn, resource):
         modes = self._txn_modes.get(txn)
         if modes is not None:
             modes.pop(resource, None)
             if not modes:
                 del self._txn_modes[txn]
+        self.summary_version += 1
+
+    def _summary_clear(self, txn):
+        self._txn_modes.pop(txn, None)
+        self.summary_version += 1
 
     def _grant(self, entry, request: LockRequest):
         held = entry.granted.get(request.txn)
         if held is None:
-            held = _HeldLock()
+            held = self._new_held()
             entry.granted[request.txn] = held
         held.push(request.mode, request.long)
         request.status = RequestStatus.GRANTED
         self._txn_resources.setdefault(request.txn, set()).add(request.resource)
-        self._txn_modes.setdefault(request.txn, {})[request.resource] = held.mode
+        self._summary_set(request.txn, request.resource, held.mode)
         self._touch(entry)
 
     def _process_queue(self, entry) -> List[LockRequest]:
@@ -567,7 +616,7 @@ class LockTable:
                 if self._conversion_grantable(entry, request.txn, target):
                     entry.conversions.remove(request)
                     held.push(request.mode, request.long)
-                    self._txn_modes[request.txn][request.resource] = held.mode
+                    self._summary_set(request.txn, request.resource, held.mode)
                     request.status = RequestStatus.GRANTED
                     self._dequeue_wait(request)
                     self._touch(entry)
@@ -603,4 +652,5 @@ class LockTable:
 
     def _drop_if_empty(self, resource, entry):
         if entry.empty():
-            self._entries.pop(resource, None)
+            if self._entries.pop(resource, None) is not None:
+                self._retire_entry(resource, entry)

@@ -34,8 +34,23 @@ class LockManager:
     manager; the per-granule rules live there, the bookkeeping lives here.
     """
 
-    def __init__(self, age_of=None, reader_bypass: bool = False):
-        self.table = LockTable(reader_bypass=reader_bypass)
+    def __init__(
+        self,
+        age_of=None,
+        reader_bypass: bool = False,
+        use_dense_path: bool = False,
+        pool_records: bool = True,
+    ):
+        if use_dense_path:
+            from repro.locking.dense import DenseLockTable
+
+            self.table: LockTable = DenseLockTable(
+                reader_bypass=reader_bypass, pool_records=pool_records
+            )
+        else:
+            self.table = LockTable(reader_bypass=reader_bypass)
+        #: ablation flag: the table above is the int-indexed pooled one
+        self.use_dense_path = use_dense_path
         self.detector = DeadlockDetector(self.table, age_of=age_of)
 
     def set_age_of(self, age_of) -> "LockManager":
@@ -152,6 +167,7 @@ class LockManager:
             "waits": self.table.waits,
             "conflict_tests": self.table.conflict_tests,
             "max_entries": self.table.max_entries,
+            "summary_rebuilds": self.table.summary_rebuilds,
             "deadlocks": self.detector.deadlocks_found,
         }
 
@@ -161,6 +177,7 @@ class LockManager:
         self.table.waits = 0
         self.table.conflict_tests = 0
         self.table.max_entries = 0
+        self.table.summary_rebuilds = 0
         self.detector.deadlocks_found = 0
 
 

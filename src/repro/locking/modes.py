@@ -124,6 +124,30 @@ _COVERS_TABLE = [
     [_SUPREMUM[(a, b)] is a for b in _MODE_ORDER] for a in _MODE_ORDER
 ]
 
+#: Number of modes; the valid codes are ``range(N_MODES)``.
+N_MODES = len(_MODE_ORDER)
+
+#: Inverse of ``.code``: ``MODES_BY_CODE[mode.code] is mode``.
+MODES_BY_CODE = _MODE_ORDER
+
+# Flat single-subscript variants of the tables above, row-major
+# ``[a.code * N_MODES + b.code]``.  The dense lock path works on raw int
+# codes (no enum members in hand at all), so one bytes subscript replaces
+# the attribute load + two nested list subscripts of the functions below.
+COMPAT_FLAT = bytes(
+    1 if _COMPAT_TABLE[a][b] else 0
+    for a in range(N_MODES)
+    for b in range(N_MODES)
+)
+COVERS_FLAT = bytes(
+    1 if _COVERS_TABLE[a][b] else 0
+    for a in range(N_MODES)
+    for b in range(N_MODES)
+)
+SUP_FLAT = bytes(
+    _SUP_TABLE[a][b].code for a in range(N_MODES) for b in range(N_MODES)
+)
+
 
 def compatible(held: LockMode, requested: LockMode) -> bool:
     """Can ``requested`` be granted while another txn holds ``held``?"""

@@ -28,7 +28,7 @@ from typing import Dict, Optional, Tuple
 class CompiledPlan:
     """One cached demand expansion: a reusable tuple of planned steps."""
 
-    __slots__ = ("key", "stamp", "steps", "hits")
+    __slots__ = ("key", "stamp", "steps", "hits", "dense")
 
     def __init__(self, key, stamp, steps):
         self.key = key
@@ -38,6 +38,12 @@ class CompiledPlan:
         #: every transaction that replays this demand — treat as immutable
         self.steps = steps
         self.hits = 0
+        #: dense-path recompile of ``steps``: parallel flat arrays
+        #: ``(resource-ids, mode codes, propagate flags)``, attached
+        #: lazily on first dense execution.  Interner ids are never
+        #: reassigned, so the arrays stay valid for this plan's lifetime;
+        #: stamp invalidation evicts plan and arrays together.
+        self.dense = None
 
     def __repr__(self):
         return "CompiledPlan(%r, stamp=%r, %d steps, %d hits)" % (
@@ -74,6 +80,12 @@ class PlanCache:
 
     def lookup(self, key: tuple, stamp: tuple) -> Optional[Tuple]:
         """Return the cached steps for ``key`` at ``stamp``, or None."""
+        plan = self.lookup_plan(key, stamp)
+        return None if plan is None else plan.steps
+
+    def lookup_plan(self, key: tuple, stamp: tuple) -> Optional[CompiledPlan]:
+        """Like :meth:`lookup` but returns the :class:`CompiledPlan`
+        record itself — the dense path hangs its flat arrays off it."""
         plan = self._plans.get(key)
         if plan is None:
             self.misses += 1
@@ -85,7 +97,7 @@ class PlanCache:
             return None
         self.hits += 1
         plan.hits += 1
-        return plan.steps
+        return plan
 
     def store(self, key: tuple, stamp: tuple, steps: Tuple) -> CompiledPlan:
         if len(self._plans) >= self.max_size:

@@ -27,7 +27,7 @@ from repro.nf2.paths import (
     schema_path,
 )
 from repro.nf2.schema import RelationSchema, check_schema_closure
-from repro.nf2.surrogate import SurrogateGenerator
+from repro.nf2.surrogate import ResourceInterner, SurrogateGenerator
 from repro.nf2.types import (
     ATOMIC_DOMAINS,
     AtomicType,
@@ -67,6 +67,7 @@ __all__ = [
     "SetType",
     "SetValue",
     "STAR",
+    "ResourceInterner",
     "SurrogateGenerator",
     "TupleType",
     "TupleValue",

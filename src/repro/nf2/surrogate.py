@@ -35,3 +35,71 @@ class SurrogateGenerator:
         value = next(self._counter)
         self._counter = itertools.count(value + 1)
         return value
+
+
+class ResourceInterner:
+    """Bijective map from resources/surrogates to dense integer ids.
+
+    The dense lock path replaces resource tuples (and surrogate strings)
+    with small ints so lock plans become flat arrays and the held-mode
+    summary becomes an int-keyed dict.  The contract callers rely on:
+
+    * an id, once assigned, is **never reused or reassigned** — the
+      mapping only grows, so compiled dense plans stay valid for the
+      interner's whole lifetime and round-trip ``intern``/``resource_of``
+      is stable across arbitrary insert/delete/replace/undo traffic
+      (deleted objects keep their id; a re-inserted object gets a fresh
+      surrogate and therefore a fresh resource tuple and a fresh id);
+    * ``version`` is bumped exactly on growth, mirroring the database
+      structure version the plan-stamp invalidation of the plan cache is
+      built on — consumers that snapshot derived state can detect new
+      registrations with one int compare.
+
+    Ids are assigned lazily at first touch ("registration time"): the
+    dense lock table interns on entry creation and summary writes, the
+    protocol interns when densifying a compiled plan.
+    """
+
+    __slots__ = ("_ids", "_resources", "version")
+
+    def __init__(self):
+        self._ids = {}
+        self._resources: list = []
+        self.version = 0
+
+    def intern(self, resource) -> int:
+        """The dense id of ``resource``, assigning the next one if new."""
+        rid = self._ids.get(resource)
+        if rid is None:
+            rid = len(self._resources)
+            self._ids[resource] = rid
+            self._resources.append(resource)
+            self.version += 1
+        return rid
+
+    def intern_many(self, resources) -> list:
+        return [self.intern(resource) for resource in resources]
+
+    def id_of(self, resource):
+        """The id of ``resource`` or None (never assigns)."""
+        return self._ids.get(resource)
+
+    def resource_of(self, rid: int):
+        """Inverse lookup; raises IndexError for never-assigned ids."""
+        return self._resources[rid]
+
+    def items(self):
+        """Iterate ``(rid, resource)`` pairs in assignment order."""
+        return enumerate(self._resources)
+
+    def __len__(self) -> int:
+        return len(self._resources)
+
+    def __contains__(self, resource) -> bool:
+        return resource in self._ids
+
+    def __repr__(self):
+        return "ResourceInterner(%d ids, version=%d)" % (
+            len(self._resources),
+            self.version,
+        )

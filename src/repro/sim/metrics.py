@@ -50,6 +50,9 @@ class SimulationMetrics:
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
         self.plan_cache_invalidations = 0
+        #: held-mode summary refetches forced mid-batch by grants
+        #: (0 when nothing batches; see LockTable.request_many)
+        self.summary_rebuilds = 0
 
     # -- recording -------------------------------------------------------------
 
@@ -114,6 +117,7 @@ class SimulationMetrics:
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
             "plan_cache_invalidations": self.plan_cache_invalidations,
+            "summary_rebuilds": self.summary_rebuilds,
         }
 
     def __repr__(self):

@@ -228,6 +228,7 @@ class Simulator:
         table = self.manager.table
         self.metrics.conflict_tests = table.conflict_tests
         self.metrics.max_lock_entries = table.max_entries
+        self.metrics.summary_rebuilds = table.summary_rebuilds
         self.metrics.locks_requested = self.protocol.locks_requested
         self.metrics.demands = self.protocol.demands
         cache = self.protocol.plan_cache

@@ -13,7 +13,10 @@ every violation of the invariants the paper's correctness rests on:
    entry point (the downward-propagation obligation; its absence is
    exactly the from-the-side hazard of section 3.2.2);
 4. **waiting consistency** — no waiting request could actually be granted
-   (no lost wakeups).
+   (no lost wakeups);
+5. **dense-state consistency** — when the manager runs the dense-ID fast
+   path, the interner must stay bijective and the int-keyed held-mode
+   summary must mirror the authoritative object-keyed one exactly.
 
 The auditor is intentionally protocol-agnostic: run it against a baseline
 (e.g. ``NaiveDAGUnsafeProtocol``) and it *finds* the paper's problem —
@@ -62,6 +65,7 @@ def audit(protocol) -> List[Violation]:
     violations.extend(check_intention_chains(protocol))
     violations.extend(check_entry_point_visibility(protocol))
     violations.extend(check_waiting_consistency(protocol.manager))
+    violations.extend(check_dense_state(protocol.manager))
     violations.extend(check_indexes(protocol.catalog.database))
     violations.extend(
         check_reference_index(protocol.catalog.database, protocol.catalog)
@@ -79,6 +83,7 @@ STEP_CHECKS = {
     "waiting-consistency": lambda protocol: check_waiting_consistency(
         protocol.manager
     ),
+    "dense-state": lambda protocol: check_dense_state(protocol.manager),
     "index-consistency": lambda protocol: check_indexes(
         protocol.catalog.database
     ),
@@ -287,6 +292,72 @@ def check_entry_point_visibility(protocol) -> List[Violation]:
                             % (mode, entry),
                         )
                     )
+    return out
+
+
+def check_dense_state(manager) -> List[Violation]:
+    """Dense mirror audit: interner bijectivity, summary agreement.
+
+    A no-op for the plain object-path table.  On a dense table the
+    object-keyed structures are authoritative; this check proves the
+    int-keyed shadow state has not drifted: every interned id maps back
+    to the resource that produced it, and the per-transaction code
+    summary agrees entry-for-entry with the object-keyed mode summary.
+    """
+    out: List[Violation] = []
+    table = manager.table
+    interner = getattr(table, "interner", None)
+    if interner is None:
+        return out
+    for rid, resource in interner.items():
+        back = interner.resource_of(rid)
+        if back != resource:
+            out.append(
+                Violation(
+                    "dense-state",
+                    None,
+                    resource,
+                    "interner not bijective: id %d maps back to %r"
+                    % (rid, back),
+                )
+            )
+    for txn, modes_by_resource in table._txn_modes.items():
+        codes = table.dense_summary(txn) or {}
+        expected = {}
+        for resource, mode in modes_by_resource.items():
+            rid = interner.id_of(resource)
+            if rid is None:
+                out.append(
+                    Violation(
+                        "dense-state",
+                        txn,
+                        resource,
+                        "held resource was never interned",
+                    )
+                )
+                continue
+            expected[rid] = mode.code
+        if expected != codes:
+            out.append(
+                Violation(
+                    "dense-state",
+                    txn,
+                    None,
+                    "dense summary diverges from object summary: "
+                    "dense=%r expected=%r" % (codes, expected),
+                )
+            )
+    for txn in getattr(table, "_txn_codes", {}):
+        if txn not in table._txn_modes:
+            out.append(
+                Violation(
+                    "dense-state",
+                    txn,
+                    None,
+                    "dense summary has entries for a transaction with no "
+                    "object summary",
+                )
+            )
     return out
 
 

@@ -193,6 +193,44 @@ class TestHeldModeSummaryFreshness:
         assert table.request_many("t1", [(R, X)]) == []
 
 
+class TestSummaryRebuildStamping:
+    """Regression (satellite fix): ``request_many`` used to refetch the
+    held-mode summary dict on every step even when no grant had changed
+    it.  The ``summary_version`` stamp gates the refetch; the
+    ``summary_rebuilds`` counter records how often a mid-batch grant
+    actually forced one."""
+
+    def test_stamp_bumps_on_every_summary_write(self, table):
+        v0 = table.summary_version
+        table.request("t1", R, S)
+        v1 = table.summary_version
+        assert v1 > v0
+        table.release("t1", R)
+        assert table.summary_version > v1
+
+    def test_covered_batch_never_rebuilds(self, table):
+        table.request_many("t1", PLAN)
+        before = table.summary_rebuilds
+        for _ in range(5):
+            assert table.request_many("t1", PLAN) == []
+        assert table.summary_rebuilds == before
+
+    def test_granting_batch_rebuilds_once_per_grant_after_first(self, table):
+        assert table.summary_rebuilds == 0
+        granted = table.request_many("t1", PLAN)
+        assert all(req.granted for req in granted)
+        # the first grant hits a fresh stamp; each later step refetches
+        # exactly once because the preceding grant moved the version
+        assert table.summary_rebuilds == len(PLAN) - 1
+
+    def test_mixed_batch_refetches_only_after_grants(self, table):
+        table.request_many("t1", PLAN[:2])
+        before = table.summary_rebuilds
+        granted = table.request_many("t1", PLAN)
+        assert len(granted) == 2  # two pruned, two granted
+        assert table.summary_rebuilds == before + 1
+
+
 class TestVictimAbortDuringBatch:
     """Satellite: a deadlock victim aborted mid-``request_many`` — the
     waiting tail is cancelled, the granted prefix fully released, and the
