@@ -1,0 +1,116 @@
+"""Sharded lock service: req/sec scaling with shard count (BENCH_5).
+
+Boots the asyncio line-protocol server in-process with a modelled
+per-request shard service latency (``shard_service_time``, charged while
+the owning shard's mutex is held — the stand-in for the lock-table /
+storage work a real deployment would serialize per partition), then
+drives it with concurrent load clients running short read transactions
+(START, three SLOCKs on distinct objects, END).
+
+With one shard every service interval is serialized behind a single
+mutex; with N shards requests routed to different partitions of the
+interned-id space proceed concurrently, bounded by the hottest shard.
+The table reports achieved OK-responses/sec for 1/2/4/8 shards on the
+partlib and cells workloads; the acceptance bar is >= 2x from 1 to 8
+shards on partlib.
+"""
+
+import asyncio
+
+from benchmarks._common import print_table
+from repro.service.client import run_load, workload_paths
+from repro.service.server import LockServer, make_service_stack
+
+SHARD_COUNTS = (1, 2, 4, 8)
+WORKLOADS = ("partlib", "cells")
+SERVICE_TIME = 0.001  # 1ms of modelled shard work per submitted request
+CLIENTS = 12
+DURATION = 1.2
+
+_paths_cache = {}
+
+
+def _paths(workload):
+    if workload not in _paths_cache:
+        _paths_cache[workload] = workload_paths(workload)
+    return _paths_cache[workload]
+
+
+def _throughput(workload, shards, duration=DURATION):
+    """Serve `workload` on `shards` shards, load it, report req/sec."""
+
+    async def go():
+        server = LockServer(
+            make_service_stack(workload, shards=shards),
+            port=0,
+            shard_service_time=SERVICE_TIME,
+        )
+        host, port = await server.start()
+        try:
+            return await run_load(
+                host,
+                port,
+                clients=CLIENTS,
+                duration=duration,
+                seed=shards,
+                workload=workload,
+                txn_locks=3,
+                write_ratio=0.0,  # pure readers: scaling, not contention
+                paths=_paths(workload),
+            )
+        finally:
+            await server.stop()
+
+    return asyncio.run(go())
+
+
+def test_service_shard_scaling(benchmark):
+    """The BENCH_5 headline: served req/sec vs shard count."""
+    results = {}
+    for workload in WORKLOADS:
+        for shards in SHARD_COUNTS:
+            results[(workload, shards)] = _throughput(workload, shards)
+    rows = []
+    for workload in WORKLOADS:
+        base = results[(workload, 1)]["req_per_sec"]
+        for shards in SHARD_COUNTS:
+            report = results[(workload, shards)]
+            rows.append(
+                (
+                    workload,
+                    shards,
+                    "%.0f" % report["req_per_sec"],
+                    "%.2fx" % (report["req_per_sec"] / base),
+                    report["ok"],
+                    report["err"],
+                )
+            )
+    print_table(
+        "Sharded lock service: %d clients, %.1fms/request shard service "
+        "time, %.1fs per point" % (CLIENTS, SERVICE_TIME * 1000, DURATION),
+        ("workload", "shards", "req/s", "scaling", "ok", "err"),
+        rows,
+    )
+    for (workload, shards), report in results.items():
+        # pure-reader load: every frame must have been answered OK
+        assert report["err"] == 0, (workload, shards, report)
+        assert report["server"]["lock_count"] == 0, "server leaked locks"
+        assert report["server"]["shards"] == shards
+    partlib_speedup = (
+        results[("partlib", 8)]["req_per_sec"]
+        / results[("partlib", 1)]["req_per_sec"]
+    )
+    cells_speedup = (
+        results[("cells", 8)]["req_per_sec"]
+        / results[("cells", 1)]["req_per_sec"]
+    )
+    # the PR's acceptance bar: >= 2x req/sec from 1 to 8 shards on partlib
+    assert partlib_speedup >= 2.0, (
+        "8 shards only %.2fx over 1 on partlib" % partlib_speedup
+    )
+    benchmark.extra_info["service_partlib_speedup"] = round(partlib_speedup, 3)
+    benchmark.extra_info["service_cells_speedup"] = round(cells_speedup, 3)
+    benchmark.extra_info["service_partlib_rps_8"] = round(
+        results[("partlib", 8)]["req_per_sec"], 1
+    )
+    benchmark.pedantic(_throughput, args=("partlib", 8), rounds=1)

@@ -85,10 +85,23 @@ class LockStack:
         )
         # the dense-path flag steers both halves of the stack: the manager
         # builds the int-indexed pooled lock table and the protocol runs
-        # compiled plans through the flat-array filter against it
-        self.manager = LockManager(
-            use_dense_path=protocol_kwargs.get("use_dense_path", False)
-        )
+        # compiled plans through the flat-array filter against it.  With
+        # shards=N the manager is the sharded deployment instead — same
+        # call surface, lock table partitioned by interned resource id
+        # (the protocol then executes plans through the object path; the
+        # sharded facade is not itself a dense table).
+        shards = protocol_kwargs.pop("shards", None)
+        if shards:
+            from repro.service.sharded import ShardedLockManager
+
+            self.manager = ShardedLockManager(
+                n_shards=shards,
+                use_dense_path=protocol_kwargs.get("use_dense_path", False),
+            )
+        else:
+            self.manager = LockManager(
+                use_dense_path=protocol_kwargs.get("use_dense_path", False)
+            )
         if protocol_cls is HerrmannProtocol:
             protocol_kwargs.setdefault("authorization", self.authorization)
         self.protocol = protocol_cls(self.manager, self.catalog, **protocol_kwargs)

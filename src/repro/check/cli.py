@@ -124,6 +124,11 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the dense-ID fast path vs. object path comparison",
     )
+    diff.add_argument(
+        "--no-sharding",
+        action="store_true",
+        help="skip the sharded vs. single lock table comparison",
+    )
     commands.add_parser("smoke", help="bounded differential pass for CI")
     return parser
 
@@ -342,6 +347,7 @@ def cmd_differential(args) -> int:
             ablations=not args.no_ablations,
             plan_cache=not args.no_plan_cache,
             dense_path=not args.no_dense_path,
+            sharding=not args.no_sharding,
         )
     except CheckError as exc:
         print("DIFFERENTIAL FAILURE: %s" % exc)
@@ -385,6 +391,12 @@ def _print_differential(summary) -> None:
             "  dense path invisible: %d schedules with bit-identical "
             "lock traces dense vs object"
             % summary["dense_path_schedules"]
+        )
+    if "sharding_schedules" in summary:
+        print(
+            "  sharding invisible: %d schedules with bit-identical "
+            "lock traces sharded vs single table"
+            % summary["sharding_schedules"]
         )
 
 

@@ -42,6 +42,9 @@ INJECTION_POINTS: Dict[str, Tuple[str, ...]] = {
     # deadlock handling / escalation
     "deadlock.victim": ("oldest-victim",),
     "escalation.escalate": ("error",),
+    # asyncio lock service (repro.service.server)
+    "service.frame": ("error",),  # drop the connection mid-frame
+    "service.detector": ("error",),  # delay one detector pass
 }
 
 

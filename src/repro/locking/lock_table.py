@@ -148,7 +148,13 @@ class LockTable:
         #: table untouched (fail-fast placement)
         self.fault_injector = None
         self._entries: Dict[object, _ResourceEntry] = {}
-        self._txn_resources: Dict[object, Set[object]] = {}
+        #: txn -> {resource: None}: an insertion-ordered set of the
+        #: resources the transaction holds, in first-grant order.  The
+        #: order is part of the observable contract: ``release_all`` walks
+        #: it, so the wake order of end-of-transaction release is the
+        #: grant order — which is what lets a sharded deployment replay
+        #: the exact same lock trace as one table (see repro.service).
+        self._txn_resources: Dict[object, Dict[object, None]] = {}
         #: per-transaction held-mode summary: txn -> {resource: effective
         #: mode}.  Mirrors ``entry.granted[txn].mode`` and is maintained at
         #: every grant/conversion/release site, so "do I already hold at
@@ -387,7 +393,9 @@ class LockTable:
         held = entry.granted[txn]
         if held.pop():
             del entry.granted[txn]
-            self._txn_resources.get(txn, set()).discard(resource)
+            owned = self._txn_resources.get(txn)
+            if owned is not None:
+                owned.pop(resource, None)
             self._summary_drop(txn, resource)
             self._retire_held(held)
         else:
@@ -419,22 +427,32 @@ class LockTable:
                 touched.add(request.resource)
                 resources.append(request.resource)
         for resource in resources:
-            entry = self._entries.get(resource)
-            if entry is None:
-                continue
-            held = entry.granted.get(txn)
-            if held is not None and not (keep_long and held.long):
-                del entry.granted[txn]
-                self._txn_resources[txn].discard(resource)
-                self._summary_drop(txn, resource)
-                self._retire_held(held)
-                self._touch(entry)
-            self._cancel_waiting(entry, txn)
-            woken.extend(self._process_queue(entry))
-            self._drop_if_empty(resource, entry)
+            woken.extend(self._release_resource(txn, resource, keep_long))
         if not keep_long:
             self._txn_resources.pop(txn, None)
             self._summary_clear(txn)
+        return woken
+
+    def _release_resource(
+        self, txn, resource, keep_long: bool = False
+    ) -> List[LockRequest]:
+        """EOT release of one resource: the per-resource body of
+        :meth:`release_all`, factored out so a sharded deployment can walk
+        a *global* grant-order resource list while each resource's entry
+        work happens on its own shard (see repro.service.sharded)."""
+        entry = self._entries.get(resource)
+        if entry is None:
+            return []
+        held = entry.granted.get(txn)
+        if held is not None and not (keep_long and held.long):
+            del entry.granted[txn]
+            self._txn_resources[txn].pop(resource, None)
+            self._summary_drop(txn, resource)
+            self._retire_held(held)
+            self._touch(entry)
+        self._cancel_waiting(entry, txn)
+        woken = self._process_queue(entry)
+        self._drop_if_empty(resource, entry)
         return woken
 
     def cancel(self, request: LockRequest) -> List[LockRequest]:
@@ -448,6 +466,12 @@ class LockTable:
                 request.status = RequestStatus.CANCELLED
                 self._dequeue_wait(request)
                 self._touch(entry)
+                # A timeout/victim cancellation can land while another
+                # transaction is mid-way through a batched acquire_many
+                # with its summary fetch hoisted; invalidate the stamp so
+                # the batch re-fetches rather than trusting state observed
+                # before the cancellation reshaped the queue.
+                self.summary_version += 1
             except ValueError:
                 pass
         woken = self._process_queue(entry)
@@ -592,7 +616,7 @@ class LockTable:
             entry.granted[request.txn] = held
         held.push(request.mode, request.long)
         request.status = RequestStatus.GRANTED
-        self._txn_resources.setdefault(request.txn, set()).add(request.resource)
+        self._txn_resources.setdefault(request.txn, {})[request.resource] = None
         self._summary_set(request.txn, request.resource, held.mode)
         self._touch(entry)
 
@@ -649,6 +673,9 @@ class LockTable:
                     request.status = RequestStatus.CANCELLED
                     self._dequeue_wait(request)
                     self._touch(entry)
+                    # see cancel(): a hoisted summary stamp taken before
+                    # this removal must not survive it
+                    self.summary_version += 1
 
     def _drop_if_empty(self, resource, entry):
         if entry.empty():

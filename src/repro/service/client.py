@@ -1,0 +1,215 @@
+"""Async client and load generator for the served lock system.
+
+:class:`ServiceClient` is a minimal line-protocol client (one in-flight
+request per connection, matching the server's request/response framing).
+:func:`run_load` drives many concurrent clients over short transactions
+against a running server and reports achieved requests/second — the
+workhorse behind ``repro-load`` and the shard-scaling benchmark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class ServiceClient:
+    """One connection speaking the line protocol."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "ServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self):
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def request(self, frame: str) -> str:
+        """Send one frame, await its response line."""
+        assert self._writer is not None and self._reader is not None
+        self._writer.write((frame + "\n").encode("utf-8"))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionResetError("server closed the connection")
+        return line.decode("utf-8").strip()
+
+    # -- convenience verbs (each returns the raw response frame) --------------
+
+    async def start(self, txn: str) -> str:
+        return await self.request("START %s" % txn)
+
+    async def slock(self, txn: str, path: str, nowait: bool = False) -> str:
+        return await self.request(
+            "SLOCK %s %s%s" % (txn, path, " NOWAIT" if nowait else "")
+        )
+
+    async def xlock(self, txn: str, path: str, nowait: bool = False) -> str:
+        return await self.request(
+            "XLOCK %s %s%s" % (txn, path, " NOWAIT" if nowait else "")
+        )
+
+    async def lock(self, verb: str, txn: str, path: str, nowait: bool = False) -> str:
+        return await self.request(
+            "%s %s %s%s" % (verb, txn, path, " NOWAIT" if nowait else "")
+        )
+
+    async def acquire_many(
+        self, txn: str, steps: Sequence[Tuple[str, str]], nowait: bool = False
+    ) -> str:
+        spec = ",".join("%s:%s" % (path, mode) for path, mode in steps)
+        return await self.request(
+            "ACQUIRE_MANY %s %s%s" % (txn, spec, " NOWAIT" if nowait else "")
+        )
+
+    async def unlock(self, txn: str, path: str) -> str:
+        return await self.request("UNLOCK %s %s" % (txn, path))
+
+    async def end(self, txn: str) -> str:
+        return await self.request("END %s" % txn)
+
+    async def stats(self) -> Dict[str, object]:
+        frame = await self.request("STATS")
+        if not frame.startswith("OK STATS "):
+            raise ValueError("unexpected STATS response: %r" % frame)
+        return json.loads(frame[len("OK STATS "):])
+
+
+def workload_paths(workload: str) -> List[str]:
+    """Object-level wire paths of a standard workload database.
+
+    Built from the same deterministic builders the server uses, so the
+    load generator needs no schema round-trip to produce valid paths.
+    """
+    from repro.graphs.units import object_resource
+    from repro.service.server import make_service_stack
+
+    stack = make_service_stack(workload, shards=1)
+    paths = []
+    for relation in stack.database.relations():
+        for obj in relation:
+            resource = object_resource(stack.catalog, relation.name, obj.key)
+            paths.append("/".join(str(part) for part in resource))
+    return paths
+
+
+async def _client_loop(
+    host: str,
+    port: int,
+    name: str,
+    paths: Sequence[str],
+    deadline: float,
+    seed: int,
+    counts: Dict[str, int],
+    txn_locks: int = 3,
+    write_ratio: float = 0.2,
+):
+    """One load client: short transactions until the deadline.
+
+    Each transaction is START, ``txn_locks`` lock demands on distinct
+    objects (mostly SLOCK, a ``write_ratio`` fraction XLOCK), END.
+    Distinct objects per transaction keep re-demand pruning honest — a
+    transaction never re-locks a node it already covered, so every
+    demand does real shard work.
+    """
+    rng = random.Random(seed)
+    client = await ServiceClient(host, port).connect()
+    serial = 0
+    try:
+        while time.monotonic() < deadline:
+            serial += 1
+            txn = "%s-%d" % (name, serial)
+            response = await client.start(txn)
+            counts["ok" if response.startswith("OK") else "err"] += 1
+            chosen = rng.sample(paths, min(txn_locks, len(paths)))
+            aborted = False
+            for path in chosen:
+                verb = "XLOCK" if rng.random() < write_ratio else "SLOCK"
+                response = await client.lock(verb, txn, path)
+                if response.startswith("OK"):
+                    counts["ok"] += 1
+                else:
+                    counts["err"] += 1
+                    if "DEADLOCK" in response or "NOTXN" in response:
+                        aborted = True
+                        break
+            if not aborted:
+                response = await client.end(txn)
+                counts["ok" if response.startswith("OK") else "err"] += 1
+    except (ConnectionResetError, BrokenPipeError):
+        counts["disconnects"] += 1
+    finally:
+        await client.close()
+
+
+async def run_load(
+    host: str,
+    port: int,
+    clients: int = 8,
+    duration: float = 5.0,
+    seed: int = 0,
+    workload: str = "cells",
+    txn_locks: int = 3,
+    write_ratio: float = 0.2,
+    paths: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Drive ``clients`` concurrent load clients for ``duration`` seconds.
+
+    Returns a report dict: ``ok`` / ``err`` response counts, elapsed
+    wall-clock and the achieved ``req_per_sec`` (OK responses only), plus
+    the server's final STATS payload.
+    """
+    if paths is None:
+        paths = workload_paths(workload)
+    counts: Dict[str, int] = {"ok": 0, "err": 0, "disconnects": 0}
+    started = time.monotonic()
+    deadline = started + duration
+    await asyncio.gather(
+        *(
+            _client_loop(
+                host,
+                port,
+                "c%d" % index,
+                paths,
+                deadline,
+                seed * 1000 + index,
+                counts,
+                txn_locks=txn_locks,
+                write_ratio=write_ratio,
+            )
+            for index in range(clients)
+        )
+    )
+    elapsed = time.monotonic() - started
+    stats_client = await ServiceClient(host, port).connect()
+    try:
+        server_stats = await stats_client.stats()
+    finally:
+        await stats_client.close()
+    return {
+        "clients": clients,
+        "duration": duration,
+        "elapsed": elapsed,
+        "ok": counts["ok"],
+        "err": counts["err"],
+        "disconnects": counts["disconnects"],
+        "req_per_sec": counts["ok"] / elapsed if elapsed > 0 else 0.0,
+        "server": server_stats,
+    }

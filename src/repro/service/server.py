@@ -1,0 +1,582 @@
+"""The asyncio lock server: a line protocol over a sharded lock stack.
+
+One :class:`LockServer` owns a :class:`~repro.LockStack` whose manager is
+a :class:`~repro.service.sharded.ShardedLockManager`.  Clients speak a
+line protocol (one request line, one response line, UTF-8):
+
+    START <txn>
+    SLOCK <txn> <path> [NOWAIT]        S on the node, full protocol plan
+    XLOCK <txn> <path> [NOWAIT]        X on the node, full protocol plan
+    ISLOCK <txn> <path> [NOWAIT]       IS on the node + IS ancestors
+    IXLOCK <txn> <path> [NOWAIT]       IX on the node + IX ancestors
+    ACQUIRE_MANY <txn> <path>:<MODE>[,<path>:<MODE>...] [NOWAIT]
+    UNLOCK <txn> <path>
+    END <txn>
+    STATS
+
+``<path>`` is a slash-joined resource tuple (``db1/seg1/cells/c1``).
+Responses are ``OK ...`` or ``ERR <CODE> ...`` — see docs/SERVICE.md for
+the full frame grammar and tests/service/test_protocol_conformance.py
+for golden transcripts.
+
+Concurrency model: the event loop is single-threaded and every lock-table
+mutation is synchronous, so state consistency never depends on the shard
+mutexes — they model per-partition *admission*.  A lock request is cut
+into per-shard runs (root-to-leaf order) and each run holds only its own
+shard's ``asyncio.Lock`` while the shard table works, plus an optional
+``shard_service_time`` sleep per submitted request modelling per-shard
+storage latency; requests routed to different shards overlap, requests
+to the same shard serialize.  EOT release is synchronous and charged to
+no shard, keeping commit off the admission path.  A task never holds one
+shard mutex while waiting for another (runs are sequential), and the one
+multi-shard operation — the deadlock detector's stop-the-world snapshot
+— takes mutexes in ascending shard order, the single global order, so
+mutex deadlock is impossible by construction.
+
+WAITING requests park on an :class:`asyncio.Future`; the sharded
+manager's ``on_wake`` callback resolves the future when a release or
+cancellation grants the queued request.  A cross-shard deadlock detector
+task snapshots the union waits-for graph (all shard mutexes held) on an
+interval, nudged early whenever a request starts waiting; victims are
+aborted through the transaction manager with the bounded-retry pattern
+of the fault harness.
+
+Fault injection: the server fires ``service.frame`` before parsing every
+request line (an injected error drops the connection — the mid-frame
+client disconnect) and ``service.detector`` at the top of every detector
+pass (an injected error skips the pass — a detector delay); both are
+registered in :data:`repro.faults.plan.INJECTION_POINTS`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    AuthorizationError,
+    DeadlockError,
+    FaultInjected,
+    LockConflictError,
+    LockError,
+    LockTimeoutError,
+    ProtocolError,
+    TransactionError,
+)
+from repro.graphs.units import ancestors
+from repro.locking.lock_table import LockRequest, RequestStatus
+from repro.locking.modes import IS, IX, S, X, LockMode
+from repro.service.sharded import ShardedLockManager
+from repro.txn.transaction import TxnState
+
+#: Verbs that take <txn> <path> and run a lock plan.
+_PLAN_VERBS = {"SLOCK": S, "XLOCK": X, "ISLOCK": IS, "IXLOCK": IX}
+
+
+def make_service_stack(workload: str = "cells", shards: int = 4, **flags):
+    """A fresh served stack over one of the standard databases.
+
+    ``workload`` picks the database: ``cells`` (the paper's figure-7
+    robotics schema) or ``partlib`` (the part library of the check
+    workloads).  ``shards`` goes to the ShardedLockManager; remaining
+    flags are protocol ablation flags.
+    """
+    import repro
+
+    if workload == "partlib":
+        from repro.check.workloads import build_check_partlib
+
+        database, catalog = build_check_partlib()
+    elif workload == "cells":
+        from repro.workloads import build_cells_database
+
+        database, catalog = build_cells_database(figure7=True)
+    else:
+        raise ValueError("unknown service workload %r" % (workload,))
+    return repro.make_stack(database, catalog, shards=shards, **flags)
+
+
+class _Session:
+    """Per-connection state: this client's named transactions."""
+
+    __slots__ = ("txns",)
+
+    def __init__(self):
+        self.txns: Dict[str, object] = {}
+
+
+class LockServer:
+    """Serve a sharded lock stack over the line protocol."""
+
+    def __init__(
+        self,
+        stack,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shard_service_time: float = 0.0,
+        detector_interval: float = 0.05,
+        lock_timeout: float = 5.0,
+    ):
+        manager = stack.manager
+        if not isinstance(manager, ShardedLockManager):
+            raise TypeError("LockServer requires a ShardedLockManager stack")
+        self.stack = stack
+        self.manager: ShardedLockManager = manager
+        self.host = host
+        self.port = port
+        #: per-submitted-request service latency charged inside the
+        #: owning shard's mutex — the knob the shard-scaling benchmark
+        #: turns (0.0 for functional tests: admission only, no latency)
+        self.shard_service_time = shard_service_time
+        self.detector_interval = detector_interval
+        self.lock_timeout = lock_timeout
+        #: optional :class:`repro.faults.FaultInjector` for the
+        #: ``service.frame`` / ``service.detector`` points
+        self.fault_injector = None
+        self.stats: Dict[str, int] = {
+            "frames": 0,
+            "errors": 0,
+            "sessions": 0,
+            "deadlock_victims": 0,
+            "timeouts": 0,
+            "injected_disconnects": 0,
+            "detector_delays": 0,
+        }
+        self._shard_locks: List[asyncio.Lock] = []
+        self._futures: Dict[LockRequest, asyncio.Future] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._detector_task: Optional[asyncio.Task] = None
+        self._nudge: Optional[asyncio.Event] = None
+        manager.on_wake = self._on_wake
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind, start serving and start the detector task."""
+        self._shard_locks = [
+            asyncio.Lock() for _ in range(self.manager.n_shards)
+        ]
+        self._nudge = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._detector_task = asyncio.create_task(self._detector_loop())
+        return self.host, self.port
+
+    async def stop(self):
+        if self._detector_task is not None:
+            self._detector_task.cancel()
+            try:
+                await self._detector_task
+            except asyncio.CancelledError:
+                pass
+            self._detector_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self):
+        await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- wake plumbing --------------------------------------------------------
+
+    def _on_wake(self, woken: List[LockRequest]):
+        for request in woken:
+            future = self._futures.get(request)
+            if future is not None and not future.done():
+                future.set_result(True)
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle_client(self, reader, writer):
+        session = _Session()
+        self.stats["sessions"] += 1
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                self.stats["frames"] += 1
+                if self.fault_injector is not None:
+                    try:
+                        self.fault_injector.fire("service.frame")
+                    except FaultInjected:
+                        # the mid-frame client disconnect: drop the
+                        # connection without a reply; cleanup below
+                        # aborts the session's live transactions
+                        self.stats["injected_disconnects"] += 1
+                        break
+                response = await self._dispatch(
+                    session, line.decode("utf-8", "replace").strip()
+                )
+                if response.startswith("ERR"):
+                    self.stats["errors"] += 1
+                writer.write((response + "\n").encode("utf-8"))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            for txn in list(session.txns.values()):
+                if txn.state == TxnState.ACTIVE:
+                    await self._abort_txn(txn)
+            session.txns.clear()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # -- dispatch -------------------------------------------------------------
+
+    async def _dispatch(self, session: _Session, frame: str) -> str:
+        if not frame:
+            return "ERR BAD-FRAME empty"
+        tokens = frame.split()
+        verb = tokens[0].upper()
+        if verb == "STATS":
+            return self._stats_frame()
+        if verb == "START":
+            if len(tokens) != 2:
+                return "ERR BAD-FRAME START takes one argument"
+            return self._start(session, tokens[1])
+        if verb == "END":
+            if len(tokens) != 2:
+                return "ERR BAD-FRAME END takes one argument"
+            return await self._end(session, tokens[1])
+        if verb == "UNLOCK":
+            if len(tokens) != 3:
+                return "ERR BAD-FRAME UNLOCK takes two arguments"
+            return await self._unlock(session, tokens[1], tokens[2])
+        if verb in _PLAN_VERBS:
+            if len(tokens) not in (3, 4) or (
+                len(tokens) == 4 and tokens[3].upper() != "NOWAIT"
+            ):
+                return "ERR BAD-FRAME %s takes <txn> <path> [NOWAIT]" % verb
+            return await self._lock(
+                session, verb, tokens[1], tokens[2], nowait=len(tokens) == 4
+            )
+        if verb == "ACQUIRE_MANY":
+            if len(tokens) not in (3, 4) or (
+                len(tokens) == 4 and tokens[3].upper() != "NOWAIT"
+            ):
+                return (
+                    "ERR BAD-FRAME ACQUIRE_MANY takes <txn> "
+                    "<path>:<mode>[,...] [NOWAIT]"
+                )
+            return await self._acquire_many(
+                session, tokens[1], tokens[2], nowait=len(tokens) == 4
+            )
+        return "ERR UNKNOWN-VERB %s" % tokens[0]
+
+    def _start(self, session: _Session, name: str) -> str:
+        txn = session.txns.get(name)
+        if txn is not None and txn.state == TxnState.ACTIVE:
+            return "ERR TXN-ACTIVE %s" % name
+        session.txns[name] = self.stack.txns.begin(name=name)
+        return "OK STARTED %s" % name
+
+    def _live_txn(self, session: _Session, name: str):
+        txn = session.txns.get(name)
+        if txn is None or txn.state != TxnState.ACTIVE:
+            session.txns.pop(name, None)
+            return None
+        return txn
+
+    async def _end(self, session: _Session, name: str) -> str:
+        txn = self._live_txn(session, name)
+        if txn is None:
+            return "ERR NOTXN %s" % name
+        # commit mutates synchronously (no awaits), so it needs no shard
+        # mutex: nothing can observe a half-released transaction.  Not
+        # taking the all-shards barrier here keeps EOT off the admission
+        # path — it was the scaling bottleneck when every transaction's
+        # END drained all N shard mutexes.
+        try:
+            self.stack.txns.commit(txn)
+        except TransactionError:
+            # e.g. the detector picked this transaction as victim after
+            # the liveness check above
+            session.txns.pop(name, None)
+            return "ERR NOTXN %s" % name
+        session.txns.pop(name, None)
+        return "OK ENDED %s" % name
+
+    async def _unlock(self, session: _Session, name: str, path: str) -> str:
+        txn = self._live_txn(session, name)
+        if txn is None:
+            return "ERR NOTXN %s" % name
+        resource, err = self._parse_resource(path)
+        if err is not None:
+            return err
+        shard = self.manager.shard_of(resource)
+        async with self._shard_locks[shard]:
+            try:
+                self.manager.release(txn, resource)
+            except LockError:
+                return "ERR NOT-HELD %s %s" % (name, path)
+        return "OK RELEASED %s %s" % (name, path)
+
+    async def _lock(
+        self, session: _Session, verb: str, name: str, path: str, nowait: bool
+    ) -> str:
+        txn = self._live_txn(session, name)
+        if txn is None:
+            return "ERR NOTXN %s" % name
+        resource, err = self._parse_resource(path)
+        if err is not None:
+            return err
+        mode = _PLAN_VERBS[verb]
+        if mode.is_intention:
+            # the paper's intention chain: IS/IX on every ancestor,
+            # root first, then the node itself
+            steps = [(anc, mode) for anc in ancestors(resource)]
+            steps.append((resource, mode))
+        else:
+            try:
+                plan = self.stack.protocol.plan_request(txn, resource, mode)
+            except (AuthorizationError, ProtocolError) as exc:
+                return "ERR DENIED %s %s" % (name, exc)
+            steps = [(step.resource, step.mode) for step in plan]
+        return await self._run_steps(session, txn, name, path, steps, nowait)
+
+    async def _acquire_many(
+        self, session: _Session, name: str, spec: str, nowait: bool
+    ) -> str:
+        txn = self._live_txn(session, name)
+        if txn is None:
+            return "ERR NOTXN %s" % name
+        steps: List[Tuple[tuple, LockMode]] = []
+        for item in spec.split(","):
+            path, sep, mode_name = item.rpartition(":")
+            if not sep:
+                return "ERR BAD-FRAME missing :mode in %s" % item
+            try:
+                mode = LockMode(mode_name.upper())
+            except ValueError:
+                return "ERR BAD-MODE %s" % mode_name
+            resource, err = self._parse_resource(path)
+            if err is not None:
+                return err
+            steps.append((resource, mode))
+        return await self._run_steps(session, txn, name, spec, steps, nowait)
+
+    # -- plan execution under shard mutexes -----------------------------------
+
+    async def _run_steps(
+        self, session: _Session, txn, name: str, what: str, steps, nowait: bool
+    ) -> str:
+        """Acquire an ordered plan, one shard run at a time.
+
+        Holds exactly one shard mutex at any moment; a WAITING tail
+        releases every mutex and parks on a future resolved by
+        ``on_wake`` (grant), the detector (deadlock victim) or the
+        timeout path (cancel + ERR TIMEOUT, earlier prefix stays held —
+        the client chooses between retry and END).
+        """
+        submitted = 0
+        run: List[Tuple[tuple, LockMode]] = []
+        run_shard = -1
+        plan = list(steps)
+        plan.append((None, None))  # sentinel flushes the last run
+        for resource, mode in plan:
+            shard = self.manager.shard_of(resource) if resource is not None else -2
+            if shard != run_shard and run:
+                fault = False
+                granted: List[LockRequest] = []
+                async with self._shard_locks[run_shard]:
+                    try:
+                        granted = self.manager.acquire_many(
+                            txn, run, long=txn.long, wait=not nowait
+                        )
+                    except LockConflictError as exc:
+                        return "ERR CONFLICT %s %s" % (
+                            name,
+                            "/".join(str(p) for p in exc.resource),
+                        )
+                    except LockTimeoutError:
+                        # an injected mid-batch timeout: the prefix stays
+                        # granted, the client decides between retry / END
+                        self.stats["timeouts"] += 1
+                        return "ERR TIMEOUT %s %s" % (name, what)
+                    except FaultInjected:
+                        fault = True  # abort outside this shard's mutex
+                    else:
+                        submitted += len(granted)
+                        if self.shard_service_time and granted:
+                            await asyncio.sleep(
+                                self.shard_service_time * len(granted)
+                            )
+                if fault:
+                    # an injected fault (error or abort action) during
+                    # the batch: abort the transaction — the universal
+                    # cleaner — and report; the session entry goes too
+                    await self._abort_txn(txn)
+                    session.txns.pop(name, None)
+                    return "ERR FAULT %s %s" % (name, what)
+                if granted and not granted[-1].granted:
+                    outcome = await self._await_grant(session, name, granted[-1])
+                    if outcome is not None:
+                        return outcome
+                run = []
+            if resource is None:
+                break
+            run_shard = shard
+            run.append((resource, mode))
+        return "OK GRANTED %s %s steps=%d" % (name, what, submitted)
+
+    async def _await_grant(
+        self, session: _Session, name: str, request: LockRequest
+    ) -> Optional[str]:
+        """Park on ``request``; None when granted, an ERR frame otherwise."""
+        future = asyncio.get_running_loop().create_future()
+        self._futures[request] = future
+        if self._nudge is not None:
+            self._nudge.set()  # a new wait edge: run the detector early
+        try:
+            await asyncio.wait_for(future, self.lock_timeout)
+            return None
+        except DeadlockError:
+            # the detector chose this transaction as victim and already
+            # aborted it: every lock is gone, the session entry follows
+            session.txns.pop(name, None)
+            return "ERR DEADLOCK %s" % name
+        except asyncio.TimeoutError:
+            shard = self.manager.shard_of(request.resource)
+            async with self._shard_locks[shard]:
+                if request.status == RequestStatus.WAITING:
+                    self.manager.cancel(request)
+            if request.granted:
+                return None  # granted in the race window: keep it
+            self.stats["timeouts"] += 1
+            return "ERR TIMEOUT %s %s" % (
+                name,
+                "/".join(str(p) for p in request.resource),
+            )
+        finally:
+            self._futures.pop(request, None)
+
+    # -- cross-shard deadlock detection ---------------------------------------
+
+    async def _detector_loop(self):
+        assert self._nudge is not None
+        while True:
+            try:
+                await asyncio.wait_for(
+                    self._nudge.wait(), self.detector_interval
+                )
+            except asyncio.TimeoutError:
+                pass
+            self._nudge.clear()
+            await self._detector_pass()
+
+    async def _detector_pass(self):
+        if self.fault_injector is not None:
+            try:
+                self.fault_injector.fire("service.detector")
+            except FaultInjected:
+                # an injected detector delay: skip this snapshot; the
+                # next tick (or nudge) re-runs detection — deadlocks
+                # are found late, never lost
+                self.stats["detector_delays"] += 1
+                return
+        await self._all_shards_acquire()
+        try:
+            while True:
+                cycle = self.manager.detect_deadlock()
+                if cycle is None:
+                    return
+                victim = self.manager.detector.pick_victim(cycle)
+                self.stats["deadlock_victims"] += 1
+                self._fail_victim_futures(victim, cycle)
+                for request in self.manager.table.waiting_requests_of(victim):
+                    self.manager.cancel(request)
+                # bounded retry: an injected fault can raise during the
+                # abort; TransactionManager.abort is re-entrant
+                for attempt in range(3):
+                    try:
+                        self.stack.txns.abort(victim)
+                        break
+                    except Exception:
+                        if attempt == 2:
+                            raise
+        finally:
+            self._all_shards_release()
+
+    def _fail_victim_futures(self, victim, cycle):
+        names = tuple(getattr(txn, "name", repr(txn)) for txn in cycle)
+        for request, future in list(self._futures.items()):
+            if request.txn is victim and not future.done():
+                future.set_exception(
+                    DeadlockError(
+                        "transaction %r chosen as deadlock victim"
+                        % (getattr(victim, "name", victim),),
+                        cycle=names,
+                    )
+                )
+
+    async def _abort_txn(self, txn):
+        # like commit: a synchronous mutation, no shard mutex needed
+        for request in self.manager.table.waiting_requests_of(txn):
+            self.manager.cancel(request)
+        for attempt in range(3):
+            try:
+                self.stack.txns.abort(txn)
+                break
+            except Exception:
+                if attempt == 2:
+                    raise
+
+    async def _all_shards_acquire(self):
+        # ascending shard order: the one global mutex order, so two
+        # multi-shard operations can never deadlock on the mutexes
+        for mutex in self._shard_locks:
+            await mutex.acquire()
+
+    def _all_shards_release(self):
+        for mutex in reversed(self._shard_locks):
+            mutex.release()
+
+    # -- resources and stats --------------------------------------------------
+
+    def _parse_resource(self, path: str):
+        parts = tuple(path.split("/"))
+        if not parts or any(not p for p in parts):
+            return None, "ERR UNKNOWN-RESOURCE %s" % path
+        database = self.stack.database
+        if parts[0] != database.name:
+            return None, "ERR UNKNOWN-RESOURCE %s" % path
+        if len(parts) == 1:
+            return parts, None
+        relations = database.relations()
+        if parts[1] not in {rel.segment for rel in relations}:
+            return None, "ERR UNKNOWN-RESOURCE %s" % path
+        if len(parts) == 2:
+            return parts, None
+        matching = [
+            rel
+            for rel in relations
+            if rel.name == parts[2] and rel.segment == parts[1]
+        ]
+        if not matching:
+            return None, "ERR UNKNOWN-RESOURCE %s" % path
+        if len(parts) == 3:
+            return parts, None
+        # object level: the key as it appears in resource tuples (str);
+        # deeper component parts ride on a valid object prefix
+        if parts[3] not in {str(obj.key) for obj in matching[0]}:
+            return None, "ERR UNKNOWN-RESOURCE %s" % path
+        return parts, None
+
+    def _stats_frame(self) -> str:
+        payload = dict(self.manager.metrics())
+        payload.update(self.stats)
+        payload["lock_count"] = self.manager.lock_count()
+        return "OK STATS %s" % json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        )

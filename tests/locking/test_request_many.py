@@ -279,3 +279,62 @@ class TestVictimAbortDuringBatch:
         assert manager.locks_of("t2") == {}
         assert manager.table._txn_modes.get("t2") is None
         assert manager.detect_deadlock() is None
+
+
+class TestCancelInvalidatesHoistedSummary:
+    """Regression: a timeout/victim cancellation landing while another
+    transaction's ``request_many`` holds a hoisted summary stamp must
+    bump ``summary_version`` so the stamp check forces a refetch.
+    Before the fix both cancel paths left the version untouched: a
+    batched acquire racing a victim abort could prune steps against a
+    summary the cancellation had already invalidated."""
+
+    def test_cancel_bumps_summary_version(self, table):
+        table.request("a", R, X)
+        waiting = table.request("b", R, S)
+        assert waiting.status is RequestStatus.WAITING
+        stamp = table.summary_version
+        table.cancel(waiting)
+        assert table.summary_version > stamp
+
+    def test_release_all_cancel_path_bumps_summary_version(self, table):
+        """release_all of a waiter (the victim-abort path) goes through
+        _cancel_waiting, which must invalidate stamps too."""
+        table.request("a", R, X)
+        waiting = table.request("b", R, S)
+        assert waiting.status is RequestStatus.WAITING
+        stamp = table.summary_version
+        table.release_all("b")
+        assert waiting.status is RequestStatus.CANCELLED
+        assert table.summary_version > stamp
+
+    def test_stamp_refetch_counts_a_summary_rebuild(self, table):
+        """Drive request_many's refetch branch directly: move the
+        version between two steps of one batch (as a concurrent cancel
+        would) and pin that the batch notices — the refetch is counted
+        in ``summary_rebuilds`` and the final grants stay correct."""
+        table.request("t1", PLAN[0][0], IX)
+        table.request("t3", ("other",), X)
+        before = table.summary_rebuilds
+        original = table._submit
+
+        def submit_with_interleaved_cancel(entry, txn, resource, mode, long, wait):
+            # after the first submitted step, a foreign waiter appears
+            # and is immediately cancelled — exactly the interleaving
+            # the stale-stamp bug needed
+            request = original(entry, txn, resource, mode, long, wait)
+            if resource == PLAN[1][0]:
+                foreign = table.request("t2", ("other",), S)
+                assert foreign.status is RequestStatus.WAITING
+                table.cancel(foreign)
+            return request
+
+        table._submit = submit_with_interleaved_cancel
+        try:
+            granted = table.request_many("t1", PLAN)
+        finally:
+            table._submit = original
+        assert all(request.granted for request in granted)
+        assert table.summary_rebuilds > before
+        for resource, mode in PLAN:
+            assert table.holds_at_least("t1", resource, mode)

@@ -94,7 +94,7 @@ class TestConversionEdgeCases:
         # drop a's grant behind the queue's back (simulates a partial abort)
         entry = table._entries[resource]
         del entry.granted["a"]
-        table._txn_resources["a"].discard(resource)
+        table._txn_resources["a"].pop(resource, None)
         woken = table.release("b", resource)
         # the conversion was requeued and eventually granted as a new lock
         assert upgrade in woken

@@ -1,0 +1,186 @@
+"""Fault injection through the served stack.
+
+Wires the deterministic fault-injection subsystem through the asyncio
+server and asserts the invariant the whole PR rests on: after any fired
+fault — a client vanishing mid-frame, the cross-shard deadlock detector
+skipping a pass, a timeout or abort landing inside a batched
+ACQUIRE_MANY — :func:`repro.verify.audit` stays clean and no shard
+leaks a held lock, a waiter or a summary entry.
+"""
+
+import asyncio
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.service.client import ServiceClient
+from repro.service.server import LockServer, make_service_stack
+from repro.verify import audit
+
+M1 = "db1/seg_materials/materials/m1"
+M2 = "db1/seg_materials/materials/m2"
+
+
+def assert_no_leaks(server):
+    """Audit + shard-by-shard leak sweep once every transaction ended."""
+    assert audit(server.stack.protocol) == []
+    manager = server.manager
+    assert manager.lock_count() == 0
+    for shard in manager.shards:
+        assert not shard._txn_modes, "shard leaked a held-mode summary"
+        assert not shard._txn_waiting, "shard leaked a waiter index"
+        assert not shard.waiting_requests(), "shard leaked queued requests"
+    assert not server._futures, "server leaked parked futures"
+
+
+def arm(server, *specs):
+    injector = FaultInjector(FaultPlan(list(specs)))
+    injector.install(server.stack)
+    server.fault_injector = injector
+    return injector
+
+
+class TestMidFrameDisconnect:
+    def test_disconnect_aborts_session_and_leaks_nothing(self):
+        async def go():
+            server = LockServer(make_service_stack("partlib", shards=4), port=0)
+            host, port = await server.start()
+            # the 3rd frame of this connection never gets an answer:
+            # the server drops the socket mid-frame instead
+            injector = arm(server, FaultSpec("service.frame", occurrence=3))
+            client = await ServiceClient(host, port).connect()
+            assert (await client.start("t")).startswith("OK")
+            assert (await client.xlock("t", M1)).startswith("OK GRANTED")
+            try:
+                await client.xlock("t", M2)
+                raise AssertionError("expected the injected disconnect")
+            except ConnectionResetError:
+                pass
+            await client.close()
+            # the handler's cleanup aborts the orphaned transaction
+            await asyncio.sleep(0.05)
+            assert injector.fired == 1
+            assert server.stats["injected_disconnects"] == 1
+            assert_no_leaks(server)
+            # the server keeps serving new connections afterwards
+            other = await ServiceClient(host, port).connect()
+            assert (await other.start("u")).startswith("OK")
+            assert (await other.xlock("u", M1)).startswith("OK GRANTED")
+            assert (await other.end("u")).startswith("OK")
+            await other.close()
+            assert_no_leaks(server)
+            await server.stop()
+
+        asyncio.run(go())
+
+
+class TestDetectorDelay:
+    def test_skipped_pass_only_delays_detection(self):
+        async def go():
+            # a huge interval: detector passes happen only on nudges
+            # (plus one final interval tick), so the injected skip
+            # verifiably delays the deadlock resolution
+            server = LockServer(
+                make_service_stack("partlib", shards=4),
+                port=0,
+                detector_interval=0.2,
+                lock_timeout=5.0,
+            )
+            host, port = await server.start()
+            a = await ServiceClient(host, port).connect()
+            b = await ServiceClient(host, port).connect()
+            assert (await a.start("a")).startswith("OK")
+            assert (await b.start("b")).startswith("OK")
+            assert (await a.xlock("a", M1)).startswith("OK GRANTED")
+            assert (await b.xlock("b", M2)).startswith("OK GRANTED")
+            ta = asyncio.create_task(a.xlock("a", M2))
+            await asyncio.sleep(0.05)  # a is parked; its nudge has run
+            injector = arm(server, FaultSpec("service.detector", occurrence=1))
+            tb = asyncio.create_task(b.xlock("b", M1))
+            ra, rb = await asyncio.wait_for(asyncio.gather(ta, tb), 5)
+            assert [r.startswith("ERR DEADLOCK") for r in (ra, rb)].count(True) == 1, (ra, rb)
+            assert [r.startswith("OK GRANTED") for r in (ra, rb)].count(True) == 1, (ra, rb)
+            # the pass nudged by b's wait was skipped; a later one found it
+            assert server.stats["detector_delays"] >= 1
+            assert server.stats["deadlock_victims"] == 1
+            assert injector.fired >= 1
+            survivor, name = (a, "a") if rb.startswith("ERR") else (b, "b")
+            assert (await survivor.end(name)).startswith("OK")
+            await a.close()
+            await b.close()
+            await asyncio.sleep(0.05)
+            assert_no_leaks(server)
+            await server.stop()
+
+        asyncio.run(go())
+
+
+class TestFaultsInsideAcquireMany:
+    def test_injected_timeout_mid_batch(self):
+        async def go():
+            server = LockServer(make_service_stack("partlib", shards=2), port=0)
+            host, port = await server.start()
+            arm(server, FaultSpec("lock.enqueue", occurrence=2, action="timeout"))
+            client = await ServiceClient(host, port).connect()
+            assert (await client.start("t")).startswith("OK")
+            response = await client.acquire_many(
+                "t", [("db1", "IX"), ("db1/seg_parts", "IX")]
+            )
+            assert response == "ERR TIMEOUT t db1:IX,db1/seg_parts:IX"
+            # the prefix before the injected step stays held until END
+            assert server.manager.lock_count() == 1
+            assert (await client.end("t")).startswith("OK")
+            await client.close()
+            assert server.stats["timeouts"] == 1
+            assert_no_leaks(server)
+            await server.stop()
+
+        asyncio.run(go())
+
+    def test_injected_abort_mid_batch(self):
+        async def go():
+            server = LockServer(make_service_stack("partlib", shards=2), port=0)
+            host, port = await server.start()
+            arm(server, FaultSpec("lock.enqueue", occurrence=3, action="abort"))
+            client = await ServiceClient(host, port).connect()
+            assert (await client.start("t")).startswith("OK")
+            response = await client.acquire_many(
+                "t", [("db1", "IX"), ("db1/seg_parts", "IX"), ("db1/seg_asm", "IX")]
+            )
+            # the server aborted the transaction — the universal cleaner
+            assert response.startswith("ERR FAULT t")
+            assert (await client.request("END t")) == "ERR NOTXN t"
+            await client.close()
+            assert_no_leaks(server)
+            await server.stop()
+
+        asyncio.run(go())
+
+    def test_every_verb_after_fault_storm_leaves_clean_state(self):
+        """Sustained faults (every 5th enqueue aborts) under a burst of
+        lock traffic: whatever answered ERR, nothing may leak."""
+
+        async def go():
+            server = LockServer(make_service_stack("partlib", shards=4), port=0)
+            host, port = await server.start()
+            arm(server, FaultSpec("lock.enqueue", every=5, action="abort"))
+            client = await ServiceClient(host, port).connect()
+            paths = [M1, M2, "db1/seg_parts/parts/p1", "db1/seg_parts/parts/p2"]
+            for round_no in range(6):
+                txn = "t%d" % round_no
+                assert (await client.start(txn)).startswith("OK")
+                dead = False
+                for path in paths:
+                    response = await client.lock("SLOCK", txn, path)
+                    if response.startswith("ERR FAULT") or response.startswith(
+                        "ERR NOTXN"
+                    ):
+                        dead = True
+                        break
+                    assert response.startswith("OK GRANTED"), response
+                if not dead:
+                    assert (await client.end(txn)).startswith("OK")
+            await client.close()
+            assert_no_leaks(server)
+            await server.stop()
+
+        asyncio.run(go())
