@@ -90,8 +90,56 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not os.path.isfile(json_path):
             json_path = args.json
         attach_ablation_deltas(json_path)
+        refresh_commit_info(json_path, os.path.dirname(bench_dir) or ".")
         print("benchmark results written to %s" % args.json)
     return result.returncode
+
+
+def git_is_dirty(repo_dir: str) -> Optional[bool]:
+    """Whether the checkout has modified *tracked* files.
+
+    pytest-benchmark answers this with ``git describe --dirty``, which
+    reads cached stat info without refreshing it — on a freshly
+    materialised checkout (clone, docker copy, CI cache restore) the
+    stale index reports phantom modifications and every benchmark run
+    records ``commit_info.dirty: true`` even though ``git diff`` is
+    empty.  ``git status --porcelain`` refreshes the index first, so it
+    is authoritative; ``-uno`` ignores untracked files (the benchmark
+    JSON itself, caches) to match what "dirty" is meant to capture.
+    Returns None when git is unavailable or the directory is not a
+    checkout.
+    """
+    try:
+        probe = subprocess.run(
+            ["git", "status", "--porcelain", "-uno"],
+            cwd=repo_dir,
+            capture_output=True,
+            text=True,
+        )
+    except OSError:
+        return None
+    if probe.returncode != 0:
+        return None
+    return bool(probe.stdout.strip())
+
+
+def refresh_commit_info(json_path: str, repo_dir: str) -> None:
+    """Overwrite ``commit_info.dirty`` with the index-refreshed answer."""
+    dirty = git_is_dirty(repo_dir)
+    if dirty is None:
+        return
+    try:
+        with open(json_path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return
+    commit_info = payload.get("commit_info")
+    if not isinstance(commit_info, dict) or commit_info.get("dirty") == dirty:
+        return
+    commit_info["dirty"] = dirty
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.write("\n")
 
 
 def attach_ablation_deltas(json_path: str) -> dict:

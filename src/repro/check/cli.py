@@ -129,7 +129,17 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the sharded vs. single lock table comparison",
     )
-    commands.add_parser("smoke", help="bounded differential pass for CI")
+    diff.add_argument(
+        "--no-binary-wire",
+        action="store_true",
+        help="skip the text/binary/pipelined/workers wire comparison",
+    )
+    smoke = commands.add_parser("smoke", help="bounded differential pass for CI")
+    smoke.add_argument(
+        "--no-binary-wire",
+        action="store_true",
+        help="skip the text/binary/pipelined/workers wire comparison",
+    )
     return parser
 
 
@@ -353,7 +363,30 @@ def cmd_differential(args) -> int:
         print("DIFFERENTIAL FAILURE: %s" % exc)
         return 1
     _print_differential(summary)
+    if not args.no_binary_wire:
+        from repro.check.wire import wire_differential
+
+        try:
+            wire_summary = wire_differential()
+        except CheckError as exc:
+            print("DIFFERENTIAL FAILURE: %s" % exc)
+            return 1
+        _print_wire(wire_summary)
     return 0
+
+
+def _print_wire(wire_summary) -> None:
+    for script, info in wire_summary.items():
+        print(
+            "  wire modes invisible on %s: %d lock events + %d responses "
+            "bit-identical across %s"
+            % (
+                script,
+                info["events"],
+                info["responses"],
+                "/".join(info["modes"]),
+            )
+        )
 
 
 def _print_differential(summary) -> None:
@@ -400,7 +433,7 @@ def _print_differential(summary) -> None:
         )
 
 
-def cmd_smoke(_args) -> int:
+def cmd_smoke(args) -> int:
     """Bounded differential pass: the CI budget is ~30 seconds."""
     failures = 0
     try:
@@ -465,6 +498,14 @@ def cmd_smoke(_args) -> int:
             )
         except CheckError as exc:
             print("SMOKE FAILURE (%s dense path): %s" % (name, exc))
+            failures += 1
+    if not getattr(args, "no_binary_wire", False):
+        from repro.check.wire import wire_differential
+
+        try:
+            _print_wire(wire_differential())
+        except CheckError as exc:
+            print("SMOKE FAILURE (binary wire): %s" % exc)
             failures += 1
     return 1 if failures else 0
 

@@ -37,29 +37,47 @@ def serve_main(argv=None) -> int:
         default=5.0,
         help="seconds a lock wait may park before ERR TIMEOUT",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard worker processes (0 = in-process shard tables)",
+    )
+    parser.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="flush each response individually instead of per ready-batch",
+    )
     args = parser.parse_args(argv)
 
     from repro.service.server import LockServer, make_service_stack
 
-    stack = make_service_stack(args.workload, shards=args.shards)
+    stack = make_service_stack(
+        args.workload, shards=args.shards, workers=args.workers
+    )
     server = LockServer(
         stack,
         host=args.host,
         port=args.port,
         shard_service_time=args.service_time,
         lock_timeout=args.lock_timeout,
+        coalesce_writes=not args.no_coalesce,
     )
 
     async def _serve():
         host, port = await server.start()
         print(
-            "repro-serve: %s workload, %d shards, listening on %s:%d"
-            % (args.workload, args.shards, host, port),
+            "repro-serve: %s workload, %d shards, %d workers, "
+            "listening on %s:%d"
+            % (args.workload, args.shards, args.workers, host, port),
             flush=True,
         )
         assert server._server is not None
-        async with server._server:
-            await server._server.serve_forever()
+        try:
+            async with server._server:
+                await server._server.serve_forever()
+        finally:
+            await server.stop()
 
     try:
         asyncio.run(_serve())
@@ -92,6 +110,17 @@ def load_main(argv=None) -> int:
         "--write-ratio", type=float, default=0.2, help="fraction of XLOCKs"
     )
     parser.add_argument(
+        "--binary",
+        action="store_true",
+        help="use the binary wire protocol (HELLO BINARY upgrade)",
+    )
+    parser.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=1,
+        help="requests in flight per connection (>1 requires --binary)",
+    )
+    parser.add_argument(
         "--json",
         metavar="FILE",
         default=None,
@@ -111,16 +140,25 @@ def load_main(argv=None) -> int:
             workload=args.workload,
             txn_locks=args.txn_locks,
             write_ratio=args.write_ratio,
+            binary=args.binary,
+            pipeline_depth=args.pipeline_depth,
         )
     )
+    latency = report["latency_ms"]
     print(
-        "repro-load: %d clients x %.1fs -> %d OK / %d ERR, %.1f req/s"
+        "repro-load: %d clients x %.1fs (%s, depth %d) -> %d OK / %d ERR, "
+        "%.1f req/s, latency p50=%.3fms p95=%.3fms p99=%.3fms"
         % (
             report["clients"],
             report["duration"],
+            "binary" if report["binary"] else "text",
+            report["pipeline_depth"],
             report["ok"],
             report["err"],
             report["req_per_sec"],
+            latency["p50"],
+            latency["p95"],
+            latency["p99"],
         )
     )
     if args.json:

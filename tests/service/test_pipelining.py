@@ -1,0 +1,177 @@
+"""Pipelined dispatch semantics: in-flight frames, ordering, coalescing.
+
+The binary path dispatches each frame as an ordered task: frames begin
+in arrival order, but a frame that waits (a parked lock, modelled shard
+latency) releases the order lock so the frames behind it proceed, and
+responses are matched by correlation id.  These tests pin the three
+load-bearing consequences: a parked frame does not head-of-line-block
+the pipeline, END waits for its own transaction's in-flight lock
+frames before committing, and coalesced writes batch multiple
+responses into single flushes.
+"""
+
+import asyncio
+
+from repro.service.client import ServiceClient
+from repro.service.server import LockServer, make_service_stack
+
+P1 = "db1/seg_parts/parts/p1"
+M2 = "db1/seg_materials/materials/m2"
+
+
+def serve(**kwargs):
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("detector_interval", 0.05)
+    return LockServer(make_service_stack("partlib", shards=4), **kwargs)
+
+
+class TestPipelinedDispatch:
+    def test_depth_n_in_flight_matches_by_correlation_id(self):
+        async def go():
+            server = serve()
+            host, port = await server.start()
+            client = await ServiceClient(
+                host, port, binary=True, pipeline_depth=16
+            ).connect()
+            try:
+                futures = [await client.submit_start("t%d" % i) for i in range(10)]
+                futures += [
+                    await client.submit_lock("SLOCK", "t%d" % i, P1)
+                    for i in range(10)
+                ]
+                futures += [await client.submit_end("t%d" % i) for i in range(10)]
+                await client.flush()
+                responses = await asyncio.gather(*futures)
+                assert responses[:10] == [
+                    "OK STARTED t%d" % i for i in range(10)
+                ]
+                for i, response in enumerate(responses[10:20]):
+                    assert response.startswith("OK GRANTED t%d " % i), response
+                assert responses[20:] == ["OK ENDED t%d" % i for i in range(10)]
+                # the 30 frames went out well ahead of their responses:
+                # the server must have seen multi-frame ready batches
+                assert server.stats["max_batch"] > 1
+            finally:
+                await client.close()
+                await server.stop()
+
+        asyncio.run(go())
+
+    def test_parked_frame_does_not_block_later_frames(self):
+        async def go():
+            server = serve(lock_timeout=5.0)
+            host, port = await server.start()
+            holder = await ServiceClient(host, port).connect()
+            piped = await ServiceClient(
+                host, port, binary=True, pipeline_depth=8
+            ).connect()
+            try:
+                assert await holder.start("h") == "OK STARTED h"
+                assert (await holder.lock("XLOCK", "h", P1)).startswith(
+                    "OK GRANTED"
+                )
+                await piped.start("t")
+                parked = await piped.submit_lock("SLOCK", "t", P1)
+                behind = await piped.submit_lock("SLOCK", "t", M2)
+                await piped.flush()
+                # the frame behind the parked one answers on its own
+                response = await asyncio.wait_for(behind, timeout=2.0)
+                assert response.startswith("OK GRANTED t "), response
+                assert not parked.done()
+                # release the holder: the parked frame completes late,
+                # out of order, still matched to its correlation id
+                assert await holder.end("h") == "OK ENDED h"
+                response = await asyncio.wait_for(parked, timeout=2.0)
+                assert response.startswith("OK GRANTED t "), response
+                assert await piped.end("t") == "OK ENDED t"
+            finally:
+                await piped.close()
+                await holder.close()
+                await server.stop()
+
+        asyncio.run(go())
+
+    def test_end_waits_for_its_transactions_inflight_locks(self):
+        async def go():
+            server = serve(lock_timeout=5.0)
+            host, port = await server.start()
+            holder = await ServiceClient(host, port).connect()
+            piped = await ServiceClient(
+                host, port, binary=True, pipeline_depth=8
+            ).connect()
+            try:
+                await holder.start("h")
+                await holder.lock("XLOCK", "h", P1)
+                # START, a lock that parks behind h, and END all leave
+                # in one write: END must not commit t underneath its own
+                # in-flight lock frame
+                started = await piped.submit_start("t")
+                parked = await piped.submit_lock("SLOCK", "t", P1)
+                ended = await piped.submit_end("t")
+                await piped.flush()
+                assert await asyncio.wait_for(started, 2.0) == "OK STARTED t"
+                await asyncio.sleep(0.1)
+                assert not parked.done()
+                assert not ended.done()
+                await holder.end("h")
+                assert (await asyncio.wait_for(parked, 2.0)).startswith(
+                    "OK GRANTED t "
+                )
+                assert await asyncio.wait_for(ended, 2.0) == "OK ENDED t"
+                stats = await piped.stats()
+                assert stats["lock_count"] == 0, "END leaked locks"
+            finally:
+                await piped.close()
+                await holder.close()
+                await server.stop()
+
+        asyncio.run(go())
+
+    def test_uncoalesced_server_still_pipelines(self):
+        async def go():
+            server = serve(coalesce_writes=False)
+            host, port = await server.start()
+            client = await ServiceClient(
+                host, port, binary=True, pipeline_depth=8
+            ).connect()
+            try:
+                futures = [await client.submit_start("t%d" % i) for i in range(6)]
+                await client.flush()
+                responses = await asyncio.gather(*futures)
+                assert responses == ["OK STARTED t%d" % i for i in range(6)]
+                for i in range(6):
+                    assert await client.end("t%d" % i) == "OK ENDED t%d" % i
+            finally:
+                await client.close()
+                await server.stop()
+
+        asyncio.run(go())
+
+    def test_clean_close_settles_inflight_frames(self):
+        """Dropping the connection right after a flush must not wedge
+        the server: in-flight dispatches settle, live txns abort."""
+
+        async def go():
+            server = serve()
+            host, port = await server.start()
+            client = await ServiceClient(
+                host, port, binary=True, pipeline_depth=8
+            ).connect()
+            await client.submit_start("t")
+            await client.submit_lock("XLOCK", "t", P1)
+            await client.flush()
+            await client.close()  # responses never reaped
+            # the abandoned transaction's locks must be released
+            probe = await ServiceClient(host, port).connect()
+            try:
+                for _ in range(50):
+                    stats = await probe.stats()
+                    if stats["lock_count"] == 0:
+                        break
+                    await asyncio.sleep(0.02)
+                assert stats["lock_count"] == 0, stats
+            finally:
+                await probe.close()
+                await server.stop()
+
+        asyncio.run(go())

@@ -1,0 +1,301 @@
+"""Wire protocol v2: golden byte pins and round-trip properties.
+
+The first half pins the exact bytes of every request opcode, every
+response opcode and every ``frame_for_response`` rendering as literals —
+the binary protocol contract: a framing change that alters any byte
+must change this file.  The second half is Hypothesis: random frames
+round-trip through encode/decode, and :class:`FrameDecoder` recovers
+the same frame sequence under arbitrary TCP chunk boundaries (split,
+merged, byte-at-a-time).
+"""
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import wire
+
+
+# -- golden byte pins: requests ----------------------------------------------
+
+
+class TestRequestGoldenBytes:
+    def test_start(self):
+        assert wire.encode_request(wire.OP_START, 1, ("t1",)) == (
+            b"\x00\x00\x00\x07\x01\x00\x00\x00\x01t1"
+        )
+
+    def test_lock(self):
+        # mode code 3, NOWAIT flag, rid 7
+        assert wire.encode_request(wire.OP_LOCK, 10, (3, 1, 7, "t1")) == (
+            b"\x00\x00\x00\r\x02\x00\x00\x00\n\x03\x01\x00\x00\x00\x07t1"
+        )
+
+    def test_acquire_many(self):
+        frame = wire.encode_request(
+            wire.OP_ACQUIRE_MANY, 42, (1, ((5, 2), (6, 0)), "tx")
+        )
+        assert frame == (
+            b"\x00\x00\x00\x14\x03\x00\x00\x00*\x01\x00\x02"
+            b"\x00\x00\x00\x05\x02\x00\x00\x00\x06\x00tx"
+        )
+
+    def test_unlock(self):
+        assert wire.encode_request(wire.OP_UNLOCK, 3, (9, "t2")) == (
+            b"\x00\x00\x00\x0b\x04\x00\x00\x00\x03\x00\x00\x00\tt2"
+        )
+
+    def test_end(self):
+        assert wire.encode_request(wire.OP_END, 4, ("t9",)) == (
+            b"\x00\x00\x00\x07\x05\x00\x00\x00\x04t9"
+        )
+
+    def test_stats(self):
+        assert wire.encode_request(wire.OP_STATS, 5, ()) == (
+            b"\x00\x00\x00\x05\x06\x00\x00\x00\x05"
+        )
+
+    def test_resources(self):
+        assert wire.encode_request(wire.OP_RESOURCES, 6, ()) == (
+            b"\x00\x00\x00\x05\x07\x00\x00\x00\x06"
+        )
+
+    def test_intern(self):
+        assert wire.encode_request(wire.OP_INTERN, 7, ("db1/a/b/c",)) == (
+            b"\x00\x00\x00\x0e\x08\x00\x00\x00\x07db1/a/b/c"
+        )
+
+
+# -- golden byte pins: responses ---------------------------------------------
+
+
+class TestResponseGoldenBytes:
+    def test_ok(self):
+        assert wire.encode_response(wire.RESP_OK, 7, ("STARTED t1",)) == (
+            b"\x00\x00\x00\x0f\x80\x00\x00\x00\x07STARTED t1"
+        )
+
+    def test_granted(self):
+        assert wire.encode_response(
+            wire.RESP_GRANTED, 8, (3, "t1 db1/x")
+        ) == b"\x00\x00\x00\x11\x81\x00\x00\x00\x08\x00\x00\x00\x03t1 db1/x"
+
+    def test_stats(self):
+        assert wire.encode_response(
+            wire.RESP_STATS, 9, ('{"frames": 1}',)
+        ) == b'\x00\x00\x00\x12\x82\x00\x00\x00\t{"frames": 1}'
+
+    def test_resources(self):
+        frame = wire.encode_response(
+            wire.RESP_RESOURCES, 10, (((1, "db1"), (2, "db1/s")),)
+        )
+        assert frame == (
+            b"\x00\x00\x00\x1d\x83\x00\x00\x00\n\x00\x00\x00\x02"
+            b"\x00\x00\x00\x01\x00\x03db1"
+            b"\x00\x00\x00\x02\x00\x05db1/s"
+        )
+
+    def test_interned(self):
+        assert wire.encode_response(wire.RESP_INTERNED, 11, (33,)) == (
+            b"\x00\x00\x00\t\x84\x00\x00\x00\x0b\x00\x00\x00!"
+        )
+
+    def test_err(self):
+        # code 9 is CONFLICT
+        assert wire.ERR_CODES["CONFLICT"] == 9
+        assert wire.encode_response(
+            wire.RESP_ERR, 12, (9, "CONFLICT t1 db1/x")
+        ) == b"\x00\x00\x00\x17\xff\x00\x00\x00\x0c\tCONFLICT t1 db1/x"
+
+
+class TestFrameForResponseGoldenBytes:
+    """The text->binary renderer used by the server's binary path."""
+
+    def test_granted(self):
+        assert wire.frame_for_response(
+            13, "OK GRANTED t1 db1/x steps=3"
+        ) == b"\x00\x00\x00\x11\x81\x00\x00\x00\r\x00\x00\x00\x03t1 db1/x"
+
+    def test_plain_ok(self):
+        assert wire.frame_for_response(14, "OK RELEASED t1 db1/x") == (
+            b"\x00\x00\x00\x16\x80\x00\x00\x00\x0eRELEASED t1 db1/x"
+        )
+
+    def test_stats(self):
+        assert wire.frame_for_response(15, 'OK STATS {"a": 1}') == (
+            b'\x00\x00\x00\r\x82\x00\x00\x00\x0f{"a": 1}'
+        )
+
+    def test_err_with_known_token(self):
+        assert wire.ERR_CODES["DEADLOCK"] == 11
+        assert wire.frame_for_response(16, "ERR DEADLOCK t2") == (
+            b"\x00\x00\x00\x11\xff\x00\x00\x00\x10\x0bDEADLOCK t2"
+        )
+
+    def test_err_frame_too_long(self):
+        assert wire.ERR_CODES["FRAME_TOO_LONG"] == 14
+        assert wire.frame_for_response(
+            17, "ERR FRAME_TOO_LONG line exceeds 64 bytes"
+        ) == (
+            b"\x00\x00\x00*\xff\x00\x00\x00\x11"
+            b"\x0eFRAME_TOO_LONG line exceeds 64 bytes"
+        )
+
+    def test_err_unknown_token_maps_to_code_zero(self):
+        assert wire.frame_for_response(18, "ERR WAT nope") == (
+            b"\x00\x00\x00\x0e\xff\x00\x00\x00\x12\x00WAT nope"
+        )
+
+    def test_error_code_table_is_pinned(self):
+        assert wire.ERR_CODES == {
+            "BAD-FRAME": 1,
+            "UNKNOWN-VERB": 2,
+            "UNKNOWN-OPCODE": 3,
+            "BAD-MODE": 4,
+            "UNKNOWN-RESOURCE": 5,
+            "NOTXN": 6,
+            "TXN-ACTIVE": 7,
+            "NOT-HELD": 8,
+            "CONFLICT": 9,
+            "TIMEOUT": 10,
+            "DEADLOCK": 11,
+            "DENIED": 12,
+            "FAULT": 13,
+            "FRAME_TOO_LONG": 14,
+        }
+
+
+# -- round-trip properties ----------------------------------------------------
+
+_corr = st.integers(min_value=0, max_value=0xFFFFFFFF)
+_u8 = st.integers(min_value=0, max_value=0xFF)
+_u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+_txn = st.text(max_size=40)
+_path = st.text(max_size=100)
+_steps = st.lists(st.tuples(_u32, _u8), max_size=8).map(tuple)
+
+
+def _request_frames():
+    return st.one_of(
+        st.tuples(st.just(wire.OP_START), _txn.map(lambda t: (t,))),
+        st.tuples(
+            st.just(wire.OP_LOCK),
+            st.tuples(_u8, _u8, _u32, _txn),
+        ),
+        st.tuples(
+            st.just(wire.OP_ACQUIRE_MANY),
+            st.tuples(_u8, _steps, _txn),
+        ),
+        st.tuples(st.just(wire.OP_UNLOCK), st.tuples(_u32, _txn)),
+        st.tuples(st.just(wire.OP_END), _txn.map(lambda t: (t,))),
+        st.tuples(st.just(wire.OP_STATS), st.just(())),
+        st.tuples(st.just(wire.OP_RESOURCES), st.just(())),
+        st.tuples(st.just(wire.OP_INTERN), _path.map(lambda p: (p,))),
+    )
+
+
+def _response_frames():
+    entries = st.lists(st.tuples(_u32, _path), max_size=6).map(tuple)
+    return st.one_of(
+        st.tuples(st.just(wire.RESP_OK), _path.map(lambda d: (d,))),
+        st.tuples(st.just(wire.RESP_GRANTED), st.tuples(_u32, _path)),
+        st.tuples(st.just(wire.RESP_STATS), _path.map(lambda d: (d,))),
+        st.tuples(
+            st.just(wire.RESP_RESOURCES), entries.map(lambda e: (e,))
+        ),
+        st.tuples(st.just(wire.RESP_INTERNED), _u32.map(lambda r: (r,))),
+        st.tuples(st.just(wire.RESP_ERR), st.tuples(_u8, _path)),
+    )
+
+
+class TestRoundTrip:
+    @given(frame=_request_frames(), corr=_corr)
+    def test_request_roundtrip(self, frame, corr):
+        opcode, fields = frame
+        encoded = wire.encode_request(opcode, corr, fields)
+        length, got_op, got_corr = wire.HEADER.unpack_from(encoded, 0)
+        assert (got_op, got_corr) == (opcode, corr)
+        assert length == len(encoded) - 4
+        decoded = wire.decode_request_fields(
+            opcode, encoded, wire.HEADER_SIZE, 4 + length
+        )
+        assert decoded == fields
+
+    @given(frame=_response_frames(), corr=_corr)
+    def test_response_roundtrip(self, frame, corr):
+        opcode, fields = frame
+        encoded = wire.encode_response(opcode, corr, fields)
+        length, got_op, got_corr = wire.HEADER.unpack_from(encoded, 0)
+        assert (got_op, got_corr) == (opcode, corr)
+        decoded = wire.decode_response_fields(
+            opcode, encoded, wire.HEADER_SIZE, 4 + length
+        )
+        assert decoded == fields
+
+    @given(
+        frames=st.lists(
+            st.tuples(_request_frames(), _corr), min_size=1, max_size=8
+        ),
+        cuts=st.lists(st.integers(min_value=0, max_value=10000), max_size=12),
+        data=st.data(),
+    )
+    @settings(max_examples=60)
+    def test_decoder_survives_arbitrary_chunking(self, frames, cuts, data):
+        """Splitting or merging TCP chunks never changes the frames."""
+        stream = b"".join(
+            wire.encode_request(opcode, corr, fields)
+            for (opcode, fields), corr in frames
+        )
+        positions = sorted(cut % (len(stream) + 1) for cut in cuts)
+        chunks, last = [], 0
+        for position in positions + [len(stream)]:
+            chunks.append(stream[last:position])
+            last = position
+        decoder = wire.FrameDecoder()
+        seen = []
+        for chunk in chunks:
+            decoder.feed(chunk)
+            for opcode, corr, body in decoder.frames():
+                seen.append((opcode, corr, body))
+        expected = [
+            (
+                opcode,
+                corr,
+                wire.encode_request(opcode, corr, fields)[wire.HEADER_SIZE :],
+            )
+            for (opcode, fields), corr in frames
+        ]
+        assert seen == expected
+        assert len(decoder) == 0
+
+
+class TestFrameDecoderLimits:
+    def test_oversized_frame_raises_and_resyncs(self):
+        decoder = wire.FrameDecoder(max_frame=64)
+        big = wire.pack_frame(wire.OP_INTERN, 5, b"x" * 100)
+        after = wire.pack_frame(wire.OP_STATS, 6)
+        stream = big + after
+        # feed byte by byte: the FrameTooLong surfaces exactly once,
+        # carrying the opcode and correlation id of the oversized frame
+        seen, errors = [], []
+        for position in range(len(stream)):
+            decoder.feed(stream[position : position + 1])
+            try:
+                for frame in decoder.frames():
+                    seen.append(frame)
+            except wire.FrameTooLong as exc:
+                errors.append((exc.opcode, exc.corr, exc.length))
+        assert errors == [(wire.OP_INTERN, 5, 105)]
+        assert seen == [(wire.OP_STATS, 6, b"")]
+        assert len(decoder) == 0
+
+    def test_corrupt_length_raises_wire_error(self):
+        decoder = wire.FrameDecoder()
+        decoder.feed(struct.pack("!IBI", 2, wire.OP_STATS, 1))
+        try:
+            list(decoder.frames())
+        except wire.WireError as exc:
+            assert "below header size" in str(exc)
+        else:
+            raise AssertionError("undersized length must not frame")

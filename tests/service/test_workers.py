@@ -1,0 +1,103 @@
+"""Multiprocess shard workers: proxy semantics and cross-worker deadlock.
+
+``make_service_stack(..., workers=K)`` moves the shard lock tables into
+``K`` forked worker processes behind :class:`WorkerProxyManager`; the
+router keeps the waits-for summary, so deadlock cycles that span
+workers are still found.  These tests pin the proxy's manager surface
+directly and the served cross-worker deadlock end to end.
+"""
+
+import asyncio
+
+from repro.locking.modes import S, X
+from repro.service.client import ServiceClient
+from repro.service.server import LockServer, make_service_stack
+
+P1 = ("db1", "seg_parts", "parts", "p1")
+P2 = ("db1", "seg_parts", "parts", "p2")
+
+
+class TestWorkerProxyManager:
+    def test_manager_surface_matches_in_process(self):
+        stack = make_service_stack("partlib", shards=4, workers=2)
+        try:
+            manager = stack.manager
+            t1 = stack.txns.begin(name="t1")
+            t2 = stack.txns.begin(name="t2")
+            request = manager.acquire(t1, P1, X)
+            assert request.granted
+            assert manager.held_mode(t1, P1) == X
+            # an incompatible demand queues in the owning worker
+            waiting = manager.acquire(t2, P1, S)
+            assert not waiting.granted
+            # release wakes the waiter and reports it, like in-process
+            woken = manager.release(t1, P1)
+            assert [w.txn for w in woken] == [t2]
+            assert manager.held_mode(t2, P1) == S
+            # nothing waits behind t2, so releasing wakes nobody
+            assert manager.release_all(t2) == []
+            assert manager.lock_count() == 0
+        finally:
+            stack.manager.stop()
+
+    def test_acquire_many_spans_workers(self):
+        stack = make_service_stack("partlib", shards=4, workers=2)
+        try:
+            manager = stack.manager
+            txn = stack.txns.begin(name="t")
+            steps = [(P1, S), (P2, S)]
+            granted = manager.acquire_many(txn, steps)
+            assert [r.granted for r in granted] == [True, True]
+            # the two parts may live on shards owned by different
+            # workers; the proxy's count aggregates across all of them
+            assert manager.lock_count() == 2
+            manager.release_all(txn)
+            assert manager.lock_count() == 0
+        finally:
+            stack.manager.stop()
+
+
+class TestServedWorkersDeadlock:
+    def test_cross_worker_cycle_kills_the_youngest(self):
+        """t1 and t2 cross their demands on p1/p2 over the wire; the
+        router-side detector finds the cycle even though the two queues
+        live in (potentially different) worker processes."""
+
+        async def go():
+            stack = make_service_stack("partlib", shards=4, workers=2)
+            server = LockServer(
+                stack, port=0, detector_interval=0.05, lock_timeout=10.0
+            )
+            host, port = await server.start()
+            c1 = await ServiceClient(host, port, binary=True).connect()
+            c2 = await ServiceClient(host, port, binary=True).connect()
+            p1 = "/".join(P1)
+            p2 = "/".join(P2)
+            try:
+                assert await c1.start("t1") == "OK STARTED t1"
+                assert await c2.start("t2") == "OK STARTED t2"
+                assert (await c1.lock("XLOCK", "t1", p1)).startswith(
+                    "OK GRANTED"
+                )
+                assert (await c2.lock("XLOCK", "t2", p2)).startswith(
+                    "OK GRANTED"
+                )
+                parked_t2 = asyncio.create_task(c2.lock("XLOCK", "t2", p1))
+                while not server._futures:
+                    if parked_t2.done():
+                        break
+                    await asyncio.sleep(0.005)
+                parked_t1 = asyncio.create_task(c1.lock("XLOCK", "t1", p2))
+                responses = await asyncio.gather(parked_t1, parked_t2)
+                # t2 is younger: it dies, t1 inherits the grant
+                assert responses[0].startswith("OK GRANTED t1 "), responses
+                assert responses[1] == "ERR DEADLOCK t2", responses
+                assert server.stats["deadlock_victims"] == 1
+                assert await c1.end("t1") == "OK ENDED t1"
+                assert await c2.end("t2") == "ERR NOTXN t2"
+            finally:
+                await c1.close()
+                await c2.close()
+                await server.stop()
+
+        asyncio.run(go())

@@ -1,0 +1,91 @@
+"""repro-bench helpers: the commit_info dirty-flag fix.
+
+pytest-benchmark decides ``commit_info.dirty`` with ``git describe
+--dirty``, which trusts cached stat info — a freshly materialised
+checkout (clone, docker copy, CI cache restore) has a stale index and
+records phantom dirtiness on every run.  ``git_is_dirty`` asks ``git
+status --porcelain -uno`` instead, which refreshes the index first, and
+``refresh_commit_info`` rewrites the recorded flag after a run.
+"""
+
+import json
+import os
+import subprocess
+
+from repro.bench_runner import git_is_dirty, refresh_commit_info
+
+
+def _init_repo(path):
+    env = dict(
+        os.environ,
+        GIT_AUTHOR_NAME="t",
+        GIT_AUTHOR_EMAIL="t@example.com",
+        GIT_COMMITTER_NAME="t",
+        GIT_COMMITTER_EMAIL="t@example.com",
+    )
+
+    def git(*args):
+        subprocess.run(
+            ["git", *args], cwd=path, env=env, check=True, capture_output=True
+        )
+
+    git("init", "-q")
+    (path / "tracked.txt").write_text("one\n")
+    git("add", "tracked.txt")
+    git("commit", "-qm", "seed")
+    return git
+
+
+class TestGitIsDirty:
+    def test_clean_checkout_is_clean(self, tmp_path):
+        _init_repo(tmp_path)
+        assert git_is_dirty(str(tmp_path)) is False
+
+    def test_stale_stat_index_is_still_clean(self, tmp_path):
+        """Touching a tracked file without changing content invalidates
+        the cached stat info — the describe-based probe calls that
+        dirty; the status-based one refreshes and says clean."""
+        _init_repo(tmp_path)
+        os.utime(str(tmp_path / "tracked.txt"), (1, 1))
+        assert git_is_dirty(str(tmp_path)) is False
+
+    def test_modified_tracked_file_is_dirty(self, tmp_path):
+        _init_repo(tmp_path)
+        (tmp_path / "tracked.txt").write_text("two\n")
+        assert git_is_dirty(str(tmp_path)) is True
+
+    def test_untracked_files_do_not_count(self, tmp_path):
+        _init_repo(tmp_path)
+        (tmp_path / "BENCH_9.json").write_text("{}\n")
+        assert git_is_dirty(str(tmp_path)) is False
+
+    def test_non_repo_returns_none(self, tmp_path):
+        assert git_is_dirty(str(tmp_path)) is None
+
+
+class TestRefreshCommitInfo:
+    def test_overwrites_phantom_dirty(self, tmp_path):
+        _init_repo(tmp_path)
+        payload = {"commit_info": {"dirty": True, "id": "abc"}, "benchmarks": []}
+        json_path = tmp_path / "bench.json"
+        json_path.write_text(json.dumps(payload))
+        refresh_commit_info(str(json_path), str(tmp_path))
+        rewritten = json.loads(json_path.read_text())
+        assert rewritten["commit_info"]["dirty"] is False
+        assert rewritten["commit_info"]["id"] == "abc"
+
+    def test_leaves_truthful_dirty_alone(self, tmp_path):
+        _init_repo(tmp_path)
+        (tmp_path / "tracked.txt").write_text("edited\n")
+        json_path = tmp_path / "bench.json"
+        json_path.write_text(json.dumps({"commit_info": {"dirty": True}}))
+        before = json_path.read_text()
+        refresh_commit_info(str(json_path), str(tmp_path))
+        assert json_path.read_text() == before
+
+    def test_non_repo_leaves_file_untouched(self, tmp_path):
+        json_path = tmp_path / "bench.json"
+        json_path.write_text(json.dumps({"commit_info": {"dirty": True}}))
+        before = json_path.read_text()
+        refresh_commit_info(str(json_path), str(tmp_path))
+        assert json_path.read_text() == before
