@@ -1,0 +1,125 @@
+"""E16 — semantic lock modes: concurrency won on hot shared libraries.
+
+The tentpole claim of the semantic-mode extension, measured: when many
+transactions update the *same* shared part with operations that commute
+(set inserts into its material library, appends, counter increments),
+plain X locks serialize them end to end while the semantic modes admit
+them concurrently.  The oracle certifies every admitted interleaving
+(``tests/check/test_semantic_workload.py``); this experiment prices it.
+
+Both legs run the identical workload over the identical hand-laid part
+library — the only difference is the ``use_semantic_modes`` flag and the
+mode each inserter demands (X versus SI), i.e. exactly the ablation the
+``repro-check`` differential holds invisible on non-commuting workloads.
+"""
+
+import pytest
+
+import repro
+from benchmarks._common import ABLATION_FLAGS, print_table
+from repro.check.workloads import build_check_partlib
+from repro.graphs.units import object_resource
+from repro.locking.modes import AP, INC, SI, X
+from repro.protocol import HerrmannProtocol
+from repro.sim import Simulator
+from repro.sim.simulator import LockOp, WorkOp
+
+#: hot-spot shape: every client hits the same shared part, holds its
+#: claim through the work time, then commits
+N_CLIENTS = 12
+WORK_TIME = 2.0
+INTERARRIVAL = 0.05
+
+
+def _partlib_stack(use_semantic_modes):
+    database, catalog = build_check_partlib()
+    # this experiment *is* the semantic ablation, so its explicit flag
+    # wins over the REPRO_SEMANTIC environment row
+    flags = dict(ABLATION_FLAGS, use_semantic_modes=use_semantic_modes)
+    return repro.make_stack(
+        database, catalog, protocol_cls=HerrmannProtocol, **flags
+    )
+
+
+def run_contention(mode=SI, use_semantic_modes=True, n_clients=N_CLIENTS):
+    """N clients updating the shared part ``p1`` in the given mode."""
+    stack = _partlib_stack(use_semantic_modes)
+    simulator = Simulator(
+        stack.protocol, lock_cost=0.02, scan_item_cost=0.01
+    )
+    hot_part = object_resource(stack.catalog, "parts", "p1")
+    for i in range(n_clients):
+        simulator.submit(
+            [LockOp(hot_part, mode), WorkOp(WORK_TIME)],
+            at=i * INTERARRIVAL,
+            name="ins%d" % i,
+        )
+    return simulator.run()
+
+
+def test_semantic_insert_throughput(benchmark):
+    """E16: 12 concurrent inserters into one part's material library.
+
+    Under X the part is a convoy: each inserter waits out its
+    predecessors' full work time.  Under SI the inserts commute, nobody
+    waits, and the makespan collapses to roughly one work time.
+    """
+    classic = run_contention(mode=X, use_semantic_modes=False)
+    semantic = run_contention(mode=SI, use_semantic_modes=True)
+    speedup = semantic.throughput / max(classic.throughput, 1e-9)
+    print_table(
+        "E16: hot shared-part inserts, %d clients, work %.1f"
+        % (N_CLIENTS, WORK_TIME),
+        ("mode", "tput", "resp", "wait", "makespan"),
+        [
+            ("X (classic)", round(classic.throughput, 3),
+             round(classic.mean_response_time, 2),
+             round(classic.total_wait_time, 1),
+             round(classic.makespan, 1)),
+            ("SI (semantic)", round(semantic.throughput, 3),
+             round(semantic.mean_response_time, 2),
+             round(semantic.total_wait_time, 1),
+             round(semantic.makespan, 1)),
+        ],
+    )
+    # the acceptance bar: at least 1.5x; in practice the convoy is gone
+    # entirely and the gap approaches N_CLIENTS
+    assert speedup > 1.5
+    # the semantic leg admits everyone at once: nobody ever waits
+    assert semantic.total_wait_time == 0.0
+    assert classic.total_wait_time > 0.0
+    benchmark.extra_info["classic_tput"] = round(classic.throughput, 3)
+    benchmark.extra_info["semantic_tput"] = round(semantic.throughput, 3)
+    benchmark.extra_info["semantic_modes_speedup"] = round(speedup, 2)
+    benchmark.pedantic(
+        run_contention, kwargs=dict(mode=SI, use_semantic_modes=True),
+        rounds=3,
+    )
+
+
+def test_each_commuting_class_beats_x(benchmark):
+    """E16b: every commuting class (SI, AP, INC) wins on its own hot spot.
+
+    Same shape as E16 per class; also pins that the win is *per class* —
+    the modes only commute with themselves, so this is the finest
+    concurrency the compatibility matrix hands out.
+    """
+    classic = run_contention(mode=X, use_semantic_modes=False)
+    rows = [("X (classic)", round(classic.throughput, 3), "-")]
+    for mode in (SI, AP, INC):
+        metrics = run_contention(mode=mode, use_semantic_modes=True)
+        ratio = metrics.throughput / max(classic.throughput, 1e-9)
+        rows.append(
+            (str(mode), round(metrics.throughput, 3), round(ratio, 2))
+        )
+        assert ratio > 1.5, mode
+        benchmark.extra_info["%s_ratio" % str(mode).lower()] = round(ratio, 2)
+    print_table(
+        "E16b: per-class hot-spot throughput vs. X, %d clients" % N_CLIENTS,
+        ("mode", "tput", "vs X"),
+        rows,
+    )
+    benchmark.pedantic(
+        run_contention, kwargs=dict(mode=INC, use_semantic_modes=True),
+        rounds=3,
+    )

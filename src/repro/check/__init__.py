@@ -36,6 +36,7 @@ from repro.check.differential import (
     explore_protocols,
     find_unsafe_counterexample,
     naive_mode_tables,
+    semantic_modes_fingerprints,
 )
 from repro.check.oracle import (
     DataOp,
@@ -49,8 +50,12 @@ from repro.check.program import (
     Abort,
     Call,
     Commit,
+    CommutingUpdate,
     Demand,
+    SharedCounterIncrement,
+    SharedListAppend,
     SharedRead,
+    SharedSetInsert,
     SharedWrite,
     TxnOp,
     TxnProgram,
@@ -69,6 +74,7 @@ __all__ = [
     "Abort",
     "Call",
     "Commit",
+    "CommutingUpdate",
     "DataOp",
     "Demand",
     "ExplorationReport",
@@ -77,7 +83,10 @@ __all__ = [
     "ScheduleResult",
     "ScheduleRun",
     "ScheduleVerdict",
+    "SharedCounterIncrement",
+    "SharedListAppend",
     "SharedRead",
+    "SharedSetInsert",
     "SharedWrite",
     "TxnOp",
     "TxnProgram",
@@ -96,6 +105,7 @@ __all__ = [
     "independent",
     "naive_mode_tables",
     "precedence_edges",
+    "semantic_modes_fingerprints",
     "serialization_order",
     "two_phase_violations",
 ]

@@ -36,6 +36,7 @@ from repro.check.differential import (
     explore_protocols,
     find_unsafe_counterexample,
     plan_cache_fingerprints,
+    semantic_modes_fingerprints,
 )
 from repro.check.scheduler import Explorer
 from repro.check.workloads import WORKLOADS
@@ -65,6 +66,12 @@ def _build_parser() -> argparse.ArgumentParser:
             help="use N seeded random walks instead of exhaustive search",
         )
         sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--semantic-modes",
+            action="store_true",
+            help="run the stack with commutativity-aware lock modes "
+            "(SI/AP/INC) enabled",
+        )
 
     commands.add_parser("list", help="available workloads and protocols")
     common(commands.add_parser("explore", help="enumerate schedules"))
@@ -91,6 +98,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the JSON fault-certification report to PATH",
+    )
+    certify.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write the JSON certification report to PATH",
     )
     counter = commands.add_parser(
         "counterexample",
@@ -134,6 +147,11 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the text/binary/pipelined/workers wire comparison",
     )
+    diff.add_argument(
+        "--no-semantic-modes",
+        action="store_true",
+        help="skip the semantic-modes flag on/off invisibility comparison",
+    )
     smoke = commands.add_parser("smoke", help="bounded differential pass for CI")
     smoke.add_argument(
         "--no-binary-wire",
@@ -144,9 +162,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _explorer(args) -> Explorer:
+    variant = {"protocol_cls": PROTOCOLS[args.protocol]}
+    if getattr(args, "semantic_modes", False):
+        variant["use_semantic_modes"] = True
     return Explorer(
         WORKLOADS[args.workload],
-        variant={"protocol_cls": PROTOCOLS[args.protocol]},
+        variant=variant,
         check_rules=check_rules_for(args.protocol),
         max_schedules=args.max_schedules,
         max_steps=args.max_steps,
@@ -289,6 +310,17 @@ def cmd_certify(args) -> int:
     obliged = args.protocol in VISIBILITY_OBLIGED
     bad = report.counterexamples(visibility_obliged=obliged)
     kind = "exhaustively certified" if report.exhaustive else "sampled"
+    if getattr(args, "report", None):
+        import json
+
+        payload = dict(report.summary())
+        payload["semantic_modes"] = bool(
+            getattr(args, "semantic_modes", False)
+        )
+        payload["ok"] = not bad
+        with open(args.report, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print("  certification report written to %s" % args.report)
     if not bad:
         print(
             "%s under %s: all %d schedules conflict-serializable (%s)"
@@ -358,6 +390,7 @@ def cmd_differential(args) -> int:
             plan_cache=not args.no_plan_cache,
             dense_path=not args.no_dense_path,
             sharding=not args.no_sharding,
+            semantic_modes=not args.no_semantic_modes,
         )
     except CheckError as exc:
         print("DIFFERENTIAL FAILURE: %s" % exc)
@@ -431,6 +464,12 @@ def _print_differential(summary) -> None:
             "lock traces sharded vs single table"
             % summary["sharding_schedules"]
         )
+    if "semantic_modes_schedules" in summary:
+        print(
+            "  semantic-modes flag invisible: %d schedules with "
+            "bit-identical lock traces on vs off"
+            % summary["semantic_modes_schedules"]
+        )
 
 
 def cmd_smoke(args) -> int:
@@ -499,6 +538,63 @@ def cmd_smoke(args) -> int:
         except CheckError as exc:
             print("SMOKE FAILURE (%s dense path): %s" % (name, exc))
             failures += 1
+        try:
+            fingerprints = semantic_modes_fingerprints(
+                WORKLOADS[name], max_schedules=max_schedules, max_steps=max_steps
+            )
+            schedules = assert_ablations_agree(fingerprints)
+            print(
+                "%s semantic-modes flag invisible: %d schedules with "
+                "bit-identical lock traces on vs off" % (name, schedules)
+            )
+        except CheckError as exc:
+            print("SMOKE FAILURE (%s semantic modes): %s" % (name, exc))
+            failures += 1
+    # The commutativity headline: every admissible interleaving of the
+    # shared-part insert workload is certified with the semantic modes
+    # on, and the SI admissions are strictly more numerous than under X
+    # (prune=False counts raw interleavings, not equivalence classes —
+    # with pruning on, SI collapses the whole workload to *one* class,
+    # which is the same fact seen from the other side).
+    try:
+        counts = {}
+        for enabled in (False, True):
+            explorer = Explorer(
+                WORKLOADS["commuting-inserts"],
+                variant={
+                    "protocol_cls": PROTOCOLS["herrmann"],
+                    "use_semantic_modes": enabled,
+                },
+                check_rules=check_rules_for("herrmann"),
+                max_schedules=2000,
+                max_steps=200,
+                prune=False,
+            )
+            report = explorer.explore()
+            bad = report.counterexamples(visibility_obliged=True)
+            if bad or not report.exhaustive:
+                print(
+                    "SMOKE FAILURE (commuting-inserts semantic=%s): "
+                    "%d counterexamples" % (enabled, len(bad))
+                )
+                failures += 1
+            counts[enabled] = len(report)
+        if counts[True] <= counts[False]:
+            print(
+                "SMOKE FAILURE (commuting-inserts): semantic modes "
+                "admitted %d interleavings vs %d under X — expected "
+                "strictly more" % (counts[True], counts[False])
+            )
+            failures += 1
+        else:
+            print(
+                "commuting-inserts certified: %d admissible interleavings "
+                "under SI vs %d under X, all serializable"
+                % (counts[True], counts[False])
+            )
+    except CheckError as exc:
+        print("SMOKE FAILURE (commuting-inserts): %s" % exc)
+        failures += 1
     if not getattr(args, "no_binary_wire", False):
         from repro.check.wire import wire_differential
 

@@ -297,6 +297,42 @@ def sharded_fingerprints(
     return fingerprints
 
 
+def semantic_modes_fingerprints(
+    workload: Workload,
+    protocol: str = "herrmann",
+    max_schedules: int = 5000,
+    max_steps: int = 300,
+) -> Dict[str, tuple]:
+    """Explore one workload with semantic lock modes off vs. on.
+
+    The commutativity-aware modes (SI/AP/INC) are an *opt-in* protocol
+    extension: a workload whose operations are all classic reads and
+    writes must replay every lock event bit-identically whether or not
+    the stack would accept the new modes — turning the flag on may only
+    change behavior when an operation actually demands a semantic mode.
+    The fingerprints include the lock-trace narrative accordingly.
+    (Workloads with commuting operations are excluded by construction:
+    there the flag is *supposed* to admit more interleavings, which the
+    certification and explorer tests cover instead.)
+    :func:`assert_ablations_agree` checks the two paths coincide.
+    """
+    fingerprints: Dict[str, tuple] = {}
+    for enabled in (False, True):
+        explorer = Explorer(
+            workload,
+            variant={
+                "protocol_cls": PROTOCOLS[protocol],
+                "use_semantic_modes": enabled,
+            },
+            check_rules=check_rules_for(protocol),
+            max_schedules=max_schedules,
+            max_steps=max_steps,
+        )
+        label = "semantic-modes=%s" % ("on" if enabled else "off")
+        fingerprints[label] = explorer.explore().fingerprint(include_trace=True)
+    return fingerprints
+
+
 def assert_ablations_agree(fingerprints: Dict[str, tuple]) -> int:
     """All ablation fingerprints must be identical; returns schedule count."""
     items = list(fingerprints.items())
@@ -322,6 +358,7 @@ def differential_check(
     plan_cache: bool = True,
     dense_path: bool = True,
     sharding: bool = True,
+    semantic_modes: bool = True,
 ) -> dict:
     """The full differential story for one workload.
 
@@ -378,4 +415,12 @@ def differential_check(
         )
         summary["sharding_schedules"] = assert_ablations_agree(fingerprints)
         summary["sharding"] = fingerprints
+    if semantic_modes and not walks and not workload.has_commuting_ops:
+        fingerprints = semantic_modes_fingerprints(
+            workload, max_schedules=max_schedules, max_steps=max_steps
+        )
+        summary["semantic_modes_schedules"] = assert_ablations_agree(
+            fingerprints
+        )
+        summary["semantic_modes"] = fingerprints
     return summary

@@ -29,17 +29,20 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.locking.deadlock import find_cycle
+from repro.locking.modes import op_classes_commute
 
 
 class DataOp:
-    """One logical data access: sequence number, transaction, r/w, resource."""
+    """One logical data access: sequence number, transaction, operation
+    class, resource.  Classes are ``r`` (read), ``w`` (general write) and
+    the commuting update classes ``si``/``ap``/``inc``."""
 
     __slots__ = ("seq", "txn", "kind", "resource")
 
     def __init__(self, seq: int, txn: str, kind: str, resource: tuple):
         self.seq = seq
         self.txn = txn
-        self.kind = kind  # "r" | "w"
+        self.kind = kind  # "r" | "w" | "si" | "ap" | "inc"
         self.resource = tuple(resource)
 
     def __repr__(self):
@@ -72,7 +75,11 @@ def precedence_edges(
         for later in ops[position + 1 :]:
             if earlier.txn == later.txn:
                 continue
-            if earlier.kind == "r" and later.kind == "r":
+            # commuting pairs impose no order: read/read classically, and
+            # the semantic classes (insert/insert, append/append,
+            # increment/increment) by the commutativity argument — either
+            # execution order yields the same set/list/counter state
+            if op_classes_commute(earlier.kind, later.kind):
                 continue
             if not resources_overlap(earlier.resource, later.resource):
                 continue

@@ -44,7 +44,7 @@ from repro.graphs.units import (
     object_resource,
     relation_resource,
 )
-from repro.locking.modes import IX, S, X, LockMode
+from repro.locking.modes import AP, INC, IX, S, SI, X, LockMode
 from repro.nf2.paths import parse_path
 from repro.nf2.values import ComplexObject
 
@@ -197,6 +197,137 @@ class SharedWrite(SharedRead):
 
     def data_footprint(self, run, txn):
         return [(tuple(_resolve(self.target, run)), "w")]
+
+
+class CommutingUpdate(Op):
+    """Base of the blind commuting updates (semantic lock modes).
+
+    Unlike :class:`SharedWrite`'s read-modify-write, a commuting update
+    never reads the current value: a set insert, list append or counter
+    increment is *blind*, which is exactly what makes either execution
+    order of two same-class updates equivalent.  The op always issues its
+    own lock demand on the shared target — in the commuting mode
+    (SI/AP/INC) when the protocol runs with ``use_semantic_modes``, in
+    plain X otherwise.  The ablation is therefore observable purely in
+    which schedules the lock table admits, never in what the operation
+    does to the data.
+    """
+
+    kind = "op"
+    semantic_mode = X
+
+    def __init__(self, target, attribute, via=None, label=None):
+        self.target = target
+        self.attribute = attribute
+        self.via = via
+        self.label = label or "commuting-%s" % self.kind
+
+    def demand_mode(self, run) -> LockMode:
+        if getattr(run.protocol, "use_semantic_modes", False):
+            return self.semantic_mode
+        return X
+
+    def demands(self, run, txn):
+        return [
+            (
+                tuple(_resolve(self.target, run)),
+                self.demand_mode(run),
+                _resolve(self.via, run),
+            )
+        ]
+
+    def data_footprint(self, run, txn):
+        return [(tuple(_resolve(self.target, run)), self.kind)]
+
+    def apply(self, run, txn):
+        target = tuple(_resolve(self.target, run))
+        obj = run.protocol.units.resolve(target)
+        database = run.stack.database
+        # blind update: one data op in the commuting class, no read
+        run.record_data(txn, self.kind, target)
+        notify = lambda: database.notify_object_changed(  # noqa: E731
+            obj.relation, obj.surrogate
+        )
+        undo = self._mutate(run, txn, obj, notify)
+        txn.record_undo(undo)
+        notify()
+        return obj
+
+    def _mutate(self, run, txn, obj, notify):
+        """Perform the update; return the undo closure."""
+        raise NotImplementedError
+
+
+class SharedSetInsert(CommutingUpdate):
+    """Insert one element into a set-valued attribute of shared data.
+
+    Set inserts commute: ``{a} + x + y == {a} + y + x``.  The inserted
+    element defaults to one derived from the transaction name, so every
+    transaction's contribution is distinct and the undo (remove exactly
+    that element) is unambiguous.
+    """
+
+    kind = "si"
+    semantic_mode = SI
+
+    def __init__(self, target, attribute, element=None, via=None, label=None):
+        super().__init__(target, attribute, via=via, label=label)
+        self.element = element
+
+    def _element(self, txn):
+        if self.element is not None:
+            return self.element
+        return "%s-by-%s" % (self.attribute, txn.name)
+
+    def _mutate(self, run, txn, obj, notify):
+        collection = obj.root[self.attribute]
+        element = self._element(txn)
+        collection.add(element)
+
+        def undo(collection=collection, element=element, note=notify):
+            collection.remove(element)
+            note()
+
+        return undo
+
+
+class SharedListAppend(SharedSetInsert):
+    """Append one element to a list-valued attribute of shared data.
+
+    Appends commute up to list order; the oracle treats the element
+    *membership* as the semantic state, which either order produces.
+    """
+
+    kind = "ap"
+    semantic_mode = AP
+
+
+class SharedCounterIncrement(CommutingUpdate):
+    """Add a delta to a numeric attribute of shared data.
+
+    Increments commute by associativity of addition; the undo subtracts
+    the same delta (also commutative), so aborts compose with concurrent
+    increments without restoring a possibly stale snapshot.
+    """
+
+    kind = "inc"
+    semantic_mode = INC
+
+    def __init__(self, target, attribute, delta=1, via=None, label=None):
+        super().__init__(target, attribute, via=via, label=label)
+        self.delta = delta
+
+    def _mutate(self, run, txn, obj, notify):
+        root = obj.root
+        attribute = self.attribute
+        delta = self.delta
+        root[attribute] = root[attribute] + delta
+
+        def undo(root=root, attribute=attribute, delta=delta, note=notify):
+            root[attribute] = root[attribute] - delta
+            note()
+
+        return undo
 
 
 class TxnOp(Op):

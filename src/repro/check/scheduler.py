@@ -35,7 +35,7 @@ import random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CheckError
-from repro.locking.modes import compatible
+from repro.locking.modes import compatible, op_classes_commute
 from repro.locking.trace import LockTrace
 from repro.check.oracle import DataOp
 from repro.check.program import Abort, Commit, _normalize_demand
@@ -421,7 +421,10 @@ def independent(footprint_a, footprint_b) -> bool:
     for kind_a, resource_a, extra_a in footprint_a:
         for kind_b, resource_b, extra_b in footprint_b:
             if kind_a == "data" and kind_b == "data":
-                if "w" not in (extra_a, extra_b):
+                # same relation as the oracle's precedence edges: r/r and
+                # same-class commuting updates (si/si, ap/ap, inc/inc)
+                # never order each other
+                if op_classes_commute(extra_a, extra_b):
                     continue
                 shorter = min(len(resource_a), len(resource_b))
                 if resource_a[:shorter] == resource_b[:shorter]:
@@ -523,7 +526,7 @@ class Workload:
     """
 
     def __init__(self, name: str, builder: Callable, description: str = "",
-                 expect_anomaly: bool = True):
+                 expect_anomaly: bool = True, has_commuting_ops: bool = False):
         self.name = name
         self._builder = builder
         self.description = description
@@ -531,6 +534,11 @@ class Workload:
         #: under the unsafe DAG baseline (False for workloads whose demands
         #: never rely on implicit reference cover).
         self.expect_anomaly = expect_anomaly
+        #: Whether any program issues commuting updates (set-insert,
+        #: append, increment).  On such workloads the semantic-modes flag
+        #: is *meant* to change the lock traces, so the flag-invisibility
+        #: differential skips them.
+        self.has_commuting_ops = has_commuting_ops
 
     def build(self, **variant):
         return self._builder(**variant)

@@ -20,11 +20,13 @@ the exact response text of every scripted request.  The four modes must
 coincide bit-for-bit; :func:`assert_wire_modes_agree` raises
 :class:`~repro.errors.CheckError` on the first divergence.
 
-Three scripts cover the smoke workloads: ``partlib`` (grants, group
+Four scripts cover the smoke workloads: ``partlib`` (grants, group
 acquisition, unknown resources, NOWAIT conflicts), ``from-the-side``
-(the cells database's common data reached from two entry points) and
+(the cells database's common data reached from two entry points),
 ``deadlock`` (two sessions crossing demands until the detector kills
-the youngest).  The deadlock script synchronises on the server's parked
+the youngest) and ``commuting-inserts`` (the semantic SI/INC verbs on a
+``use_semantic_modes`` stack: concurrent inserters admitted, readers
+refused).  The deadlock script synchronises on the server's parked
 waiter futures, so the interleaving — who waits first, who is chosen
 victim — is pinned, not raced.
 """
@@ -47,8 +49,15 @@ SCRIPT_WORKLOADS = OrderedDict(
         ("partlib", "partlib"),
         ("from-the-side", "cells"),
         ("deadlock", "partlib"),
+        ("commuting-inserts", "partlib"),
     )
 )
+
+#: Extra stack flags per script.  The classic scripts run on an
+#: unflagged stack — their traces are the PR-8 baseline, which is what
+#: makes them double as the semantic-modes flag-off differential — and
+#: the commuting-inserts script opts into the semantic modes.
+SCRIPT_FLAGS = {"commuting-inserts": {"use_semantic_modes": True}}
 
 
 class _ScriptRun:
@@ -222,11 +231,36 @@ async def _script_deadlock(run: _ScriptRun):
     await run.op(1, "end", "t2")
 
 
+async def _script_commuting_inserts(run: _ScriptRun):
+    """Semantic SI locks: concurrent inserters admitted, readers refused."""
+    p1 = "db1/seg_parts/parts/p1"
+    p2 = "db1/seg_parts/parts/p2"
+    await run.batch(0, [("start", "t1"), ("lock", "SILOCK", "t1", p1, False)])
+    # a second inserter on the same part is granted concurrently — the
+    # commutativity win the semantic modes exist for
+    await run.batch(1, [("start", "t2"), ("lock", "SILOCK", "t2", p1, False)])
+    # a reader is refused: a commuting update is still a write to it
+    await run.batch(2, [("start", "t3")])
+    await run.op(2, "lock", "SLOCK", "t3", p1, True)
+    # semantic intention modes batch exactly like classic ones
+    await run.op(
+        0, "acquire_many", "t1", (("db1/seg_parts", "ISI"),), False
+    )
+    # a commuting increment on a *different* part is independent
+    await run.op(2, "lock", "INCLOCK", "t3", p2, False)
+    await run.batch(0, [("end", "t1")])
+    await run.batch(1, [("end", "t2")])
+    # both inserters gone: the reader's demand is admissible now
+    await run.op(2, "lock", "SLOCK", "t3", p1, False)
+    await run.batch(2, [("end", "t3")])
+
+
 SCRIPTS = OrderedDict(
     (
         ("partlib", _script_partlib),
         ("from-the-side", _script_from_the_side),
         ("deadlock", _script_deadlock),
+        ("commuting-inserts", _script_commuting_inserts),
     )
 )
 
@@ -261,6 +295,7 @@ async def _run_script(script: str, mode: str, shards: int = 4) -> tuple:
         SCRIPT_WORKLOADS[script],
         shards=shards,
         workers=2 if mode == "workers" else 0,
+        **SCRIPT_FLAGS.get(script, {})
     )
     server = LockServer(
         stack,

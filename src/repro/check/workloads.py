@@ -32,7 +32,14 @@ from repro.workloads.partlib import (
     materials_schema,
     parts_schema,
 )
-from repro.check.program import Demand, SharedRead, SharedWrite, TxnOp, TxnProgram
+from repro.check.program import (
+    Demand,
+    SharedRead,
+    SharedSetInsert,
+    SharedWrite,
+    TxnOp,
+    TxnProgram,
+)
 from repro.check.scheduler import Workload
 
 
@@ -163,6 +170,39 @@ def _deadlock_build(protocol_cls=HerrmannProtocol, use_reference_index=True,
     return stack, [t1, t2]
 
 
+def _commuting_inserts_build(protocol_cls=HerrmannProtocol,
+                             use_reference_index=True, **protocol_kwargs):
+    """Three transactions insert into shared part ``p1``'s materials set.
+
+    The part-library HoLU hot spot: every library maintainer adds a
+    material to the *same* shared part.  Under plain X locks the inserts
+    serialize at the part (one admissible order per permutation of whole
+    transactions); under ``use_semantic_modes`` each insert takes SI and
+    the inserts interleave freely — the explorer counts strictly more
+    admissible schedules while the oracle still certifies every one
+    (set inserts commute, so no precedence edges arise between them).
+    """
+    database, catalog = build_check_partlib()
+    database.use_reference_index = use_reference_index
+    stack = make_stack(
+        database, catalog, protocol_cls=protocol_cls, **protocol_kwargs
+    )
+    p1 = object_resource(catalog, "parts", "p1")
+    programs = [
+        TxnProgram(
+            name,
+            [
+                SharedSetInsert(p1, "materials", label="insert into p1"),
+                SharedSetInsert(p1, "materials",
+                                element="extra-%s" % name,
+                                label="insert again"),
+            ],
+        )
+        for name in ("T1", "T2", "T3")
+    ]
+    return stack, programs
+
+
 #: Workloads by CLI name.
 WORKLOADS = {
     "partlib": Workload(
@@ -185,5 +225,16 @@ WORKLOADS = {
         # Demands here are direct object locks, never implicit reference
         # cover — even the unsafe DAG baseline serializes this workload.
         expect_anomaly=False,
+    ),
+    "commuting-inserts": Workload(
+        "commuting-inserts",
+        _commuting_inserts_build,
+        "three library maintainers insert materials into shared part p1; "
+        "semantic SI locks admit strictly more interleavings than X "
+        "while every schedule stays serializable",
+        # Direct demands on the shared part: no implicit-cover trap here,
+        # every protocol (even the unsafe baseline) serializes correctly.
+        expect_anomaly=False,
+        has_commuting_ops=True,
     ),
 }

@@ -13,10 +13,17 @@ from repro.locking.manager import LockManager, ThreadedLockManager
 from repro.locking.trace import LockTrace, TraceEvent
 from repro.locking.modes import (
     ALL_MODES,
+    AP,
+    IAP,
+    IINC,
+    INC,
     IS,
+    ISI,
     IX,
     PAPER_MODES,
     S,
+    SEMANTIC_MODES,
+    SI,
     SIX,
     X,
     LockMode,
@@ -28,11 +35,16 @@ from repro.locking.modes import (
 
 __all__ = [
     "ALL_MODES",
+    "AP",
     "DeadlockDetector",
     "DenseLockTable",
     "DenseSteps",
     "Escalator",
+    "IAP",
+    "IINC",
+    "INC",
     "IS",
+    "ISI",
     "IX",
     "LockManager",
     "LockMode",
@@ -42,6 +54,8 @@ __all__ = [
     "PAPER_MODES",
     "RequestStatus",
     "S",
+    "SEMANTIC_MODES",
+    "SI",
     "SIX",
     "ThreadedLockManager",
     "TraceEvent",

@@ -24,6 +24,18 @@ from repro.errors import LockError
 from repro.locking.manager import LockManager
 from repro.locking.modes import IS, IX, LockMode, S, X, intention_of, supremum
 
+#: escalating away an intention child needs the parent to *implicitly*
+#: lock the child's subtree: each pure intention mode maps to its actual
+#: counterpart (IX and SIX carry general write intent, so they need X)
+_ESCALATED = {
+    IS: S,
+    IX: X,
+    LockMode.SIX: X,
+    LockMode.ISI: LockMode.SI,
+    LockMode.IAP: LockMode.AP,
+    LockMode.IINC: LockMode.INC,
+}
+
 
 def parent_resource(resource: Tuple) -> Optional[Tuple]:
     """Parent path of a hierarchical resource id (None for the root)."""
@@ -82,10 +94,7 @@ class Escalator:
         mode: Optional[LockMode] = None
         for child in children_held(self.manager, txn, parent):
             child_mode = self.manager.held_mode(txn, child)
-            if child_mode is IS:
-                child_mode = S
-            elif child_mode is IX or child_mode is LockMode.SIX:
-                child_mode = X
+            child_mode = _ESCALATED.get(child_mode, child_mode)
             mode = child_mode if mode is None else supremum(mode, child_mode)
         if mode is None:
             raise LockError("no child locks to escalate under %r" % (parent,))
@@ -147,10 +156,16 @@ class Escalator:
         grants = []
         while self.manager.held_mode(txn, parent) is not None:
             self.manager.release(txn, parent)
-        if any(mode not in (IS, S) for _, mode in fine_grains):
-            intention = IX
-        else:
-            intention = IS
+        # the downgraded parent mode must carry the intention of every
+        # kept fine grain (for the classic modes this reduces to the old
+        # "any non-share grain needs IX" rule; semantic grains keep their
+        # own intention, e.g. all-SI grains downgrade the parent to ISI)
+        intention = IS if not fine_grains else None
+        for _, mode in fine_grains:
+            required = intention_of(mode)
+            intention = (
+                required if intention is None else supremum(intention, required)
+            )
         grants.append(self.manager.acquire(txn, parent, intention, wait=wait))
         for resource, mode in fine_grains:
             grants.append(self.manager.acquire(txn, resource, mode, wait=wait))

@@ -12,22 +12,57 @@ The paper uses the four System R granular modes (section 3.1):
 extension; the paper's protocol never requests it but lock conversions can
 produce it (a transaction holding S that requests IX must end up holding
 the supremum of both, which is SIX).
+
+Semantic (commutativity-aware) modes
+------------------------------------
+
+On NF² complex objects many update operations commute: two set-inserts
+into the same set, two appends to the same list, two counter increments.
+Classic X locks serialize them anyway.  Following the operation-conflict
+view of SemanticLock (Malta & Martinez), six additional modes refine X
+for exactly those operation classes:
+
+* ``SI``  — *Set Insert*: the right to insert members anywhere in the
+  subtree's sets; compatible with other SI holders (insert/insert
+  commutes) but not with readers or general writers;
+* ``AP``  — *APpend*: the same for list appends;
+* ``INC`` — *INCrement*: the same for counter increments;
+* ``ISI``/``IAP``/``IINC`` — the matching intention modes a transaction
+  plants on ancestors before taking SI/AP/INC below.
+
+The extended table is not hand-written.  Each mode is a set of *rights*
+``(scope, op-class)`` — ``("sub", c)`` claims operation class ``c`` over
+the whole subtree, ``("int", c)`` merely announces the intention to claim
+``c`` on some descendant.  Two modes are compatible iff no subtree-scoped
+right of one clashes with a right of the other (intentions never clash
+with intentions); the supremum is the unique weakest mode whose rights
+contain both operands'; ``covers`` is rights-set inclusion.  At import
+time the derivation is asserted to reproduce the hand-written classic
+5x5 block exactly, so the semantic extension provably changes nothing
+about the paper's lattice.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, Tuple
+from typing import Dict, FrozenSet, Tuple
 
 
 class LockMode(enum.Enum):
-    """The granular lock modes of Gray/Lorie/Putzolu/Traiger."""
+    """The granular lock modes of Gray/Lorie/Putzolu/Traiger, plus the
+    commutativity-aware semantic modes (SI/AP/INC and their intentions)."""
 
     IS = "IS"
     IX = "IX"
     S = "S"
     SIX = "SIX"
     X = "X"
+    ISI = "ISI"
+    IAP = "IAP"
+    IINC = "IINC"
+    SI = "SI"
+    AP = "AP"
+    INC = "INC"
 
     def __repr__(self):
         return self.value
@@ -37,19 +72,50 @@ class LockMode(enum.Enum):
 
     @property
     def is_intention(self) -> bool:
-        """True for IS and IX (pure intention modes)."""
-        return self in (LockMode.IS, LockMode.IX)
+        """True for the pure intention modes (IS, IX, ISI, IAP, IINC)."""
+        return self in (
+            LockMode.IS,
+            LockMode.IX,
+            LockMode.ISI,
+            LockMode.IAP,
+            LockMode.IINC,
+        )
 
     @property
     def is_exclusive_class(self) -> bool:
-        """True for modes that announce write intent (IX, SIX, X)."""
-        return self in (LockMode.IX, LockMode.SIX, LockMode.X)
+        """True for modes that announce write intent (IX, SIX, X, and the
+        semantic mutator modes — commuting updates are still updates)."""
+        return self in (
+            LockMode.IX,
+            LockMode.SIX,
+            LockMode.X,
+            LockMode.SI,
+            LockMode.AP,
+            LockMode.INC,
+        )
+
+    @property
+    def is_semantic(self) -> bool:
+        """True for the commutativity-aware extension modes."""
+        return self in (
+            LockMode.ISI,
+            LockMode.IAP,
+            LockMode.IINC,
+            LockMode.SI,
+            LockMode.AP,
+            LockMode.INC,
+        )
 
 
 IS, IX, S, SIX, X = LockMode.IS, LockMode.IX, LockMode.S, LockMode.SIX, LockMode.X
+ISI, IAP, IINC = LockMode.ISI, LockMode.IAP, LockMode.IINC
+SI, AP, INC = LockMode.SI, LockMode.AP, LockMode.INC
 
-#: The classic compatibility matrix (GLPT76, table form).  ``True`` means
-#: the two modes may be held concurrently by different transactions.
+#: The classic compatibility matrix (GLPT76, table form) extended with the
+#: semantic modes.  ``True`` means the two modes may be held concurrently
+#: by different transactions.  The classic 5x5 block is hand-written (the
+#: definition); the semantic rows are derived from the rights vectors
+#: below and the derivation is asserted against this block.
 _COMPATIBLE: Dict[Tuple[LockMode, LockMode], bool] = {}
 
 
@@ -101,6 +167,86 @@ def _fill_supremum():
 _fill_supremum()
 
 
+# -- the semantic extension, derived from rights vectors -----------------------
+#
+# Operation classes: plain reads ``r``, general writes ``w``, and the three
+# commuting update classes ``si`` (set insert), ``ap`` (list append),
+# ``inc`` (counter increment).  Two operation classes clash unless they are
+# the same *commuting* class: reads clash with every update (inserts are
+# not read-stable), general writes clash with everything including
+# themselves, but si/si, ap/ap and inc/inc commute.
+
+#: Every operation class, in a stable order.
+OP_CLASSES = ("r", "w", "si", "ap", "inc")
+
+#: The commuting operation classes (pairs of the same class commute).
+COMMUTING_CLASSES = frozenset(("r", "si", "ap", "inc"))
+
+
+def op_classes_commute(a: str, b: str) -> bool:
+    """Do operations of classes ``a`` and ``b`` commute on one object?
+
+    This single relation grounds the whole extension: the lock table
+    (via the derived mode compatibility) and the serialization oracle
+    (via precedence edges) must agree on it, or locking admits
+    schedules the oracle rejects.
+    """
+    return a == b and a in COMMUTING_CLASSES
+
+
+_Right = Tuple[str, str]  # ("sub" | "int", op class)
+
+#: Mode -> rights vector.  ``("sub", c)`` claims op class ``c`` over the
+#: whole subtree; ``("int", c)`` announces the intention to claim ``c``
+#: on some descendant.
+_RIGHTS: Dict[LockMode, FrozenSet[_Right]] = {
+    IS: frozenset({("int", "r")}),
+    IX: frozenset(("int", c) for c in OP_CLASSES),
+    S: frozenset({("sub", "r"), ("int", "r")}),
+    ISI: frozenset({("int", "si")}),
+    IAP: frozenset({("int", "ap")}),
+    IINC: frozenset({("int", "inc")}),
+    SI: frozenset({("sub", "si"), ("int", "si")}),
+    AP: frozenset({("sub", "ap"), ("int", "ap")}),
+    INC: frozenset({("sub", "inc"), ("int", "inc")}),
+}
+_RIGHTS[SIX] = _RIGHTS[S] | _RIGHTS[IX]
+_RIGHTS[X] = frozenset(
+    (scope, c) for scope in ("sub", "int") for c in OP_CLASSES
+)
+
+
+def _rights_clash(a: _Right, b: _Right) -> bool:
+    scope_a, class_a = a
+    scope_b, class_b = b
+    if scope_a == "int" and scope_b == "int":
+        return False  # intentions only conflict below, where claims meet
+    return not op_classes_commute(class_a, class_b)
+
+
+def _derive_compatible(a: LockMode, b: LockMode) -> bool:
+    return not any(
+        _rights_clash(right_a, right_b)
+        for right_a in _RIGHTS[a]
+        for right_b in _RIGHTS[b]
+    )
+
+
+def _derive_supremum(a: LockMode, b: LockMode) -> LockMode:
+    union = _RIGHTS[a] | _RIGHTS[b]
+    candidates = [m for m in _MODE_ORDER if _RIGHTS[m] >= union]
+    minimal = [
+        m
+        for m in candidates
+        if not any(_RIGHTS[o] < _RIGHTS[m] for o in candidates)
+    ]
+    if len(minimal) != 1:  # pragma: no cover - lattice malformed
+        raise AssertionError(
+            "no unique supremum for %r, %r: %r" % (a, b, minimal)
+        )
+    return minimal[0]
+
+
 # -- int-indexed fast tables ---------------------------------------------------
 #
 # The Enum-tuple dictionaries above are the *definitions* (and remain
@@ -109,10 +255,49 @@ _fill_supremum()
 # a tuple allocation plus two enum hashes.  The hot-path functions below
 # index precomputed dense tables by a small integer stamped onto each mode
 # member instead — one attribute load and two list subscripts per test.
+#
+# The classic modes keep their original codes 0-4 (wire frames and pinned
+# golden bytes depend on them); the semantic modes take 5-10.
 
-_MODE_ORDER = (IS, IX, S, SIX, X)
+_MODE_ORDER = (IS, IX, S, SIX, X, ISI, IAP, IINC, SI, AP, INC)
 for _i, _mode in enumerate(_MODE_ORDER):
     _mode.code = _i
+
+#: The classic GLPT modes — unchanged by the semantic extension.
+CLASSIC_MODES = (IS, IX, S, SIX, X)
+
+#: The commutativity-aware extension modes.
+SEMANTIC_MODES = (ISI, IAP, IINC, SI, AP, INC)
+
+#: Every mode, in code order.
+EXTENDED_MODES = _MODE_ORDER
+
+
+def _extend_tables():
+    """Fill the semantic rows/columns of the naive dicts from the rights
+    derivation, after proving the derivation reproduces the hand-written
+    classic block exactly."""
+    for a in CLASSIC_MODES:
+        for b in CLASSIC_MODES:
+            derived = _derive_compatible(a, b)
+            if derived != _COMPATIBLE[(a, b)]:  # pragma: no cover
+                raise AssertionError(
+                    "rights derivation breaks classic compat(%r, %r)" % (a, b)
+                )
+            derived_sup = _derive_supremum(a, b)
+            if derived_sup is not _SUPREMUM[(a, b)]:  # pragma: no cover
+                raise AssertionError(
+                    "rights derivation breaks classic sup(%r, %r)" % (a, b)
+                )
+    for a in _MODE_ORDER:
+        for b in _MODE_ORDER:
+            if (a, b) not in _COMPATIBLE:
+                _COMPATIBLE[(a, b)] = _derive_compatible(a, b)
+            if (a, b) not in _SUPREMUM:
+                _SUPREMUM[(a, b)] = _derive_supremum(a, b)
+
+
+_extend_tables()
 
 _COMPAT_TABLE = [
     [_COMPATIBLE[(a, b)] for b in _MODE_ORDER] for a in _MODE_ORDER
@@ -194,14 +379,24 @@ def intention_of(mode: LockMode) -> LockMode:
 
     Protocol rules 1-4: S needs parents "(at least) IS"; X and IX need
     parents "(at least) IX".  SIX behaves like X for this purpose because
-    it includes write intent.
+    it includes write intent.  Each semantic actual mode needs its own
+    intention (SI needs "(at least) ISI", and so on) — IX covers all of
+    them, so classic writers never have to know the extension exists.
     """
     if mode in (S, IS):
         return IS
+    if mode in (SI, ISI):
+        return ISI
+    if mode in (AP, IAP):
+        return IAP
+    if mode in (INC, IINC):
+        return IINC
     return IX
 
 
-ALL_MODES = (IS, IX, S, SIX, X)
+#: The classic modes, as the public stable tuple (property tests iterate
+#: this; the semantic extension is exported separately).
+ALL_MODES = CLASSIC_MODES
 
 #: Modes the paper's protocol requests explicitly (SIX only via conversion).
 PAPER_MODES = (IS, IX, S, X)

@@ -154,11 +154,16 @@ class ProtocolBase:
         use_plan_cache: bool = False,
         use_batched_acquire: bool = False,
         use_dense_path: bool = False,
+        use_semantic_modes: bool = False,
     ):
         self.manager = manager
         self.catalog = catalog
         self.units = UnitMap(catalog)
         self.authorization = authorization
+        #: ablation flag: accept the commutativity-aware semantic modes
+        #: (SI/AP/INC and their intentions).  Off by default: the classic
+        #: protocol must be bit-identical to the pre-extension behaviour.
+        self.use_semantic_modes = use_semantic_modes
         #: ablation flag: memoize compiled demand expansions (stamped by
         #: the database structure / authorization versions)
         self.use_plan_cache = use_plan_cache
@@ -314,6 +319,15 @@ class ProtocolBase:
                 return True
             if ancestor_mode in (S, SIX, X) and covers(S, required):
                 return True
+            # a semantic actual mode (SI/AP/INC) implicitly claims its
+            # commuting operation class over the whole subtree, exactly
+            # as S implicitly S-locks it
+            if (
+                ancestor_mode.is_semantic
+                and not ancestor_mode.is_intention
+                and covers(ancestor_mode, required)
+            ):
+                return True
         return False
 
     def visible_mode_for_others(self, resource) -> List[Tuple[object, LockMode]]:
@@ -334,6 +348,9 @@ class ProtocolBase:
                 if mode in (S, SIX, X):
                     implicit = X if mode is X else S
                     found.append((txn, implicit))
+                elif mode.is_semantic and not mode.is_intention:
+                    # SI/AP/INC implicitly hold themselves over the subtree
+                    found.append((txn, mode))
         return found
 
     # -- shared planning helpers ------------------------------------------------------
@@ -478,8 +495,11 @@ class ProtocolBase:
         return steps
 
     def _check_mode(self, mode: LockMode):
-        if mode not in (IS, IX, S, X, SIX):
-            raise ProtocolError("unsupported lock mode %r" % (mode,))
+        if mode in (IS, IX, S, X, SIX):
+            return
+        if mode.is_semantic and self.use_semantic_modes:
+            return
+        raise ProtocolError("unsupported lock mode %r" % (mode,))
 
     def metrics(self) -> dict:
         out = {
@@ -494,6 +514,7 @@ class ProtocolBase:
             "use_plan_cache": self.use_plan_cache,
             "use_batched_acquire": self.use_batched_acquire,
             "use_dense_path": self.use_dense_path,
+            "use_semantic_modes": self.use_semantic_modes,
             "dense_core": DENSE_CORE if self._dense_table is not None else "",
             "summary_rebuilds": self.manager.table.summary_rebuilds,
         }

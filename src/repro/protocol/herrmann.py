@@ -145,7 +145,12 @@ class HerrmannProtocol(ProtocolBase):
             for ancestor in ancestors(resource):
                 steps.append(PlannedLock(ancestor, intention, "ancestor"))
 
-        if mode in (S, X) and propagate:
+        # S, X and the semantic actual modes (SI/AP/INC) implicitly lock
+        # the whole subtree, so all of them propagate onto lower entry
+        # points; pure intention modes never do.
+        if propagate and (
+            mode in (S, X) or (mode.is_semantic and not mode.is_intention)
+        ):
             steps.extend(self._downward_steps(txn, resource, mode))
 
         steps.append(PlannedLock(resource, mode, "target"))
@@ -195,6 +200,11 @@ class HerrmannProtocol(ProtocolBase):
         """Mode pushed onto a lower entry point (rule 3, 4 or 4')."""
         if mode is S:
             return S
+        if mode.is_semantic:
+            # a commuting-update claim extends unchanged into reachable
+            # common data: other inserters/appenders/incrementers stay
+            # admissible there, readers and general writers do not
+            return mode
         if not self.rule4prime:
             return X  # rule 4: X propagates X everywhere
         relation_name = entry_resource[2]
@@ -206,7 +216,10 @@ class HerrmannProtocol(ProtocolBase):
         """An (I)X demand on a relation's data needs the modify right."""
         if not self.rule4prime:
             return
-        if mode not in (X, IX):
+        # semantic modes are update modes: commuting or not, an insert/
+        # append/increment (or the intention to perform one) needs the
+        # modify right exactly as X/IX do
+        if mode not in (X, IX) and not mode.is_semantic:
             return
         if len(resource) < 3:
             return

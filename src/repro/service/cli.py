@@ -48,12 +48,21 @@ def serve_main(argv=None) -> int:
         action="store_true",
         help="flush each response individually instead of per ready-batch",
     )
+    parser.add_argument(
+        "--semantic-modes",
+        action="store_true",
+        help="accept the commutativity-aware lock modes (SI/AP/INC verbs, "
+        "mode codes 5-10; off = classic five-mode vocabulary)",
+    )
     args = parser.parse_args(argv)
 
     from repro.service.server import LockServer, make_service_stack
 
     stack = make_service_stack(
-        args.workload, shards=args.shards, workers=args.workers
+        args.workload,
+        shards=args.shards,
+        workers=args.workers,
+        use_semantic_modes=args.semantic_modes,
     )
     server = LockServer(
         stack,

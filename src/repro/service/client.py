@@ -27,12 +27,35 @@ import time
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.locking.modes import IS, IX, S, X, LockMode
+from repro.locking.modes import (
+    AP,
+    IAP,
+    IINC,
+    INC,
+    IS,
+    ISI,
+    IX,
+    S,
+    SI,
+    X,
+    LockMode,
+)
 from repro.service import wire
 
 #: Lock verbs -> the mode they demand (client-side mirror of the
 #: server's _PLAN_VERBS, used to pick the binary mode code).
-_VERB_MODES = {"SLOCK": S, "XLOCK": X, "ISLOCK": IS, "IXLOCK": IX}
+_VERB_MODES = {
+    "SLOCK": S,
+    "XLOCK": X,
+    "ISLOCK": IS,
+    "IXLOCK": IX,
+    "SILOCK": SI,
+    "APLOCK": AP,
+    "INCLOCK": INC,
+    "ISILOCK": ISI,
+    "IAPLOCK": IAP,
+    "IINCLOCK": IINC,
+}
 
 
 class ServiceClient:
@@ -273,6 +296,19 @@ class ServiceClient:
 
     async def xlock(self, txn: str, path: str, nowait: bool = False) -> str:
         return await self.lock("XLOCK", txn, path, nowait=nowait)
+
+    async def silock(self, txn: str, path: str, nowait: bool = False) -> str:
+        return await self.lock("SILOCK", txn, path, nowait=nowait)
+
+    async def modes(self) -> List[str]:
+        """The mode vocabulary the server accepts (OP_MODES / MODES)."""
+        if self.binary:
+            frame = await self._roundtrip(wire.OP_MODES, ())
+        else:
+            frame = await self.request("MODES")
+        if not frame.startswith("OK MODES "):
+            raise ValueError("unexpected MODES response: %r" % frame)
+        return frame[len("OK MODES "):].split(",")
 
     async def lock(
         self, verb: str, txn: str, path: str, nowait: bool = False

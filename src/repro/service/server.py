@@ -12,11 +12,25 @@ protocol (one request line, one response line, UTF-8):
     XLOCK <txn> <path> [NOWAIT]        X on the node, full protocol plan
     ISLOCK <txn> <path> [NOWAIT]       IS on the node + IS ancestors
     IXLOCK <txn> <path> [NOWAIT]       IX on the node + IX ancestors
+    SILOCK/APLOCK/INCLOCK <txn> <path> [NOWAIT]
+                                       semantic commuting-update plan
+    ISILOCK/IAPLOCK/IINCLOCK <txn> <path> [NOWAIT]
+                                       semantic intention chain
     ACQUIRE_MANY <txn> <path>:<MODE>[,<path>:<MODE>...] [NOWAIT]
     UNLOCK <txn> <path>
     END <txn>
     STATS
+    MODES
     HELLO TEXT|BINARY
+
+The semantic verbs (``SILOCK``/``APLOCK``/``INCLOCK`` and their
+intention forms) exist only when the served stack was built with
+``use_semantic_modes=True``; against a classic stack they answer ``ERR
+UNKNOWN-VERB`` and the matching binary mode codes answer ``ERR
+BAD-MODE`` — exactly the frames a PR 8 server produced, which is what
+keeps the flag-off wire differential bit-identical.  ``MODES`` (binary:
+``OP_MODES``) reports the mode vocabulary the server accepts, so a
+client can discover the flag without tripping over it.
 
 ``HELLO BINARY`` upgrades the connection to the length-prefixed binary
 framing of :mod:`repro.service.wire` (dense interned resource ids on the
@@ -93,13 +107,42 @@ from repro.errors import (
 from repro.graphs.units import ancestors
 from repro.locking.lock_table import LockRequest, RequestStatus
 from repro.nf2.surrogate import ResourceInterner
-from repro.locking.modes import IS, IX, MODES_BY_CODE, N_MODES, S, X, LockMode
+from repro.locking.modes import (
+    AP,
+    CLASSIC_MODES,
+    IAP,
+    IINC,
+    INC,
+    IS,
+    ISI,
+    IX,
+    MODES_BY_CODE,
+    N_MODES,
+    S,
+    SI,
+    X,
+    LockMode,
+)
 from repro.service import wire
 from repro.service.sharded import ShardedLockManager
 from repro.txn.transaction import TxnState
 
-#: Verbs that take <txn> <path> and run a lock plan.
-_PLAN_VERBS = {"SLOCK": S, "XLOCK": X, "ISLOCK": IS, "IXLOCK": IX}
+#: Verbs that take <txn> <path> and run a lock plan.  The semantic verbs
+#: only exist when the served stack runs with ``use_semantic_modes``;
+#: otherwise they answer exactly as any unknown verb does, so a server
+#: over a classic stack stays frame-for-frame identical to PR 8.
+_PLAN_VERBS = {
+    "SLOCK": S,
+    "XLOCK": X,
+    "ISLOCK": IS,
+    "IXLOCK": IX,
+    "SILOCK": SI,
+    "APLOCK": AP,
+    "INCLOCK": INC,
+    "ISILOCK": ISI,
+    "IAPLOCK": IAP,
+    "IINCLOCK": IINC,
+}
 
 _READ_CHUNK = 64 * 1024
 
@@ -334,6 +377,20 @@ class LockServer:
         self._rid_resources: Dict[int, tuple] = {}
         self._wire_ids = ResourceInterner()
         manager.on_wake = self._on_wake
+
+    @property
+    def _semantic_enabled(self) -> bool:
+        """Whether the served stack accepts the semantic lock modes."""
+        return bool(getattr(self.stack.protocol, "use_semantic_modes", False))
+
+    def _accepts_mode(self, mode: LockMode) -> bool:
+        return self._semantic_enabled or not mode.is_semantic
+
+    def _modes_frame(self) -> str:
+        accepted = (
+            MODES_BY_CODE if self._semantic_enabled else CLASSIC_MODES
+        )
+        return "OK MODES %s" % ",".join(mode.value for mode in accepted)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -700,6 +757,8 @@ class LockServer:
         verb = tokens[0].upper()
         if verb == "STATS":
             return self._stats_frame()
+        if verb == "MODES":
+            return self._modes_frame()
         if verb == "HELLO":
             if len(tokens) != 2 or tokens[1].upper() not in (
                 "TEXT",
@@ -725,7 +784,7 @@ class LockServer:
             if len(tokens) != 3:
                 return "ERR BAD-FRAME UNLOCK takes two arguments"
             return await self._unlock(conn, session, tokens[1], tokens[2])
-        if verb in _PLAN_VERBS:
+        if verb in _PLAN_VERBS and self._accepts_mode(_PLAN_VERBS[verb]):
             if len(tokens) not in (3, 4) or (
                 len(tokens) == 4 and tokens[3].upper() != "NOWAIT"
             ):
@@ -803,11 +862,17 @@ class LockServer:
                     "/".join(str(p) for p in resource),
                 ),
             )
+        if opcode == wire.OP_MODES:
+            return wire.frame_for_response(corr, self._modes_frame())
         if opcode == wire.OP_LOCK:
             mode_code, flags, rid, name = fields
             if self._live_txn(session, name) is None:
                 return wire.frame_for_response(corr, "ERR NOTXN %s" % name)
-            if mode_code >= N_MODES:
+            if mode_code >= N_MODES or not self._accepts_mode(
+                MODES_BY_CODE[mode_code]
+            ):
+                # a semantic code against a classic stack answers exactly
+                # as any out-of-range code always has
                 return wire.frame_for_response(
                     corr, "ERR BAD-MODE code=%d" % mode_code
                 )
@@ -836,7 +901,9 @@ class LockServer:
             steps: List[Tuple[tuple, LockMode]] = []
             spec_parts: List[str] = []
             for rid, mode_code in step_codes:
-                if mode_code >= N_MODES:
+                if mode_code >= N_MODES or not self._accepts_mode(
+                    MODES_BY_CODE[mode_code]
+                ):
                     return wire.frame_for_response(
                         corr, "ERR BAD-MODE code=%d" % mode_code
                     )
@@ -1004,6 +1071,10 @@ class LockServer:
             try:
                 mode = LockMode(mode_name.upper())
             except ValueError:
+                return "ERR BAD-MODE %s" % mode_name
+            if not self._accepts_mode(mode):
+                # a semantic mode name against a classic stack answers
+                # exactly as the unknown-name path always has
                 return "ERR BAD-MODE %s" % mode_name
             resource, err = self._parse_resource(path)
             if err is not None:

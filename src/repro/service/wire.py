@@ -37,6 +37,7 @@ Request opcodes (client -> server)::
     0x06 OP_STATS         (empty)
     0x07 OP_RESOURCES     (empty)
     0x08 OP_INTERN        path:utf8
+    0x09 OP_MODES         (empty)
 
 Response opcodes (server -> client)::
 
@@ -48,7 +49,12 @@ Response opcodes (server -> client)::
     0xFF RESP_ERR         code:u8 detail:utf8  (the text frame minus "ERR ")
 
 ``mode`` bytes are :attr:`~repro.locking.modes.LockMode.code` values
-(``MODES_BY_CODE`` inverts them); ``flags`` bit 0 is NOWAIT.  Error
+(``MODES_BY_CODE`` inverts them); ``flags`` bit 0 is NOWAIT.  The
+semantic mode codes (SI/AP/INC and their intention forms) are accepted
+only by a server whose stack runs ``use_semantic_modes``; elsewhere
+they answer ``ERR BAD-MODE`` exactly as an out-of-range code does.
+``OP_MODES`` reports the accepted vocabulary as a plain ``RESP_OK``
+frame (``MODES <name>,<name>,...``), so no response opcode was added.  Error
 ``detail`` strings start with the same machine-readable token the text
 protocol uses (``CONFLICT``, ``DEADLOCK``, ...), so a binary client can
 reconstruct the exact text-equivalent response — the property the wire
@@ -82,6 +88,7 @@ OP_END = 0x05
 OP_STATS = 0x06
 OP_RESOURCES = 0x07
 OP_INTERN = 0x08
+OP_MODES = 0x09
 
 RESP_OK = 0x80
 RESP_GRANTED = 0x81
@@ -99,6 +106,7 @@ REQUEST_OPCODES = (
     OP_STATS,
     OP_RESOURCES,
     OP_INTERN,
+    OP_MODES,
 )
 RESPONSE_OPCODES = (
     RESP_OK,
@@ -246,6 +254,7 @@ _REQ_PACK = {
     OP_STATS: _pack_empty,
     OP_RESOURCES: _pack_empty,
     OP_INTERN: _pack_path,
+    OP_MODES: _pack_empty,
 }
 _REQ_UNPACK = {
     OP_START: _unpack_txn_only,
@@ -256,6 +265,7 @@ _REQ_UNPACK = {
     OP_STATS: _unpack_empty,
     OP_RESOURCES: _unpack_empty,
     OP_INTERN: _unpack_path,
+    OP_MODES: _unpack_empty,
 }
 
 

@@ -334,10 +334,14 @@ class TransactionManager:
             )
             self.protocol.request(txn, entry, X, wait=wait, long=txn.long)
         obj = self.database.insert(relation_name, root)
+        # record the undo before any further lock request: the X demand on
+        # the new object node below can conflict (another transaction may
+        # hold X on the same key path, e.g. around a delete it has not yet
+        # rolled back) and the abort must remove the already-inserted
+        # object, or rollback leaves an orphan under a reused key
+        txn.record_undo(lambda rel=relation, k=obj.key: rel.delete(k, force=True))
         resource = object_resource(self.catalog, relation_name, obj.key)
         self.protocol.request(txn, resource, X, wait=wait, long=txn.long)
-        relation = self.database.relation(relation_name)
-        txn.record_undo(lambda rel=relation, k=obj.key: rel.delete(k, force=True))
         return obj
 
     def delete_object(

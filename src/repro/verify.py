@@ -266,7 +266,12 @@ def check_intention_chains(protocol) -> List[Violation]:
 
 
 def check_entry_point_visibility(protocol) -> List[Violation]:
-    """S/X holders must have locked every reachable entry point."""
+    """S/X holders must have locked every reachable entry point.
+
+    Semantic actual modes (SI/AP/INC) implicitly claim their operation
+    class over the subtree exactly as S claims reads, so they carry the
+    same downward-propagation obligation.
+    """
     out = []
     manager = protocol.manager
     units = protocol.units
@@ -274,7 +279,9 @@ def check_entry_point_visibility(protocol) -> List[Violation]:
         if len(resource) < 3:
             continue
         for txn, mode in manager.holders(resource).items():
-            if mode not in (S, SIX, X):
+            if mode not in (S, SIX, X) and not (
+                mode.is_semantic and not mode.is_intention
+            ):
                 continue
             try:
                 entries = units.entry_points_below(resource, transitive=True)
